@@ -1,0 +1,325 @@
+package anycastctx
+
+// Ablations for the design choices the paper's analysis rests on: how
+// deployment size, peering breadth, BGP's decision process, recursives'
+// letter preference, and RFC 8806 local-root operation each move the
+// headline numbers. Every ablation builds its own isolated environment so
+// the shared world stays immutable and experiment order never matters.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"anycastctx/internal/anycastnet"
+	"anycastctx/internal/cdn"
+	"anycastctx/internal/core"
+	"anycastctx/internal/ditl"
+	"anycastctx/internal/dnssim"
+	"anycastctx/internal/geo"
+	"anycastctx/internal/latency"
+	"anycastctx/internal/report"
+	"anycastctx/internal/stats"
+	"anycastctx/internal/topology"
+	"anycastctx/internal/users"
+)
+
+func init() {
+	register(Experiment{
+		ID:         "abl-size",
+		Title:      "Ablation: deployment size sweep",
+		PaperClaim: "larger deployments: lower latency, lower efficiency (§7.2)",
+		Run:        runAblSize,
+	})
+	register(Experiment{
+		ID:         "abl-peering",
+		Title:      "Ablation: CDN peering breadth sweep",
+		PaperClaim: "peering investment is what keeps CDN inflation low (§7.1)",
+		Run:        runAblPeering,
+	})
+	register(Experiment{
+		ID:         "abl-routing",
+		Title:      "Ablation: BGP vs optimal vs unicast baselines",
+		PaperClaim: "BGP leaves latency on the table, but anycast still beats the best single site",
+		Run:        runAblRouting,
+	})
+	register(Experiment{
+		ID:         "abl-tau",
+		Title:      "Ablation: recursive letter-preference strength",
+		PaperClaim: "preferential querying is why All-Roots per-query inflation beats per-letter inflation (§3)",
+		Run:        runAblTau,
+	})
+	register(Experiment{
+		ID:         "abl-localroot",
+		Title:      "Ablation: RFC 8806 local root vs normal resolution",
+		PaperClaim: "serving the root locally reaches the paper's Ideal querying behavior (§4.1)",
+		Run:        runAblLocalRoot,
+	})
+}
+
+// ablGraph builds a dedicated small topology derived from the world's
+// configuration (seed-offset so ablations never perturb the shared graph).
+func ablGraph(w *World, offset int64) (*topology.Graph, *rand.Rand, error) {
+	rng := rand.New(rand.NewSource(w.Cfg.Seed*131 + offset))
+	regions := geo.GenerateRegions(geo.PaperRegionCounts, rng)
+	scale := w.Cfg.Scale
+	if scale <= 0 || scale > 1 {
+		scale = 0.2
+	}
+	cfg := topology.DefaultConfig()
+	cfg.Seed = w.Cfg.Seed*131 + offset
+	cfg.NumTransit = int(float64(cfg.NumTransit) * scale)
+	if cfg.NumTransit < 20 {
+		cfg.NumTransit = 20
+	}
+	cfg.NumEyeball = int(float64(cfg.NumEyeball) * scale)
+	if cfg.NumEyeball < 200 {
+		cfg.NumEyeball = 200
+	}
+	g, err := topology.New(cfg, regions)
+	return g, rng, err
+}
+
+func runAblSize(w *World, _ *rand.Rand) (Result, error) {
+	g, rng, err := ablGraph(w, 1)
+	if err != nil {
+		return Result{}, err
+	}
+	model := latency.DefaultModel()
+	t := report.Table{
+		Title:   "Ablation: a single deployment grown from 2 to 100 sites",
+		Headers: []string{"Sites", "Median RTT (ms)", "At closest site", "Median gap vs optimal (ms)"},
+	}
+	type point struct {
+		n   int
+		med float64
+		eff float64
+	}
+	var first, last point
+	for _, n := range []int{2, 5, 10, 20, 50, 100} {
+		d, err := anycastnet.BuildLetter(g, anycastnet.LetterSpec{
+			Letter: fmt.Sprintf("size%d", n), GlobalSites: n, TotalSites: n, Openness: 0.25,
+		}, rng)
+		if err != nil {
+			return Result{}, err
+		}
+		rc, err := core.CompareRouting(g, d, model)
+		if err != nil {
+			return Result{}, err
+		}
+		t.AddRow(fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.1f", rc.ActualMedianMs),
+			fmt.Sprintf("%.1f%%", 100*rc.AtOptimalShare),
+			fmt.Sprintf("%.1f", rc.MedianGapMs))
+		if first.n == 0 {
+			first = point{n, rc.ActualMedianMs, rc.AtOptimalShare}
+		}
+		last = point{n, rc.ActualMedianMs, rc.AtOptimalShare}
+	}
+	return Result{
+		ID:         "abl-size",
+		Title:      "Ablation: deployment size sweep",
+		PaperClaim: "bigger: lower latency, lower efficiency",
+		Measured: fmt.Sprintf("%d→%d sites: median RTT %.0f→%.0f ms, at-closest %.0f%%→%.0f%%",
+			first.n, last.n, first.med, last.med, 100*first.eff, 100*last.eff),
+		Output: t.Render(),
+	}, nil
+}
+
+func runAblPeering(w *World, _ *rand.Rand) (Result, error) {
+	model := latency.DefaultModel()
+	t := report.Table{
+		Title:   "Ablation: CDN peering breadth vs direct-path share and inflation",
+		Headers: []string{"Peer base", "2-AS paths", "Zero geo inflation", "Median RTT (ms)"},
+	}
+	type point struct {
+		direct, eff float64
+	}
+	var lo, hi point
+	for i, base := range []float64{0.05, 0.25, 0.45, 0.70} {
+		g, rng, err := ablGraph(w, 10+int64(i))
+		if err != nil {
+			return Result{}, err
+		}
+		c, err := cdn.Build(g, model, cdn.Config{PeerBase: base}, rng)
+		if err != nil {
+			return Result{}, err
+		}
+		big := c.Rings[len(c.Rings)-1]
+		var direct, total float64
+		var rtts []stats.WeightedValue
+		for _, e := range g.Eyeballs() {
+			rt, ok := big.Deployment.Route(e)
+			if !ok {
+				continue
+			}
+			wgt := g.AS(e).UserWeight
+			total += wgt
+			if rt.PathLen == 2 {
+				direct += wgt
+			}
+			rtts = append(rtts, stats.WeightedValue{Value: model.BaseRTTMs(e, rt), Weight: wgt})
+		}
+		locs := cdn.Locations(g, 1e9)
+		logs := c.ServerSideLogs(locs, rng)
+		giObs := core.CDNGeoInflation(logs, big)
+		cdf, err := stats.NewCDF(rtts)
+		if err != nil {
+			return Result{}, err
+		}
+		eff := core.Efficiency(giObs, 1)
+		t.AddRow(fmt.Sprintf("%.2f", base),
+			fmt.Sprintf("%.1f%%", 100*direct/total),
+			fmt.Sprintf("%.1f%%", 100*eff),
+			fmt.Sprintf("%.1f", cdf.Median()))
+		if i == 0 {
+			lo = point{direct / total, eff}
+		}
+		hi = point{direct / total, eff}
+	}
+	return Result{
+		ID:         "abl-peering",
+		Title:      "Ablation: CDN peering breadth sweep",
+		PaperClaim: "wide peering drives direct paths and low inflation",
+		Measured: fmt.Sprintf("direct paths %.0f%%→%.0f%%, zero-inflation %.0f%%→%.0f%% as peering grows",
+			100*lo.direct, 100*hi.direct, 100*lo.eff, 100*hi.eff),
+		Output: t.Render(),
+	}, nil
+}
+
+func runAblRouting(w *World, _ *rand.Rand) (Result, error) {
+	g, rng, err := ablGraph(w, 20)
+	if err != nil {
+		return Result{}, err
+	}
+	model := latency.DefaultModel()
+	t := report.Table{
+		Title:   "Ablation: routing baselines per deployment (user-weighted medians)",
+		Headers: []string{"Deployment", "BGP (ms)", "Optimal anycast (ms)", "Best unicast site (ms)"},
+	}
+	var headline string
+	for _, spec := range []anycastnet.LetterSpec{
+		{Letter: "small", GlobalSites: 5, TotalSites: 5, Openness: 0.25},
+		{Letter: "large", GlobalSites: 80, TotalSites: 80, Openness: 0.25},
+	} {
+		d, err := anycastnet.BuildLetter(g, spec, rng)
+		if err != nil {
+			return Result{}, err
+		}
+		rc, err := core.CompareRouting(g, d, model)
+		if err != nil {
+			return Result{}, err
+		}
+		_, uni := core.UnicastBaseline(g, d, model)
+		t.AddRow(fmt.Sprintf("%s (%d sites)", spec.Letter, spec.GlobalSites),
+			fmt.Sprintf("%.1f", rc.ActualMedianMs),
+			fmt.Sprintf("%.1f", rc.OptimalMedianMs),
+			fmt.Sprintf("%.1f", uni))
+		if spec.Letter == "large" {
+			headline = fmt.Sprintf("80 sites: BGP %.0f ms vs optimal %.0f ms vs best unicast %.0f ms",
+				rc.ActualMedianMs, rc.OptimalMedianMs, uni)
+		}
+	}
+	return Result{
+		ID:         "abl-routing",
+		Title:      "Ablation: BGP vs optimal vs unicast",
+		PaperClaim: "anycast beats unicast even with BGP's inefficiency",
+		Measured:   headline,
+		Output:     t.Render(),
+	}, nil
+}
+
+func runAblTau(w *World, _ *rand.Rand) (Result, error) {
+	g, rng, err := ablGraph(w, 30)
+	if err != nil {
+		return Result{}, err
+	}
+	model := latency.DefaultModel()
+	pop, err := users.Build(g, users.Config{TotalUsers: 1e9}, rng)
+	if err != nil {
+		return Result{}, err
+	}
+	zone := dnssim.NewZone(500, rng)
+	rates := dnssim.ComputeRates(pop, zone, dnssim.RateConfig{}, rng)
+	letters, err := anycastnet.BuildLetters(g, anycastnet.Letters2018(), rng)
+	if err != nil {
+		return Result{}, err
+	}
+	t := report.Table{
+		Title:   "Ablation: letter-preference temperature vs per-query inflation",
+		Headers: []string{"Tau (ms)", "All-Roots median inflation (ms)", ">20ms share"},
+	}
+	var sharp, flat float64
+	for i, tau := range []float64{5, 25, 120, 100000} {
+		camp, err := ditl.Build(g, letters, pop, zone, rates, model, ditl.Config{TauMs: tau}, rng)
+		if err != nil {
+			return Result{}, err
+		}
+		cdnCounts := users.BuildCDNCounts(pop, users.CDNConfig{}, rand.New(rand.NewSource(w.Cfg.Seed+int64(i))))
+		j := camp.JoinCDN(cdnCounts, false)
+		cdf, err := stats.NewCDF(core.GeoInflationAllRoots(camp, j))
+		if err != nil {
+			return Result{}, err
+		}
+		label := fmt.Sprintf("%.0f", tau)
+		if tau >= 100000 {
+			label = "uniform (no preference)"
+		}
+		t.AddRow(label, fmt.Sprintf("%.1f", cdf.Median()),
+			fmt.Sprintf("%.1f%%", 100*cdf.FractionAbove(20)))
+		if i == 0 {
+			sharp = cdf.Median()
+		}
+		flat = cdf.Median()
+	}
+	return Result{
+		ID:         "abl-tau",
+		Title:      "Ablation: recursive letter preference",
+		PaperClaim: "preferential querying suppresses per-query inflation",
+		Measured: fmt.Sprintf("All-Roots median inflation %.1f ms with sharp preference vs %.1f ms with none",
+			sharp, flat),
+		Output: t.Render(),
+	}, nil
+}
+
+func runAblLocalRoot(w *World, rng *rand.Rand) (Result, error) {
+	zone := w.Zone
+	run := func(localRoot bool, seed int64) (dnssim.Counters, error) {
+		r, err := dnssim.NewResolver(zone,
+			dnssim.ResolverConfig{NumLetters: 13, Bug: true, LocalRoot: localRoot},
+			dnssim.StandardUpstreams([]float64{30, 45, 60, 25, 35, 50, 40, 55, 70, 90, 20, 65, 80},
+				rand.New(rand.NewSource(seed))),
+			rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return dnssim.Counters{}, err
+		}
+		client := dnssim.NewClient(zone, dnssim.ClientConfig{Users: 150}, rand.New(rand.NewSource(seed+1)))
+		client.Run(r, 2, nil)
+		return r.Counters(), nil
+	}
+	normal, err := run(false, w.Cfg.Seed*17)
+	if err != nil {
+		return Result{}, err
+	}
+	local, err := run(true, w.Cfg.Seed*17)
+	if err != nil {
+		return Result{}, err
+	}
+	t := report.Table{
+		Title:   "Ablation: RFC 8806 local root vs normal resolution (2 simulated days, 150 users)",
+		Headers: []string{"Metric", "Normal", "Local root"},
+	}
+	t.AddRow("root queries", fmt.Sprintf("%d", normal.RootQueries()), fmt.Sprintf("%d", local.RootQueries()))
+	t.AddRow("root miss rate", fmt.Sprintf("%.3f%%", 100*normal.RootMissRate()),
+		fmt.Sprintf("%.3f%%", 100*local.RootMissRate()))
+	t.AddRow("zone refreshes", fmt.Sprintf("%d", normal.ZoneRefreshes), fmt.Sprintf("%d", local.ZoneRefreshes))
+	t.AddRow("redundant root queries", fmt.Sprintf("%d", normal.RootQueriesRedundant),
+		fmt.Sprintf("%d", local.RootQueriesRedundant))
+	return Result{
+		ID:         "abl-localroot",
+		Title:      "Ablation: RFC 8806 local root",
+		PaperClaim: "local root reaches the Ideal line: user-visible root queries vanish",
+		Measured: fmt.Sprintf("root queries %d → %d; zone refreshes %d",
+			normal.RootQueries(), local.RootQueries(), local.ZoneRefreshes),
+		Output: t.Render(),
+	}, nil
+}

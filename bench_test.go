@@ -1,0 +1,103 @@
+package anycastctx
+
+// The benchmark harness regenerates every table and figure in the paper's
+// evaluation: one benchmark per artifact, each running the registered
+// experiment against a shared world. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Benchmarks measure the analysis pipelines (catchment joins, inflation
+// computation, amortization), not world construction, which happens once.
+
+import (
+	"sync"
+	"testing"
+)
+
+var (
+	benchWorld     *World
+	benchWorldOnce sync.Once
+	benchWorldErr  error
+)
+
+func getBenchWorld(b *testing.B) *World {
+	b.Helper()
+	benchWorldOnce.Do(func() {
+		benchWorld, benchWorldErr = BuildWorld(Config{Seed: 1, Scale: 0.2})
+	})
+	if benchWorldErr != nil {
+		b.Fatal(benchWorldErr)
+	}
+	return benchWorld
+}
+
+// benchExperiment runs one registered experiment b.N times and reports the
+// headline measurement once.
+func benchExperiment(b *testing.B, id string) {
+	w := getBenchWorld(b)
+	b.ResetTimer()
+	var res Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = RunExperiment(w, id)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(res.Output)), "output_bytes")
+	if testing.Verbose() {
+		b.Logf("%s measured: %s", id, res.Measured)
+	}
+}
+
+func BenchmarkFig1RingsMap(b *testing.B)             { benchExperiment(b, "fig1") }
+func BenchmarkFig2aGeoInflation(b *testing.B)        { benchExperiment(b, "fig2a") }
+func BenchmarkFig2bLatencyInflation(b *testing.B)    { benchExperiment(b, "fig2b") }
+func BenchmarkFig3QueriesPerUser(b *testing.B)       { benchExperiment(b, "fig3") }
+func BenchmarkFig4aRingLatency(b *testing.B)         { benchExperiment(b, "fig4a") }
+func BenchmarkFig4bRingDeltas(b *testing.B)          { benchExperiment(b, "fig4b") }
+func BenchmarkFig5aCDNGeoInflation(b *testing.B)     { benchExperiment(b, "fig5a") }
+func BenchmarkFig5bCDNLatencyInflation(b *testing.B) { benchExperiment(b, "fig5b") }
+func BenchmarkFig6aASPathLengths(b *testing.B)       { benchExperiment(b, "fig6a") }
+func BenchmarkFig6bPathLenVsInflation(b *testing.B)  { benchExperiment(b, "fig6b") }
+func BenchmarkFig7aLatencyEfficiency(b *testing.B)   { benchExperiment(b, "fig7a") }
+func BenchmarkFig7bCoverage(b *testing.B)            { benchExperiment(b, "fig7b") }
+func BenchmarkFig8InvalidTLDs(b *testing.B)          { benchExperiment(b, "fig8") }
+func BenchmarkFig9NoSlash24Join(b *testing.B)        { benchExperiment(b, "fig9") }
+func BenchmarkFig10FavoriteSite(b *testing.B)        { benchExperiment(b, "fig10") }
+func BenchmarkFig11DITL2020(b *testing.B)            { benchExperiment(b, "fig11") }
+func BenchmarkFig12ResolverLatency(b *testing.B)     { benchExperiment(b, "fig12") }
+func BenchmarkFig13RootLatencyShare(b *testing.B)    { benchExperiment(b, "fig13") }
+func BenchmarkFig14LatencyMap(b *testing.B)          { benchExperiment(b, "fig14") }
+func BenchmarkTable1Survey(b *testing.B)             { benchExperiment(b, "tab1") }
+func BenchmarkTables23Datasets(b *testing.B)         { benchExperiment(b, "tab23") }
+func BenchmarkTable4Overlap(b *testing.B)            { benchExperiment(b, "tab4") }
+func BenchmarkTable5RedundantTrace(b *testing.B)     { benchExperiment(b, "tab5") }
+func BenchmarkAppendixCPageRTTs(b *testing.B)        { benchExperiment(b, "appc") }
+func BenchmarkLocalPerspective(b *testing.B)         { benchExperiment(b, "local") }
+
+// BenchmarkWorldBuild measures full environment construction at test scale
+// (an ablation of the substrate cost itself).
+func BenchmarkWorldBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildWorld(TestScaleConfig(int64(i + 1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation benchmarks: the design-choice sweeps DESIGN.md calls out.
+
+func BenchmarkAblationDeploymentSize(b *testing.B)   { benchExperiment(b, "abl-size") }
+func BenchmarkAblationPeeringBreadth(b *testing.B)   { benchExperiment(b, "abl-peering") }
+func BenchmarkAblationRoutingBaselines(b *testing.B) { benchExperiment(b, "abl-routing") }
+func BenchmarkAblationLetterPreference(b *testing.B) { benchExperiment(b, "abl-tau") }
+func BenchmarkAblationLocalRoot(b *testing.B)        { benchExperiment(b, "abl-localroot") }
+
+// Companion studies: §8 site affinity and §7.3 growth.
+
+func BenchmarkSiteAffinity(b *testing.B)       { benchExperiment(b, "affinity") }
+func BenchmarkDeploymentGrowth(b *testing.B)   { benchExperiment(b, "growth") }
+func BenchmarkRegulatoryRings(b *testing.B)    { benchExperiment(b, "apps") }
+func BenchmarkContinentBreakdown(b *testing.B) { benchExperiment(b, "continents") }

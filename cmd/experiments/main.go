@@ -1,0 +1,90 @@
+// Command experiments reproduces the paper's tables and figures: it builds
+// a simulated world and runs any (or all) of the registered experiments,
+// printing the paper's claim next to the measured result.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig2a
+//	experiments -run all -scale 0.2 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"anycastctx"
+)
+
+func main() {
+	var (
+		seed  = flag.Int64("seed", 1, "world seed")
+		scale = flag.Float64("scale", 0.25, "world scale in (0,1]; 1 = paper scale")
+		year  = flag.Int("year", 2018, "DITL scenario year (2018 or 2020)")
+		run   = flag.String("run", "all", "experiment ID to run, or 'all'")
+		list  = flag.Bool("list", false, "list experiments and exit")
+		out   = flag.String("out", "", "directory to also write one .txt file per experiment")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range anycastctx.Experiments() {
+			fmt.Printf("%-6s %s\n       paper: %s\n", e.ID, e.Title, e.PaperClaim)
+		}
+		return
+	}
+
+	cfg := anycastctx.Config{Seed: *seed, Scale: *scale}
+	switch *year {
+	case 2018:
+		cfg.Year = anycastctx.DITL2018
+	case 2020:
+		cfg.Year = anycastctx.DITL2020
+	default:
+		fmt.Fprintf(os.Stderr, "unsupported year %d\n", *year)
+		os.Exit(2)
+	}
+
+	fmt.Fprintf(os.Stderr, "building world (seed %d, scale %.2f, year %d)...\n", *seed, *scale, *year)
+	w, err := anycastctx.BuildWorld(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	var results []anycastctx.Result
+	if *run == "all" {
+		results, err = anycastctx.RunAll(w)
+	} else {
+		var res anycastctx.Result
+		res, err = anycastctx.RunExperiment(w, *run)
+		results = append(results, res)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	for _, res := range results {
+		fmt.Printf("== %s: %s\n", res.ID, res.Title)
+		fmt.Printf("   paper:    %s\n", res.PaperClaim)
+		fmt.Printf("   measured: %s\n\n", res.Measured)
+		fmt.Println(res.Output)
+		if *out != "" {
+			body := fmt.Sprintf("%s\npaper:    %s\nmeasured: %s\n\n%s",
+				res.Title, res.PaperClaim, res.Measured, res.Output)
+			path := filepath.Join(*out, res.ID+".txt")
+			if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+}

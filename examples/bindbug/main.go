@@ -1,0 +1,61 @@
+// bindbug reproduces Appendix E / Table 5: a recursive resolver with the
+// BIND redundant-query behavior resolves a domain, the authoritative times
+// out, and the resolver needlessly re-asks the ROOT servers for the
+// delegation's nameserver addresses even though the TLD NS record is
+// cached.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"anycastctx/internal/dnssim"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(4))
+	zone := dnssim.NewZone(1000, rng)
+	rootRTTs := []float64{32, 41, 55, 38, 29, 61, 47, 52, 35, 44, 58, 40, 36}
+	r, err := dnssim.NewResolver(zone,
+		dnssim.ResolverConfig{NumLetters: 13, Bug: true},
+		dnssim.StandardUpstreams(rootRTTs, rng), rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Prime the cache: COM's NS record is fresh (TTL 2 days), so no root
+	// query should ever be needed for .com names today.
+	r.ResolveA("warmup.com")
+	fmt.Println("cache primed: COM NS cached (2-day TTL)")
+
+	r.StartTrace()
+	res := r.ResolveAForceTimeout("bidder.criteo.com")
+	steps := r.StopTrace()
+
+	fmt.Printf("\nresolution of bidder.criteo.com (forced authoritative timeout):\n\n")
+	fmt.Printf("%-4s %-10s %-22s %-22s %-5s %s\n", "Step", "From", "To", "Query", "Type", "Note")
+	for i, s := range steps {
+		fmt.Printf("%-4d %-10s %-22s %-22s %-5s %s\n", i+1, s.From, s.To, s.QName, s.QType, s.Note)
+	}
+
+	c := r.Counters()
+	totalRoot := c.RootQueries()
+	fmt.Printf("\nredundant root queries this resolution: %d\n", res.RedundantRootQueries)
+	fmt.Printf("resolver totals: %d root queries, %d redundant (%.0f%%)\n",
+		totalRoot, c.RootQueriesRedundant,
+		100*float64(c.RootQueriesRedundant)/float64(totalRoot))
+	fmt.Println("\nwith the bug disabled the same timeout produces zero root queries:")
+
+	r2, err := dnssim.NewResolver(zone,
+		dnssim.ResolverConfig{NumLetters: 13, Bug: false},
+		dnssim.StandardUpstreams(rootRTTs, rng), rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r2.ResolveA("warmup.com")
+	cBefore := r2.Counters()
+	r2.ResolveAForceTimeout("bidder.criteo.com")
+	cAfter := r2.Counters()
+	fmt.Printf("  fixed resolver: %d additional root queries\n", cAfter.RootQueries()-cBefore.RootQueries())
+}

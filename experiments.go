@@ -1,0 +1,111 @@
+package anycastctx
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"anycastctx/internal/stats"
+	"anycastctx/internal/world"
+)
+
+// Result is one reproduced table or figure.
+type Result struct {
+	// ID is the experiment identifier (e.g. "fig2a", "tab4").
+	ID string
+	// Title names the paper artifact.
+	Title string
+	// PaperClaim summarizes what the paper reports.
+	PaperClaim string
+	// Measured summarizes what this run measured (the comparable number).
+	Measured string
+	// Output is the rendered table or CDF series.
+	Output string
+}
+
+// Experiment is a registered, runnable reproduction of one paper artifact.
+type Experiment struct {
+	ID         string
+	Title      string
+	PaperClaim string
+	// Run executes the experiment on a built world. rng supplies
+	// measurement-sampling randomness (catchments and populations live in
+	// the world and stay fixed).
+	Run func(w *World, rng *rand.Rand) (Result, error)
+}
+
+// registry holds all experiments in presentation order.
+var registry []Experiment
+
+func register(e Experiment) {
+	registry = append(registry, e)
+}
+
+// Experiments returns every registered experiment, in the paper's order.
+func Experiments() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// RunExperiment runs one experiment by ID with a seed derived from the
+// world's configuration.
+func RunExperiment(w *World, id string) (Result, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			rng := rand.New(rand.NewSource(w.Cfg.Seed * 7919))
+			return e.Run(w, rng)
+		}
+	}
+	known := make([]string, 0, len(registry))
+	for _, e := range registry {
+		known = append(known, e.ID)
+	}
+	sort.Strings(known)
+	return Result{}, fmt.Errorf("anycastctx: unknown experiment %q (known: %v)", id, known)
+}
+
+// RunAll runs every experiment, collecting failures into the error.
+func RunAll(w *World) ([]Result, error) {
+	var out []Result
+	var firstErr error
+	for _, e := range registry {
+		rng := rand.New(rand.NewSource(w.Cfg.Seed * 7919))
+		res, err := e.Run(w, rng)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("experiment %s: %w", e.ID, err)
+			}
+			continue
+		}
+		out = append(out, res)
+	}
+	return out, firstErr
+}
+
+// mustCDF panics only on programmer error (callers pass non-empty data).
+func newCDF(obs []stats.WeightedValue) (*stats.CDF, error) {
+	return stats.NewCDF(obs)
+}
+
+// msGrid is the x-axis sampling used when rendering CDF figures.
+func msGrid(max float64, step float64) []float64 {
+	var xs []float64
+	for x := 0.0; x <= max; x += step {
+		xs = append(xs, x)
+	}
+	return xs
+}
+
+// logGrid samples a log-scaled axis (for queries/user/day figures).
+func logGrid() []float64 {
+	return []float64{0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1, 3, 10, 30, 100, 300, 1000}
+}
+
+// build2020 constructs the companion 2020-DITL world at the same scale.
+func build2020(w *World) (*World, error) {
+	cfg := w.Cfg
+	cfg.Year = world.DITL2020
+	cfg.Seed = w.Cfg.Seed + 202000
+	return world.Build(cfg)
+}

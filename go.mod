@@ -1,0 +1,3 @@
+module anycastctx
+
+go 1.22

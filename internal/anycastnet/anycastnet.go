@@ -1,0 +1,261 @@
+// Package anycastnet assembles anycast deployments on the AS graph: it
+// places sites near user concentrations, creates host ASes with per-letter
+// connectivity characteristics, and wires up the BGP resolver that computes
+// catchments.
+//
+// Root letters are modeled after the 2018 DITL inventory the paper analyzes
+// (Fig 2a / Fig 10 legends): per-letter global and total site counts, plus
+// an "openness" knob standing in for how widely each letter's hosts peer
+// (F root partners with a global CDN and peers broadly; B root is a small
+// two-site deployment with modest connectivity — §7.2).
+package anycastnet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"anycastctx/internal/bgp"
+	"anycastctx/internal/geo"
+	"anycastctx/internal/topology"
+)
+
+// Deployment is one anycast service: a named set of sites plus the
+// catchment resolver over a topology graph.
+type Deployment struct {
+	Name  string
+	Sites []bgp.Site
+
+	resolver *bgp.Resolver
+}
+
+// NumGlobalSites returns the count of globally announced sites.
+func (d *Deployment) NumGlobalSites() int {
+	n := 0
+	for _, s := range d.Sites {
+		if s.Global {
+			n++
+		}
+	}
+	return n
+}
+
+// NumSites returns the total site count (global + local).
+func (d *Deployment) NumSites() int { return len(d.Sites) }
+
+// Route resolves the catchment for a source AS.
+func (d *Deployment) Route(src topology.ASN) (bgp.Route, bool) {
+	return d.resolver.Route(src)
+}
+
+// ClosestGlobalSite returns the ID and great-circle distance (km) of the
+// global site nearest to loc, or (-1, 0) if the deployment has none.
+func (d *Deployment) ClosestGlobalSite(loc geo.Coord) (int, float64) {
+	best, bestD := -1, 0.0
+	for _, s := range d.Sites {
+		if !s.Global {
+			continue
+		}
+		dd := geo.DistanceKm(loc, s.Loc)
+		if best == -1 || dd < bestD {
+			best, bestD = s.ID, dd
+		}
+	}
+	return best, bestD
+}
+
+// LetterSpec describes one root letter's deployment.
+type LetterSpec struct {
+	// Letter is the root letter name ("A".."M").
+	Letter string
+	// GlobalSites and TotalSites are the 2018 DITL inventory counts.
+	GlobalSites int
+	TotalSites  int
+	// Openness in [0,1] sets host peering richness — how much of the
+	// letter's traffic arrives over direct (2-AS) paths.
+	Openness float64
+	// SharedHostFraction is the share of global sites hosted on a single
+	// widely-present host network (CDN partnership, e.g. F+Cloudflare).
+	SharedHostFraction float64
+}
+
+// Letters2018 is the per-letter inventory during the 2018 DITL (§3: the
+// paper computes geographic inflation for these ten letters; G provides no
+// data, H had one site, I is anonymized). Openness values are calibrated so
+// the 2-AS path share spans the paper's 5–44% range (Fig 6a).
+func Letters2018() []LetterSpec {
+	return []LetterSpec{
+		{Letter: "A", GlobalSites: 5, TotalSites: 5, Openness: 0.22},
+		{Letter: "B", GlobalSites: 2, TotalSites: 2, Openness: 0.10},
+		{Letter: "C", GlobalSites: 10, TotalSites: 10, Openness: 0.26},
+		{Letter: "D", GlobalSites: 20, TotalSites: 117, Openness: 0.20},
+		{Letter: "E", GlobalSites: 15, TotalSites: 85, Openness: 0.24},
+		{Letter: "F", GlobalSites: 94, TotalSites: 141, Openness: 0.46, SharedHostFraction: 0.6},
+		{Letter: "J", GlobalSites: 68, TotalSites: 110, Openness: 0.30},
+		{Letter: "K", GlobalSites: 52, TotalSites: 53, Openness: 0.30},
+		{Letter: "L", GlobalSites: 138, TotalSites: 138, Openness: 0.34},
+		{Letter: "M", GlobalSites: 5, TotalSites: 6, Openness: 0.20},
+	}
+}
+
+// Letters2020 is the usable subset of the 2020 DITL (Appendix B.3, Fig 11):
+// B was unavailable, E included one site, F lacked its CDN-partner sites,
+// and L was anonymized.
+func Letters2020() []LetterSpec {
+	return []LetterSpec{
+		{Letter: "A", GlobalSites: 51, TotalSites: 51, Openness: 0.24},
+		{Letter: "C", GlobalSites: 10, TotalSites: 10, Openness: 0.26},
+		{Letter: "D", GlobalSites: 23, TotalSites: 130, Openness: 0.22},
+		{Letter: "H", GlobalSites: 8, TotalSites: 8, Openness: 0.20},
+		{Letter: "J", GlobalSites: 127, TotalSites: 160, Openness: 0.30},
+		{Letter: "K", GlobalSites: 75, TotalSites: 80, Openness: 0.30},
+		{Letter: "M", GlobalSites: 8, TotalSites: 9, Openness: 0.22},
+	}
+}
+
+// TCPLatencyLetters2018 lists the letters with usable TCP RTTs in 2018
+// (Fig 2b excludes D and L for malformed DITL pcaps).
+var TCPLatencyLetters2018 = map[string]bool{
+	"A": true, "B": true, "C": true, "E": true,
+	"F": true, "J": true, "K": true, "M": true,
+}
+
+// BuildLetter constructs a root-letter deployment on g: global sites are
+// placed at the highest-population regions (operators deploy where users
+// are, Fig 7b), local sites at random regions, and each site gets a host AS
+// whose upstreams are nearby transits plus a tier-1.
+func BuildLetter(g *topology.Graph, spec LetterSpec, rng *rand.Rand) (*Deployment, error) {
+	if spec.GlobalSites < 1 {
+		return nil, fmt.Errorf("anycastnet: letter %s has no global sites", spec.Letter)
+	}
+	if spec.TotalSites < spec.GlobalSites {
+		return nil, fmt.Errorf("anycastnet: letter %s total %d < global %d",
+			spec.Letter, spec.TotalSites, spec.GlobalSites)
+	}
+	regions := regionsByWeight(g.Regions)
+
+	var sharedHost *topology.AS
+	nShared := int(spec.SharedHostFraction * float64(spec.GlobalSites))
+
+	sites := make([]bgp.Site, 0, spec.TotalSites)
+	for i := 0; i < spec.GlobalSites; i++ {
+		r := regions[i%len(regions)]
+		loc := geo.Jitter(r.Center, 60, rng.Float64(), rng.Float64())
+		var host topology.ASN
+		if i < nShared {
+			if sharedHost == nil {
+				sharedHost = g.AddHostAS(
+					fmt.Sprintf("root-%s-partner", spec.Letter),
+					loc, nearbyUpstreams(g, loc, rng), clamp01(spec.Openness*1.3))
+				sharedHost.Presence = sharedHost.Presence[:0]
+			}
+			sharedHost.Presence = append(sharedHost.Presence, loc)
+			host = sharedHost.ASN
+		} else {
+			h := g.AddHostAS(
+				fmt.Sprintf("root-%s-site-%d", spec.Letter, i),
+				loc, nearbyUpstreams(g, loc, rng), spec.Openness)
+			host = h.ASN
+		}
+		sites = append(sites, bgp.Site{ID: len(sites), Loc: loc, Host: host, Global: true})
+	}
+	// Local sites: volunteer hosts at random population-weighted regions,
+	// announcement scoped to their neighborhoods.
+	for i := spec.GlobalSites; i < spec.TotalSites; i++ {
+		r := regions[rng.Intn(len(regions))]
+		loc := geo.Jitter(r.Center, 120, rng.Float64(), rng.Float64())
+		h := g.AddHostAS(
+			fmt.Sprintf("root-%s-local-%d", spec.Letter, i),
+			loc, nearbyUpstreams(g, loc, rng), spec.Openness*0.5)
+		sites = append(sites, bgp.Site{ID: len(sites), Loc: loc, Host: h.ASN, Global: false})
+	}
+	res, err := bgp.NewResolver(g, sites)
+	if err != nil {
+		return nil, fmt.Errorf("anycastnet: letter %s: %w", spec.Letter, err)
+	}
+	return &Deployment{Name: spec.Letter, Sites: sites, resolver: res}, nil
+}
+
+// BuildLetters builds all letters in spec order.
+func BuildLetters(g *topology.Graph, specs []LetterSpec, rng *rand.Rand) ([]*Deployment, error) {
+	out := make([]*Deployment, 0, len(specs))
+	for _, s := range specs {
+		d, err := BuildLetter(g, s, rng)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// NewDeployment wraps externally constructed sites (used by the CDN
+// package, whose sites all live on one network).
+func NewDeployment(g *topology.Graph, name string, sites []bgp.Site) (*Deployment, error) {
+	res, err := bgp.NewResolver(g, sites)
+	if err != nil {
+		return nil, fmt.Errorf("anycastnet: %s: %w", name, err)
+	}
+	return &Deployment{Name: name, Sites: sites, resolver: res}, nil
+}
+
+// nearbyUpstreams picks 1-2 transits with presence near loc plus one
+// tier-1, mirroring how site hosts buy local transit.
+func nearbyUpstreams(g *topology.Graph, loc geo.Coord, rng *rand.Rand) []topology.ASN {
+	type cand struct {
+		asn topology.ASN
+		d   float64
+	}
+	var cands []cand
+	for _, tn := range g.Transits() {
+		_, d := g.AS(tn).NearestPresence(loc)
+		cands = append(cands, cand{tn, d})
+	}
+	// Partial selection of the 3 nearest.
+	for i := 0; i < 3 && i < len(cands); i++ {
+		min := i
+		for j := i + 1; j < len(cands); j++ {
+			if cands[j].d < cands[min].d {
+				min = j
+			}
+		}
+		cands[i], cands[min] = cands[min], cands[i]
+	}
+	ups := []topology.ASN{}
+	n := 1 + rng.Intn(2)
+	for i := 0; i < n && i < len(cands); i++ {
+		ups = append(ups, cands[i].asn)
+	}
+	t1s := g.Tier1s()
+	ups = append(ups, t1s[rng.Intn(len(t1s))])
+	return ups
+}
+
+// regionsByWeight returns regions sorted by population, heaviest first.
+func regionsByWeight(regions []geo.Region) []geo.Region {
+	out := make([]geo.Region, len(regions))
+	copy(out, regions)
+	// Insertion-free stable sort by weight descending, ID ascending.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && less(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func less(a, b geo.Region) bool {
+	if a.PopWeight != b.PopWeight {
+		return a.PopWeight > b.PopWeight
+	}
+	return a.ID < b.ID
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

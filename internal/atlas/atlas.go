@@ -1,0 +1,182 @@
+// Package atlas models a RIPE-Atlas-style probe platform: a few thousand
+// vantage points with biased coverage (§2.2 notes Atlas covers ~3,300 ASes
+// and skews toward well-connected networks, so its latencies run lower
+// than the global user population's — a bias the paper folds into its
+// reading of Fig 4a).
+package atlas
+
+import (
+	"fmt"
+	"math/rand"
+
+	"anycastctx/internal/anycastnet"
+	"anycastctx/internal/geo"
+	"anycastctx/internal/latency"
+	"anycastctx/internal/topology"
+)
+
+// Probe is one vantage point.
+type Probe struct {
+	ID     int
+	ASN    topology.ASN
+	Region int
+	Loc    geo.Coord
+}
+
+// Platform is the probe fleet.
+type Platform struct {
+	Probes []Probe
+
+	g     *topology.Graph
+	model *latency.Model
+}
+
+// Config tunes probe deployment.
+type Config struct {
+	// NumProbes to deploy (the paper uses ~1,000 for pings and ~7,200 for
+	// traceroutes).
+	NumProbes int
+	// RichnessBias skews placement toward well-peered ASes: selection
+	// weight = richness^RichnessBias.
+	RichnessBias float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumProbes == 0 {
+		c.NumProbes = 1000
+	}
+	if c.RichnessBias == 0 {
+		c.RichnessBias = 0.9
+	}
+	return c
+}
+
+// Deploy places probes in eyeball ASes, biased toward well-connected
+// networks (volunteers host probes where infrastructure is good).
+func Deploy(g *topology.Graph, model *latency.Model, cfg Config, rng *rand.Rand) (*Platform, error) {
+	cfg = cfg.withDefaults()
+	eyeballs := g.Eyeballs()
+	if len(eyeballs) == 0 {
+		return nil, fmt.Errorf("atlas: no eyeball ASes")
+	}
+	weights := make([]float64, len(eyeballs))
+	var sum float64
+	for i, e := range eyeballs {
+		as := g.AS(e)
+		w := pow(as.PeeringRichness, cfg.RichnessBias)
+		weights[i] = w
+		sum += w
+	}
+	p := &Platform{g: g, model: model}
+	for i := 0; i < cfg.NumProbes; i++ {
+		x := rng.Float64() * sum
+		idx := 0
+		for ; idx < len(weights)-1; idx++ {
+			x -= weights[idx]
+			if x <= 0 {
+				break
+			}
+		}
+		as := g.AS(eyeballs[idx])
+		p.Probes = append(p.Probes, Probe{
+			ID:     i,
+			ASN:    as.ASN,
+			Region: as.Region,
+			Loc:    geo.Jitter(as.Loc, 60, rng.Float64(), rng.Float64()),
+		})
+	}
+	return p, nil
+}
+
+func pow(b, e float64) float64 {
+	if b <= 0 {
+		return 0
+	}
+	r := 1.0
+	for e >= 1 {
+		r *= b
+		e--
+	}
+	if e > 0 {
+		// linear interpolation suffices for a placement weight
+		r *= 1 + e*(b-1)
+	}
+	return r
+}
+
+// ASCount returns the number of distinct ASes hosting probes (the
+// platform's coverage, ~3,300 for real Atlas vs 22k+ ASes in DITL).
+func (p *Platform) ASCount() int {
+	seen := map[topology.ASN]bool{}
+	for _, pr := range p.Probes {
+		seen[pr.ASN] = true
+	}
+	return len(seen)
+}
+
+// PingResult is one probe's measurement toward a deployment.
+type PingResult struct {
+	Probe Probe
+	// RTTMs is the median of the ping samples.
+	RTTMs float64
+	// SiteID is the site the pings landed on (not visible to a real
+	// probe, but known to the simulator for validation).
+	SiteID int
+}
+
+// Ping measures a deployment from every probe, samples pings per probe
+// (the paper uses 3), reporting the per-probe median. Probes without a
+// route are skipped.
+func (p *Platform) Ping(d *anycastnet.Deployment, samples int, rng *rand.Rand) []PingResult {
+	if samples <= 0 {
+		samples = 3
+	}
+	out := make([]PingResult, 0, len(p.Probes))
+	for _, pr := range p.Probes {
+		rt, ok := d.Route(pr.ASN)
+		if !ok {
+			continue
+		}
+		base := p.model.BaseRTTMs(pr.ASN, rt)
+		out = append(out, PingResult{
+			Probe:  pr,
+			RTTMs:  p.model.MedianOfSamples(rng, base, samples),
+			SiteID: rt.SiteID,
+		})
+	}
+	return out
+}
+
+// TraceResult is one probe's AS-path measurement toward a deployment.
+type TraceResult struct {
+	Probe Probe
+	// PathLen is the number of distinct organizations on the path after
+	// sibling merging (Fig 6a's metric).
+	PathLen int
+}
+
+// Traceroute measures AS path lengths from every probe, merging sibling
+// ASes into organizations as the paper does with CAIDA's dataset.
+func (p *Platform) Traceroute(d *anycastnet.Deployment) []TraceResult {
+	out := make([]TraceResult, 0, len(p.Probes))
+	for _, pr := range p.Probes {
+		rt, ok := d.Route(pr.ASN)
+		if !ok {
+			continue
+		}
+		out = append(out, TraceResult{Probe: pr, PathLen: p.orgPathLen(pr.ASN, rt.Via, rt.PathLen)})
+	}
+	return out
+}
+
+// orgPathLen shortens an AS path when adjacent hops belong to one
+// organization. Only the first hop's org is observable in our compact
+// route representation, so the merge applies when source and first hop are
+// siblings (the common case the CAIDA merge fixes).
+func (p *Platform) orgPathLen(src, via topology.ASN, pathLen int) int {
+	s, v := p.g.AS(src), p.g.AS(via)
+	if s != nil && v != nil && s.Org == v.Org && pathLen > 2 {
+		return pathLen - 1
+	}
+	return pathLen
+}

@@ -1,0 +1,393 @@
+// Package cdn models the Microsoft-style anycast CDN (§2.2): one network
+// with points of presence at the world's major metros, front-ends
+// colocated with PoPs, and nested anycast rings (R28 ⊂ R47 ⊂ R74 ⊂ R95 ⊂
+// R110) each with its own anycast address. Users ingress at the same PoP
+// regardless of ring; the internal WAN then carries traffic to a front-end
+// in the ring (near-optimally, §6).
+//
+// It also produces the two measurement datasets the paper uses:
+// server-side logs (TCP handshake RTTs with known front-end) and
+// client-side fetch measurements (unknown front-end, population held fixed
+// across rings).
+package cdn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"anycastctx/internal/anycastnet"
+	"anycastctx/internal/bgp"
+	"anycastctx/internal/geo"
+	"anycastctx/internal/latency"
+	"anycastctx/internal/topology"
+)
+
+// RingSpec names one ring and its front-end count.
+type RingSpec struct {
+	Name string
+	Size int
+}
+
+// PaperRings is the ring inventory in Fig 1.
+func PaperRings() []RingSpec {
+	return []RingSpec{
+		{Name: "R28", Size: 28},
+		{Name: "R47", Size: 47},
+		{Name: "R74", Size: 74},
+		{Name: "R95", Size: 95},
+		{Name: "R110", Size: 110},
+	}
+}
+
+// Config tunes CDN construction.
+type Config struct {
+	// Rings lists ring sizes, ascending; the largest defines the PoP set.
+	Rings []RingSpec
+	// PeerBase and PeerRichnessBoost set each eyeball's peering
+	// probability: min(0.95, PeerBase + PeerRichnessBoost·richness),
+	// calibrated so roughly 69% of paths are direct (Fig 6a).
+	PeerBase, PeerRichnessBoost float64
+	// FrontEndDelayMs is per-request processing at a front-end.
+	FrontEndDelayMs float64
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Rings) == 0 {
+		c.Rings = PaperRings()
+	}
+	if c.PeerBase == 0 {
+		c.PeerBase = 0.45
+	}
+	if c.PeerRichnessBoost == 0 {
+		c.PeerRichnessBoost = 1.0
+	}
+	if c.FrontEndDelayMs == 0 {
+		c.FrontEndDelayMs = 0.5
+	}
+	return c
+}
+
+// Ring is one anycast ring.
+type Ring struct {
+	Name string
+	// Deployment computes catchments for this ring's anycast address.
+	Deployment *anycastnet.Deployment
+	// SiteLocs are the ring's front-end locations (dense site IDs).
+	SiteLocs []geo.Coord
+}
+
+// Size returns the ring's front-end count.
+func (r *Ring) Size() int { return len(r.SiteLocs) }
+
+// CDN is the assembled content delivery network.
+type CDN struct {
+	ASN  topology.ASN
+	PoPs []geo.Coord
+	// Rings are ordered smallest to largest; larger rings contain all
+	// smaller rings' front-ends.
+	Rings []*Ring
+
+	g     *topology.Graph
+	model *latency.Model
+}
+
+// Build places PoPs at the highest-population regions, creates the CDN AS,
+// peers it with eyeballs, and constructs one deployment per ring.
+func Build(g *topology.Graph, model *latency.Model, cfg Config, rng *rand.Rand) (*CDN, error) {
+	cfg = cfg.withDefaults()
+	sort.Slice(cfg.Rings, func(i, j int) bool { return cfg.Rings[i].Size < cfg.Rings[j].Size })
+	maxSize := cfg.Rings[len(cfg.Rings)-1].Size
+	if maxSize < 1 {
+		return nil, fmt.Errorf("cdn: largest ring has no sites")
+	}
+
+	// Front-end locations: heaviest regions first, deduplicated by metro,
+	// so smaller rings keep global coverage of the biggest populations.
+	regions := make([]geo.Region, len(g.Regions))
+	copy(regions, g.Regions)
+	sort.SliceStable(regions, func(i, j int) bool {
+		if regions[i].PopWeight != regions[j].PopWeight {
+			return regions[i].PopWeight > regions[j].PopWeight
+		}
+		return regions[i].ID < regions[j].ID
+	})
+	if len(regions) < maxSize {
+		return nil, fmt.Errorf("cdn: only %d regions for %d front-ends", len(regions), maxSize)
+	}
+	pops := make([]geo.Coord, maxSize)
+	for i := 0; i < maxSize; i++ {
+		pops[i] = geo.Jitter(regions[i].Center, 30, rng.Float64(), rng.Float64())
+	}
+
+	as := g.AddCDNAS("cdn", pops)
+	c := &CDN{ASN: as.ASN, PoPs: pops, g: g, model: model}
+
+	// Explicit peering with eyeballs.
+	for _, e := range g.Eyeballs() {
+		eb := g.AS(e)
+		p := cfg.PeerBase + cfg.PeerRichnessBoost*eb.PeeringRichness
+		if p > 0.95 {
+			p = 0.95
+		}
+		if rng.Float64() < p {
+			g.Peer(e, as.ASN)
+		}
+	}
+
+	for _, spec := range cfg.Rings {
+		if spec.Size > maxSize {
+			return nil, fmt.Errorf("cdn: ring %s larger than PoP set", spec.Name)
+		}
+		sites := make([]bgp.Site, spec.Size)
+		locs := make([]geo.Coord, spec.Size)
+		for i := 0; i < spec.Size; i++ {
+			sites[i] = bgp.Site{ID: i, Loc: pops[i], Host: as.ASN, Global: true}
+			locs[i] = pops[i]
+		}
+		dep, err := anycastnet.NewDeployment(g, spec.Name, sites)
+		if err != nil {
+			return nil, err
+		}
+		c.Rings = append(c.Rings, &Ring{Name: spec.Name, Deployment: dep, SiteLocs: locs})
+	}
+	return c, nil
+}
+
+// Ring returns the ring by name, or nil.
+func (c *CDN) Ring(name string) *Ring {
+	for _, r := range c.Rings {
+		if r.Name == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// Location is one ⟨region, AS⟩ user location (§2.2's unit of aggregation).
+type Location struct {
+	ASN    topology.ASN
+	Region int
+	Loc    geo.Coord
+	Users  float64
+}
+
+// Locations derives the ⟨region, AS⟩ user locations from the graph's
+// eyeballs, scaled to totalUsers.
+func Locations(g *topology.Graph, totalUsers float64) []Location {
+	out := make([]Location, 0, len(g.Eyeballs()))
+	for _, e := range g.Eyeballs() {
+		as := g.AS(e)
+		if as.UserWeight <= 0 {
+			continue
+		}
+		out = append(out, Location{
+			ASN:    e,
+			Region: as.Region,
+			Loc:    as.Loc,
+			Users:  as.UserWeight * totalUsers,
+		})
+	}
+	return out
+}
+
+// ServerLogRow is one server-side log aggregate: a location's median TCP
+// handshake RTT to the front-end that serves it in one ring.
+type ServerLogRow struct {
+	Location Location
+	Ring     string
+	// FrontEnd is the site ID within the ring.
+	FrontEnd int
+	// PathLen is the AS path length of the route.
+	PathLen int
+	// Direct reports a peered (2-AS) path.
+	Direct bool
+	// MedianRTTMs is the measured median handshake RTT.
+	MedianRTTMs float64
+	// Samples is how many handshakes the median was computed over.
+	Samples int
+}
+
+// ServerSideLogs measures every location against every ring using
+// server-side TCP RTTs (§2.2). Locations without a route are skipped.
+//
+// Work fans out across CPUs; each ⟨ring, location⟩ pair draws its
+// measurement noise from its own hash-derived generator, so results are
+// byte-identical regardless of scheduling.
+func (c *CDN) ServerSideLogs(locs []Location, rng *rand.Rand) []ServerLogRow {
+	seed := rng.Int63()
+	grid := make([][]ServerLogRow, len(c.Rings))
+	var wg sync.WaitGroup
+	for ri := range c.Rings {
+		grid[ri] = make([]ServerLogRow, len(locs))
+		ring := c.Rings[ri]
+		ri := ri
+		for _, span := range chunks(len(locs)) {
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					loc := locs[i]
+					rt, ok := ring.Deployment.Route(loc.ASN)
+					if !ok {
+						continue
+					}
+					rowRNG := rand.New(rand.NewSource(pairSeed(seed, ri, int64(loc.ASN))))
+					base := c.model.BaseRTTMs(loc.ASN, rt) + 0.5
+					// Sample counts scale with population; >83% of medians
+					// in the paper rest on 500+ measurements.
+					n := int(math.Min(2000, math.Max(20, loc.Users/5000)))
+					grid[ri][i] = ServerLogRow{
+						Location:    loc,
+						Ring:        ring.Name,
+						FrontEnd:    rt.SiteID,
+						PathLen:     rt.PathLen,
+						Direct:      rt.Direct,
+						MedianRTTMs: c.model.MedianOfSamples(rowRNG, base, 11),
+						Samples:     n,
+					}
+				}
+			}(span[0], span[1])
+		}
+	}
+	wg.Wait()
+	rows := make([]ServerLogRow, 0, len(locs)*len(c.Rings))
+	for ri := range grid {
+		for _, r := range grid[ri] {
+			if r.Ring != "" {
+				rows = append(rows, r)
+			}
+		}
+	}
+	return rows
+}
+
+// chunks splits [0, n) into roughly GOMAXPROCS spans.
+func chunks(n int) [][2]int {
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 0 {
+		return nil
+	}
+	size := (n + workers - 1) / workers
+	var out [][2]int
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}
+
+// pairSeed mixes a base seed with a ring index and AS number.
+func pairSeed(seed int64, ring int, asn int64) int64 {
+	h := uint64(seed)
+	h ^= uint64(ring+1) * 0x9e3779b97f4a7c15
+	h = (h << 27) | (h >> 37)
+	h ^= uint64(asn) * 0xff51afd7ed558ccd
+	h ^= h >> 31
+	return int64(h & 0x7fffffffffffffff)
+}
+
+// ClientMeasurementRow is one client-side (Odin-style) aggregate: the
+// median fetch RTT from a location to a ring, front-end unknown. The same
+// population measures every ring, enabling fair ring-to-ring deltas
+// (Fig 4b).
+type ClientMeasurementRow struct {
+	Location    Location
+	Ring        string
+	MedianRTTMs float64
+}
+
+// ClientMeasurements has every location measure every ring, fanned out
+// across CPUs with order-independent determinism (see ServerSideLogs).
+func (c *CDN) ClientMeasurements(locs []Location, rng *rand.Rand) []ClientMeasurementRow {
+	seed := rng.Int63()
+	grid := make([]ClientMeasurementRow, len(locs)*len(c.Rings))
+	var wg sync.WaitGroup
+	for _, span := range chunks(len(locs)) {
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				loc := locs[i]
+				for ri, ring := range c.Rings {
+					rt, ok := ring.Deployment.Route(loc.ASN)
+					if !ok {
+						continue
+					}
+					rowRNG := rand.New(rand.NewSource(pairSeed(seed, ri+100, int64(loc.ASN))))
+					base := c.model.BaseRTTMs(loc.ASN, rt) + 0.5
+					grid[i*len(c.Rings)+ri] = ClientMeasurementRow{
+						Location:    loc,
+						Ring:        ring.Name,
+						MedianRTTMs: c.model.MedianOfSamples(rowRNG, base, 21),
+					}
+				}
+			}
+		}(span[0], span[1])
+	}
+	wg.Wait()
+	rows := make([]ClientMeasurementRow, 0, len(grid))
+	for _, r := range grid {
+		if r.Ring != "" {
+			rows = append(rows, r)
+		}
+	}
+	return rows
+}
+
+// RingDelta is one location's latency change from a smaller ring to the
+// next larger one (positive = larger ring is faster).
+type RingDelta struct {
+	Location  Location
+	FromRing  string
+	ToRing    string
+	DeltaMs   float64 // median(smaller) − median(larger)
+	PerPageMs float64 // DeltaMs × RTTs per page load
+}
+
+// RingDeltas computes Fig 4b's per-location deltas between consecutive
+// rings from client-side measurements.
+func RingDeltas(rows []ClientMeasurementRow, rings []string, rttsPerPage int) []RingDelta {
+	type key struct {
+		asn  topology.ASN
+		ring string
+	}
+	byKey := make(map[key]ClientMeasurementRow, len(rows))
+	for _, r := range rows {
+		byKey[key{r.Location.ASN, r.Ring}] = r
+	}
+	var out []RingDelta
+	for _, r := range rows {
+		if r.Ring != rings[0] {
+			continue
+		}
+		for i := 0; i+1 < len(rings); i++ {
+			small, okS := byKey[key{r.Location.ASN, rings[i]}]
+			big, okB := byKey[key{r.Location.ASN, rings[i+1]}]
+			if !okS || !okB {
+				continue
+			}
+			d := small.MedianRTTMs - big.MedianRTTMs
+			out = append(out, RingDelta{
+				Location:  r.Location,
+				FromRing:  rings[i],
+				ToRing:    rings[i+1],
+				DeltaMs:   d,
+				PerPageMs: d * float64(rttsPerPage),
+			})
+		}
+	}
+	return out
+}

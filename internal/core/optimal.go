@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math"
+
+	"anycastctx/internal/anycastnet"
+	"anycastctx/internal/bgp"
+	"anycastctx/internal/geo"
+	"anycastctx/internal/latency"
+	"anycastctx/internal/stats"
+	"anycastctx/internal/topology"
+)
+
+// OptimalRoute returns the best-case route from src to a deployment: the
+// geographically closest global site reached at the propagation lower
+// bound. This is the comparator both inflation metrics measure against
+// (§3: "we find it valuable to compare latency to a theoretical lower
+// bound"), and the baseline for the routing ablation.
+func OptimalRoute(g *topology.Graph, d *anycastnet.Deployment, src topology.ASN) (bgp.Route, bool) {
+	S := g.AS(src)
+	if S == nil {
+		return bgp.Route{}, false
+	}
+	id, _ := d.ClosestGlobalSite(S.Loc)
+	if id < 0 {
+		return bgp.Route{}, false
+	}
+	return bgp.Route{
+		SiteID:    id,
+		PathLen:   2,
+		Direct:    true,
+		Via:       d.Sites[id].Host,
+		Waypoints: []geo.Coord{S.Loc, d.Sites[id].Loc},
+	}, true
+}
+
+// RoutingComparison quantifies what BGP leaves on the table for one
+// deployment: per source (user-weighted), the actual RTT versus the
+// optimal-route RTT.
+type RoutingComparison struct {
+	// ActualMedianMs and OptimalMedianMs are user-weighted medians.
+	ActualMedianMs, OptimalMedianMs float64
+	// MedianGapMs is the median per-user gap (actual − optimal).
+	MedianGapMs float64
+	// P95GapMs is the tail gap.
+	P95GapMs float64
+	// AtOptimalShare is the user share routed to their closest site.
+	AtOptimalShare float64
+}
+
+// CompareRouting evaluates BGP against the optimal baseline over all
+// eyeball ASes, weighting by user share.
+func CompareRouting(g *topology.Graph, d *anycastnet.Deployment, model *latency.Model) (RoutingComparison, error) {
+	var actual, optimal, gaps []stats.WeightedValue
+	var atOpt, total float64
+	for _, e := range g.Eyeballs() {
+		as := g.AS(e)
+		if as.UserWeight <= 0 {
+			continue
+		}
+		rt, ok := d.Route(e)
+		if !ok {
+			continue
+		}
+		opt, ok := OptimalRoute(g, d, e)
+		if !ok {
+			continue
+		}
+		// Optimal latency excludes circuity and hop penalties beyond the
+		// minimum 2-AS handoff, keeping only access delay (which no
+		// routing change removes).
+		aMs := model.BaseRTTMs(e, rt)
+		oMs := geo.RTTLowerBoundMs(opt.Dist()) + model.AccessDelayMs(e)
+		gap := aMs - oMs
+		if gap < 0 {
+			gap = 0
+		}
+		w := as.UserWeight
+		actual = append(actual, stats.WeightedValue{Value: aMs, Weight: w})
+		optimal = append(optimal, stats.WeightedValue{Value: oMs, Weight: w})
+		gaps = append(gaps, stats.WeightedValue{Value: gap, Weight: w})
+		total += w
+		if rt.SiteID == opt.SiteID {
+			atOpt += w
+		}
+	}
+	aCDF, err := stats.NewCDF(actual)
+	if err != nil {
+		return RoutingComparison{}, err
+	}
+	oCDF, err := stats.NewCDF(optimal)
+	if err != nil {
+		return RoutingComparison{}, err
+	}
+	gCDF, err := stats.NewCDF(gaps)
+	if err != nil {
+		return RoutingComparison{}, err
+	}
+	rc := RoutingComparison{
+		ActualMedianMs:  aCDF.Median(),
+		OptimalMedianMs: oCDF.Median(),
+		MedianGapMs:     gCDF.Median(),
+		P95GapMs:        gCDF.Quantile(0.95),
+	}
+	if total > 0 {
+		rc.AtOptimalShare = atOpt / total
+	}
+	return rc, nil
+}
+
+// UnicastBaseline evaluates the best single-site deployment: the latency
+// users would see if the service ran from one optimally placed site
+// (the degenerate anycast the SIGCOMM'18 critique implicitly compares
+// against). It returns the user-weighted median RTT of the best of the
+// deployment's sites when used alone.
+func UnicastBaseline(g *topology.Graph, d *anycastnet.Deployment, model *latency.Model) (bestSite int, medianMs float64) {
+	bestSite, medianMs = -1, math.Inf(1)
+	for _, s := range d.Sites {
+		if !s.Global {
+			continue
+		}
+		var obs []stats.WeightedValue
+		for _, e := range g.Eyeballs() {
+			as := g.AS(e)
+			if as.UserWeight <= 0 {
+				continue
+			}
+			// Unicast to one site: direct great-circle at best case plus
+			// access delay — generous to unicast, so anycast wins are
+			// conservative.
+			ms := geo.RTTLowerBoundMs(geo.DistanceKm(as.Loc, s.Loc)) + model.AccessDelayMs(e)
+			obs = append(obs, stats.WeightedValue{Value: ms, Weight: as.UserWeight})
+		}
+		cdf, err := stats.NewCDF(obs)
+		if err != nil {
+			continue
+		}
+		if m := cdf.Median(); m < medianMs {
+			bestSite, medianMs = s.ID, m
+		}
+	}
+	return bestSite, medianMs
+}

@@ -1,0 +1,81 @@
+package ditl
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// AffinityResult summarizes a temporal site-affinity simulation for one
+// letter (§8: the paper confirms prior work's observation that anycast
+// site affinity is high over the DITL window).
+type AffinityResult struct {
+	Letter string
+	// StableShare is the fraction of /24s that stayed on one site for the
+	// whole window.
+	StableShare float64
+	// MeanAffinity is the mean, over /24s, of the share of hours spent on
+	// the modal site.
+	MeanAffinity float64
+	// Flaps is the total number of observed site changes.
+	Flaps int
+}
+
+// Affinity simulates catchment stability over a capture window: each
+// ⟨/24, letter⟩ starts at its favorite site; every hour it flaps to its
+// secondary site (when one exists) with the given probability and returns
+// with high probability the next hour — the transient load-balancing churn
+// Appendix B.2 measures. hours defaults to 48 (the DITL window) when <= 0.
+func (c *Campaign) Affinity(li int, flapProbPerHour float64, hours int, rng *rand.Rand) (AffinityResult, error) {
+	if li < 0 || li >= len(c.Letters) {
+		return AffinityResult{}, fmt.Errorf("ditl: letter index %d out of range", li)
+	}
+	if hours <= 0 {
+		hours = 48
+	}
+	res := AffinityResult{Letter: c.LetterNames[li]}
+	var nRecs, stable int
+	var affinitySum float64
+	for ri := range c.Pop.Recursives {
+		a := c.PerLetter[li][ri]
+		if !a.Reachable {
+			continue
+		}
+		nRecs++
+		if len(a.Sites) < 2 {
+			// No alternate path exists: perfectly stable.
+			stable++
+			affinitySum += 1
+			continue
+		}
+		onFavorite := true
+		hoursOnFavorite := 0
+		changed := false
+		for h := 0; h < hours; h++ {
+			if onFavorite && rng.Float64() < flapProbPerHour {
+				onFavorite = false
+				changed = true
+				res.Flaps++
+			} else if !onFavorite && rng.Float64() < 0.7 {
+				onFavorite = true
+				res.Flaps++
+			}
+			if onFavorite {
+				hoursOnFavorite++
+			}
+		}
+		if !changed {
+			stable++
+		}
+		modal := hoursOnFavorite
+		if hours-hoursOnFavorite > modal {
+			modal = hours - hoursOnFavorite
+		}
+		affinitySum += float64(modal) / float64(hours)
+	}
+	if nRecs == 0 {
+		return AffinityResult{}, fmt.Errorf("ditl: no reachable recursives for letter %s", res.Letter)
+	}
+	res.StableShare = float64(stable) / float64(nRecs)
+	res.MeanAffinity = affinitySum / float64(nRecs)
+	return res, nil
+}

@@ -1,0 +1,59 @@
+package ditl
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAffinityHighAtLowFlapRate(t *testing.T) {
+	f := buildFixture(t)
+	rng := rand.New(rand.NewSource(31))
+	for li := range f.camp.Letters {
+		res, err := f.camp.Affinity(li, 0.005, 48, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.StableShare < 0.85 {
+			t.Errorf("letter %s stable share %.2f too low", res.Letter, res.StableShare)
+		}
+		if res.MeanAffinity < res.StableShare {
+			t.Errorf("mean affinity %.3f below stable share %.3f", res.MeanAffinity, res.StableShare)
+		}
+		if res.MeanAffinity > 1 {
+			t.Errorf("affinity %.3f above 1", res.MeanAffinity)
+		}
+	}
+}
+
+func TestAffinityDegradesWithFlapRate(t *testing.T) {
+	f := buildFixture(t)
+	low, err := f.camp.Affinity(2, 0.001, 48, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := f.camp.Affinity(2, 0.2, 48, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.StableShare >= low.StableShare {
+		t.Errorf("stable share did not fall with flap rate: %.3f vs %.3f", high.StableShare, low.StableShare)
+	}
+	if high.Flaps <= low.Flaps {
+		t.Errorf("flap count did not rise: %d vs %d", high.Flaps, low.Flaps)
+	}
+}
+
+func TestAffinityValidation(t *testing.T) {
+	f := buildFixture(t)
+	if _, err := f.camp.Affinity(99, 0.01, 48, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("bad letter accepted")
+	}
+	// Default window.
+	res, err := f.camp.Affinity(0, 0, 0, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StableShare != 1 || res.Flaps != 0 {
+		t.Errorf("zero flap rate should be perfectly stable: %+v", res)
+	}
+}

@@ -1,0 +1,330 @@
+// Package ditl builds the DITL-style measurement campaign: it assigns
+// every recursive /24 a catchment, latency, and query mix for every root
+// letter, mirrors the paper's §2.1 pre-processing (junk/PTR/private/v6
+// filtering, /24 aggregation), joins query volumes with CDN user counts
+// (DITL∩CDN), and can emit sampled pcap captures per root site.
+package ditl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"anycastctx/internal/anycastnet"
+	"anycastctx/internal/bgp"
+	"anycastctx/internal/dnssim"
+	"anycastctx/internal/ipaddr"
+	"anycastctx/internal/latency"
+	"anycastctx/internal/topology"
+	"anycastctx/internal/users"
+)
+
+// SiteShare is one site's share of a recursive's queries to a letter.
+type SiteShare struct {
+	SiteID int
+	Frac   float64
+}
+
+// Assignment captures everything the analysis needs about one
+// ⟨recursive /24, letter⟩ pair.
+type Assignment struct {
+	// Reachable is false when the letter has no route from this AS.
+	Reachable bool
+	// Route is the BGP outcome for the recursive's AS.
+	Route bgp.Route
+	// Sites lists the sites this /24's queries actually reach with their
+	// shares (usually one; occasionally two due to intermediate-AS load
+	// balancing, Appendix B.2).
+	Sites []SiteShare
+	// BaseRTTMs is the deterministic RTT to the favorite site.
+	BaseRTTMs float64
+	// TCPMedianRTTMs is the measured median over TCP handshakes to the
+	// favorite site; NaN when fewer than 10 TCP samples exist (§3).
+	TCPMedianRTTMs float64
+	// LetterWeight is the share of the recursive's valid root queries sent
+	// to this letter (sRTT preference, §3).
+	LetterWeight float64
+}
+
+// FavoriteFrac returns the largest site share (Eq. 3's favorite-site mass).
+func (a Assignment) FavoriteFrac() float64 {
+	best := 0.0
+	for _, s := range a.Sites {
+		if s.Frac > best {
+			best = s.Frac
+		}
+	}
+	return best
+}
+
+// Config tunes campaign construction.
+type Config struct {
+	// TauMs is the softmax temperature of letter preference: lower means
+	// recursives concentrate harder on their fastest letter.
+	TauMs float64
+	// SecondarySiteProb is the chance a /24's queries to a letter split
+	// across two sites (load balancing in intermediate ASes, B.2 finds
+	// this for <20% of /24s).
+	SecondarySiteProb float64
+	// SecondaryShareMax bounds the secondary site's share.
+	SecondaryShareMax float64
+	// JunkSlash24sPerRecursive scales how many junk-only source /24s
+	// (scanners, misconfigured hosts) appear in the raw captures.
+	JunkSlash24sPerRecursive float64
+	// EgressOverlapProb is the chance a CDN-observable resolver IP also
+	// appears as a DITL query source; DITL egress IPs mostly differ from
+	// the user-facing addresses Microsoft observes, which is why the /24
+	// join matters (Table 4).
+	EgressOverlapProb float64
+	// MinTCPSamples is the per-site threshold for a usable median RTT.
+	MinTCPSamples float64
+	// V6Share and PrivateShare are the fractions of raw volume excluded by
+	// pre-processing (§2.1: 12% IPv6, 7% private space).
+	V6Share, PrivateShare float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.TauMs == 0 {
+		c.TauMs = 25
+	}
+	if c.SecondarySiteProb == 0 {
+		c.SecondarySiteProb = 0.15
+	}
+	if c.SecondaryShareMax == 0 {
+		c.SecondaryShareMax = 0.45
+	}
+	if c.JunkSlash24sPerRecursive == 0 {
+		c.JunkSlash24sPerRecursive = 2.0
+	}
+	if c.EgressOverlapProb == 0 {
+		c.EgressOverlapProb = 0.10
+	}
+	if c.MinTCPSamples == 0 {
+		c.MinTCPSamples = 10
+	}
+	if c.V6Share == 0 {
+		c.V6Share = 0.12
+	}
+	if c.PrivateShare == 0 {
+		c.PrivateShare = 0.07
+	}
+	return c
+}
+
+// Campaign is the assembled measurement campaign.
+type Campaign struct {
+	Letters     []*anycastnet.Deployment
+	LetterNames []string
+	Pop         *users.Population
+	Zone        *dnssim.Zone
+	Rates       []dnssim.Rates
+	Model       *latency.Model
+	Cfg         Config
+
+	// PerLetter[letterIdx][recIdx] is the assignment matrix.
+	PerLetter [][]Assignment
+	// EgressIPs[recIdx] are the /24's DITL query-source addresses.
+	EgressIPs [][]ipaddr.Addr
+	// JunkSources are junk-only source addresses (one per junk /24).
+	JunkSources []ipaddr.Addr
+	// JunkQueriesPerDay is the junk volume from non-recursive sources.
+	JunkQueriesPerDay float64
+}
+
+// Build assembles the campaign. rates must parallel pop.Recursives; zone
+// may be nil when no pcap emission with real referrals is needed.
+func Build(g *topology.Graph, letters []*anycastnet.Deployment, pop *users.Population,
+	zone *dnssim.Zone, rates []dnssim.Rates, model *latency.Model, cfg Config, rng *rand.Rand) (*Campaign, error) {
+	cfg = cfg.withDefaults()
+	if len(letters) == 0 {
+		return nil, fmt.Errorf("ditl: no letters")
+	}
+	if len(rates) != len(pop.Recursives) {
+		return nil, fmt.Errorf("ditl: %d rates for %d recursives", len(rates), len(pop.Recursives))
+	}
+	c := &Campaign{
+		Letters: letters,
+		Pop:     pop,
+		Zone:    zone,
+		Rates:   rates,
+		Model:   model,
+		Cfg:     cfg,
+	}
+	for _, l := range letters {
+		c.LetterNames = append(c.LetterNames, l.Name)
+	}
+
+	// Route cache per (letter, ASN): recursives in one AS share routes.
+	type routeKey struct {
+		letter int
+		asn    topology.ASN
+	}
+	routeCache := map[routeKey]struct {
+		rt bgp.Route
+		ok bool
+	}{}
+	routeFor := func(li int, asn topology.ASN) (bgp.Route, bool) {
+		k := routeKey{li, asn}
+		if v, ok := routeCache[k]; ok {
+			return v.rt, v.ok
+		}
+		rt, ok := letters[li].Route(asn)
+		routeCache[k] = struct {
+			rt bgp.Route
+			ok bool
+		}{rt, ok}
+		return rt, ok
+	}
+
+	c.PerLetter = make([][]Assignment, len(letters))
+	for li := range letters {
+		c.PerLetter[li] = make([]Assignment, len(pop.Recursives))
+	}
+
+	for ri := range pop.Recursives {
+		rec := &pop.Recursives[ri]
+		rtts := make([]float64, len(letters))
+		for li := range letters {
+			a := &c.PerLetter[li][ri]
+			rt, ok := routeFor(li, rec.ASN)
+			if !ok {
+				rtts[li] = math.Inf(1)
+				continue
+			}
+			a.Reachable = true
+			a.Route = rt
+			a.BaseRTTMs = model.BaseRTTMs(rec.ASN, rt)
+			rtts[li] = a.BaseRTTMs
+
+			// Site shares: favorite plus an occasional secondary.
+			a.Sites = []SiteShare{{SiteID: rt.SiteID, Frac: 1}}
+			if rng.Float64() < cfg.SecondarySiteProb {
+				if alt, ok := alternateSite(letters[li], rt.SiteID); ok {
+					share := rng.Float64() * cfg.SecondaryShareMax
+					a.Sites[0].Frac = 1 - share
+					a.Sites = append(a.Sites, SiteShare{SiteID: alt, Frac: share})
+				}
+			}
+		}
+
+		// Letter preference: softmax over per-recursive jittered RTTs.
+		weights := make([]float64, len(letters))
+		var sum float64
+		for li := range letters {
+			if math.IsInf(rtts[li], 1) {
+				continue
+			}
+			jitter := 1 + 0.1*rng.NormFloat64()
+			weights[li] = math.Exp(-rtts[li] * jitter / cfg.TauMs)
+			if weights[li] < 0.005 {
+				weights[li] = 0.005 // exploration floor
+			}
+			sum += weights[li]
+		}
+		if sum > 0 {
+			for li := range letters {
+				c.PerLetter[li][ri].LetterWeight = weights[li] / sum
+			}
+		}
+
+		// TCP medians where volume suffices.
+		for li := range letters {
+			a := &c.PerLetter[li][ri]
+			a.TCPMedianRTTMs = math.NaN()
+			if !a.Reachable {
+				continue
+			}
+			tcpVol := rates[ri].RootValidPerDay * a.LetterWeight * rates[ri].TCPShare
+			if tcpVol >= cfg.MinTCPSamples {
+				a.TCPMedianRTTMs = model.MedianOfSamples(rng, a.BaseRTTMs+0.5, 11)
+			}
+		}
+
+		// Egress IPs: high offsets in the /24, with a small chance of
+		// reusing the CDN-observable resolver IPs. Forwarders never appear
+		// as DITL sources.
+		if rates[ri].RootTotalPerDay() < 0.5 {
+			c.EgressIPs = append(c.EgressIPs, nil)
+			continue
+		}
+		nEgress := 1 + int(math.Log10(1+rates[ri].RootTotalPerDay()))
+		if nEgress > 8 {
+			nEgress = 8
+		}
+		ips := make([]ipaddr.Addr, 0, nEgress)
+		for k := 0; k < nEgress; k++ {
+			if rng.Float64() < cfg.EgressOverlapProb && k < len(rec.IPs) {
+				ips = append(ips, rec.IPs[k])
+			} else {
+				ips = append(ips, rec.Key.Prefix().Nth(uint64(100+k)))
+			}
+		}
+		c.EgressIPs = append(c.EgressIPs, ips)
+	}
+
+	// Junk-only sources.
+	nJunk := int(cfg.JunkSlash24sPerRecursive * float64(len(pop.Recursives)))
+	blocks, err := pop.Pool.AllocSlash24s(nJunk)
+	if err != nil {
+		return nil, fmt.Errorf("ditl: allocating junk sources: %w", err)
+	}
+	for _, b := range blocks {
+		c.JunkSources = append(c.JunkSources, b.Nth(uint64(1+rng.Intn(250))))
+		c.JunkQueriesPerDay += 50 + rng.ExpFloat64()*2000
+	}
+	return c, nil
+}
+
+// alternateSite picks the next global site after siteID, if any.
+func alternateSite(d *anycastnet.Deployment, siteID int) (int, bool) {
+	for off := 1; off < len(d.Sites); off++ {
+		cand := (siteID + off) % len(d.Sites)
+		if d.Sites[cand].Global && cand != siteID {
+			return cand, true
+		}
+	}
+	return 0, false
+}
+
+// LetterIndex returns the index of a letter by name, or -1.
+func (c *Campaign) LetterIndex(name string) int {
+	for i, n := range c.LetterNames {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// PreprocessStats mirrors the paper's §2.1 funnel from raw captures to the
+// analyzable dataset.
+type PreprocessStats struct {
+	// RawPerDay is everything arriving at all letters, including junk
+	// sources, IPv6, and private-source queries (the 51.9B figure).
+	RawPerDay float64
+	// InvalidPerDay and PTRPerDay are discarded (31B and 2B).
+	InvalidPerDay, PTRPerDay float64
+	// PrivatePerDay is dropped for private source space (7%).
+	PrivatePerDay float64
+	// V6PerDay is excluded for lack of v6 user data (12%).
+	V6PerDay float64
+	// RetainedPerDay is what the analysis keeps.
+	RetainedPerDay float64
+}
+
+// Preprocess computes the filtering funnel over the campaign.
+func (c *Campaign) Preprocess() PreprocessStats {
+	var s PreprocessStats
+	for _, r := range c.Rates {
+		s.InvalidPerDay += r.RootInvalidPerDay
+		s.PTRPerDay += r.RootPTRPerDay
+		s.RetainedPerDay += r.RootValidPerDay
+	}
+	s.InvalidPerDay += c.JunkQueriesPerDay
+	valid := s.RetainedPerDay
+	s.PrivatePerDay = valid * c.Cfg.PrivateShare
+	s.V6PerDay = valid * c.Cfg.V6Share
+	s.RetainedPerDay = valid * (1 - c.Cfg.PrivateShare - c.Cfg.V6Share)
+	s.RawPerDay = s.InvalidPerDay + s.PTRPerDay + valid
+	return s
+}

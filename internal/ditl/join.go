@@ -1,0 +1,211 @@
+package ditl
+
+import (
+	"anycastctx/internal/ipaddr"
+	"anycastctx/internal/topology"
+	"anycastctx/internal/users"
+)
+
+// JoinedRow is one recursive of the DITL∩CDN dataset: query volume joined
+// with a user count.
+type JoinedRow struct {
+	RecIdx int
+	Key    ipaddr.Slash24Key
+	// QueriesPerDay is the valid (post-preprocessing) daily root volume
+	// attributed to this row across all letters.
+	QueriesPerDay float64
+	// Users is the joined user count (CDN-observed).
+	Users float64
+}
+
+// Join is the query-volume/user-count join.
+type Join struct {
+	Rows []JoinedRow
+	// ByIP reports whether the join was exact-IP (Fig 9) instead of /24.
+	ByIP bool
+}
+
+// TotalUsers sums joined user counts.
+func (j *Join) TotalUsers() float64 {
+	var s float64
+	for _, r := range j.Rows {
+		s += r.Users
+	}
+	return s
+}
+
+// TotalQueries sums joined daily query volumes.
+func (j *Join) TotalQueries() float64 {
+	var s float64
+	for _, r := range j.Rows {
+		s += r.QueriesPerDay
+	}
+	return s
+}
+
+// JoinCDN joins valid query volumes with CDN user counts at the /24 level
+// (§2.1's DITL∩CDN), or at exact-IP granularity when byIP is set (the
+// Appendix B.2 sensitivity analysis, Fig 9).
+func (c *Campaign) JoinCDN(cdn *users.CDNCounts, byIP bool) *Join {
+	j := &Join{ByIP: byIP}
+	for ri := range c.Pop.Recursives {
+		rec := &c.Pop.Recursives[ri]
+		vol := c.Rates[ri].RootValidPerDay
+		if c.Rates[ri].RootTotalPerDay() < 0.5 {
+			continue // invisible in DITL (forwarder)
+		}
+		if byIP {
+			// Only volume from egress IPs Microsoft observed, joined with
+			// users on exactly those IPs.
+			egress := c.EgressIPs[ri]
+			if len(egress) == 0 {
+				continue
+			}
+			matched := 0
+			var matchedUsers float64
+			for _, ip := range egress {
+				if u, ok := cdn.ByIP[ip]; ok {
+					matched++
+					matchedUsers += u
+				}
+			}
+			if matched == 0 || matchedUsers <= 0 {
+				continue
+			}
+			j.Rows = append(j.Rows, JoinedRow{
+				RecIdx:        ri,
+				Key:           rec.Key,
+				QueriesPerDay: vol * float64(matched) / float64(len(egress)),
+				Users:         matchedUsers,
+			})
+			continue
+		}
+		u, ok := cdn.By24[rec.Key]
+		if !ok || u <= 0 {
+			continue
+		}
+		j.Rows = append(j.Rows, JoinedRow{
+			RecIdx:        ri,
+			Key:           rec.Key,
+			QueriesPerDay: vol,
+			Users:         u,
+		})
+	}
+	return j
+}
+
+// PerASVolumes aggregates valid daily query volume by origin AS, for the
+// APNIC amortization (Fig 3's APNIC line).
+func (c *Campaign) PerASVolumes() map[topology.ASN]float64 {
+	out := make(map[topology.ASN]float64)
+	for ri := range c.Pop.Recursives {
+		out[c.Pop.Recursives[ri].ASN] += c.Rates[ri].RootValidPerDay
+	}
+	return out
+}
+
+// OverlapStats reproduces Table 4: how much of each dataset the join
+// retains, with and without /24 aggregation.
+type OverlapStats struct {
+	// DITLRecursives is the fraction of DITL query sources (recursive and
+	// junk alike) matched by CDN user data.
+	DITLRecursives float64
+	// DITLVolume is the fraction of DITL query volume matched.
+	DITLVolume float64
+	// CDNRecursives is the fraction of CDN-observed resolvers seen in DITL.
+	CDNRecursives float64
+	// CDNVolume is the fraction of CDN-counted users whose resolver was
+	// seen in DITL.
+	CDNVolume float64
+}
+
+// Overlap computes Table 4's row for either join granularity.
+func (c *Campaign) Overlap(cdn *users.CDNCounts, byIP bool) OverlapStats {
+	var st OverlapStats
+	if byIP {
+		ditlSources := len(c.JunkSources)
+		matchedSources := 0
+		var vol, matchedVol float64
+		matchedIPs := map[ipaddr.Addr]bool{}
+		for ri, egress := range c.EgressIPs {
+			ditlSources += len(egress)
+			v := c.Rates[ri].RootValidPerDay
+			vol += v
+			matched := 0
+			for _, ip := range egress {
+				if _, ok := cdn.ByIP[ip]; ok {
+					matched++
+					matchedIPs[ip] = true
+				}
+			}
+			matchedSources += matched
+			if len(egress) > 0 {
+				matchedVol += v * float64(matched) / float64(len(egress))
+			}
+		}
+		var cdnUsers, cdnMatchedUsers float64
+		for ip, u := range cdn.ByIP {
+			cdnUsers += u
+			if matchedIPs[ip] {
+				cdnMatchedUsers += u
+			}
+		}
+		if ditlSources > 0 {
+			st.DITLRecursives = float64(matchedSources) / float64(ditlSources)
+		}
+		if vol > 0 {
+			st.DITLVolume = matchedVol / vol
+		}
+		if n := len(cdn.ByIP); n > 0 {
+			st.CDNRecursives = float64(len(matchedIPs)) / float64(n)
+		}
+		if cdnUsers > 0 {
+			st.CDNVolume = cdnMatchedUsers / cdnUsers
+		}
+		return st
+	}
+
+	// /24-level join.
+	junk24 := map[ipaddr.Slash24Key]bool{}
+	for _, ip := range c.JunkSources {
+		junk24[ipaddr.Key24(ip)] = true
+	}
+	ditl24 := len(junk24)
+	matched24 := 0
+	var vol, matchedVol float64
+	matchedKeys := map[ipaddr.Slash24Key]bool{}
+	for ri := range c.Pop.Recursives {
+		rec := &c.Pop.Recursives[ri]
+		if c.Rates[ri].RootTotalPerDay() < 0.5 {
+			continue // forwarders never reach the roots
+		}
+		ditl24++
+		v := c.Rates[ri].RootValidPerDay
+		vol += v
+		if _, ok := cdn.By24[rec.Key]; ok {
+			matched24++
+			matchedVol += v
+			matchedKeys[rec.Key] = true
+		}
+	}
+	var cdnUsers, cdnMatchedUsers float64
+	for k, u := range cdn.By24 {
+		cdnUsers += u
+		if matchedKeys[k] {
+			cdnMatchedUsers += u
+		}
+	}
+	if ditl24 > 0 {
+		st.DITLRecursives = float64(matched24) / float64(ditl24)
+	}
+	if vol > 0 {
+		st.DITLVolume = matchedVol / vol
+	}
+	if n := len(cdn.By24); n > 0 {
+		st.CDNRecursives = float64(matched24) / float64(n)
+	}
+	if cdnUsers > 0 {
+		st.CDNVolume = cdnMatchedUsers / cdnUsers
+	}
+	return st
+}

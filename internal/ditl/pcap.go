@@ -1,0 +1,302 @@
+package ditl
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"anycastctx/internal/dnssim"
+	"anycastctx/internal/dnswire"
+	"anycastctx/internal/ipaddr"
+	"anycastctx/internal/pcapio"
+)
+
+// LetterAnycastAddr returns the anycast service address used by letter li
+// in emitted captures (stable, outside the simulator's allocation pool).
+func LetterAnycastAddr(li int) ipaddr.Addr {
+	return ipaddr.AddrFrom4(199, 7, byte(li), 53)
+}
+
+// captureStart anchors emitted capture timestamps at the 2018 DITL window.
+var captureStart = time.Date(2018, time.April, 10, 0, 0, 0, 0, time.UTC)
+
+// EmitSiteCapture writes a sampled 48-hour pcap of the traffic arriving at
+// one site of one letter: UDP query/response pairs plus occasional TCP
+// handshakes, drawn from the recursives whose catchment includes the site
+// and from junk sources. At most maxPackets packets are written.
+func (c *Campaign) EmitSiteCapture(w io.Writer, li, siteID, maxPackets int, rng *rand.Rand) (int, error) {
+	if li < 0 || li >= len(c.Letters) {
+		return 0, fmt.Errorf("ditl: letter index %d out of range", li)
+	}
+	if siteID < 0 || siteID >= len(c.Letters[li].Sites) {
+		return 0, fmt.Errorf("ditl: site %d out of range for letter %s", siteID, c.LetterNames[li])
+	}
+	pw, err := pcapio.NewWriter(w)
+	if err != nil {
+		return 0, err
+	}
+	dst := LetterAnycastAddr(li)
+	var server *dnssim.RootServer
+	if c.Zone != nil {
+		server = dnssim.NewRootServer(c.Zone, c.LetterNames[li])
+	}
+
+	// Contributors: recursives with volume to this site.
+	type contrib struct {
+		recIdx int
+		vol    float64
+	}
+	var contribs []contrib
+	var totalVol float64
+	for ri := range c.Pop.Recursives {
+		a := c.PerLetter[li][ri]
+		if !a.Reachable {
+			continue
+		}
+		for _, s := range a.Sites {
+			if s.SiteID != siteID {
+				continue
+			}
+			vol := c.Rates[ri].RootTotalPerDay() * a.LetterWeight * s.Frac
+			if vol > 0.5 {
+				contribs = append(contribs, contrib{ri, vol})
+				totalVol += vol
+			}
+		}
+	}
+	if len(contribs) == 0 {
+		return 0, pw.Flush()
+	}
+
+	written := 0
+	emit := func(ts time.Time, pkt []byte) error {
+		if written >= maxPackets {
+			return nil
+		}
+		if err := pw.WritePacket(ts, pkt); err != nil {
+			return err
+		}
+		written++
+		return nil
+	}
+
+	// Junk sources contribute a small share of packets up front.
+	junkBudget := maxPackets / 20
+	for i := 0; i < junkBudget && i < len(c.JunkSources); i++ {
+		src := c.JunkSources[rng.Intn(len(c.JunkSources))]
+		ts := captureStart.Add(time.Duration(rng.Int63n(48 * int64(time.Hour))))
+		q := dnswire.NewQuery(uint16(rng.Intn(65536)), randomProbeName(rng), dnswire.TypeA)
+		qb, err := q.Encode()
+		if err != nil {
+			return written, err
+		}
+		pkt, err := pcapio.SerializeUDP(&pcapio.IPv4{Src: src, Dst: dst, ID: uint16(rng.Intn(65536))},
+			&pcapio.UDP{SrcPort: uint16(1024 + rng.Intn(60000)), DstPort: 53}, qb)
+		if err != nil {
+			return written, err
+		}
+		if err := emit(ts, pkt); err != nil {
+			return written, err
+		}
+	}
+
+	budget := maxPackets - written
+	for _, cb := range contribs {
+		if written >= maxPackets {
+			break
+		}
+		n := int(float64(budget) * cb.vol / totalVol)
+		if n < 1 {
+			n = 1
+		}
+		rates := c.Rates[cb.recIdx]
+		egress := c.EgressIPs[cb.recIdx]
+		for k := 0; k < n && written < maxPackets; k++ {
+			src := egress[rng.Intn(len(egress))]
+			ts := captureStart.Add(time.Duration(rng.Int63n(48 * int64(time.Hour))))
+			qtype, qname := sampleQuery(rates.RootValidPerDay, rates.RootInvalidPerDay, rates.RootPTRPerDay, rng)
+			q := dnswire.NewQuery(uint16(rng.Intn(65536)), qname, qtype)
+			// Most modern resolvers advertise EDNS buffer sizes.
+			if rng.Float64() < 0.8 {
+				q.SetEDNS(4096, rng.Float64() < 0.5)
+			}
+			qb, err := q.Encode()
+			if err != nil {
+				return written, err
+			}
+			srcPort := uint16(1024 + rng.Intn(60000))
+
+			if rng.Float64() < rates.TCPShare {
+				// TCP handshake: SYN in, SYN-ACK out, ACK+query in.
+				seq := rng.Uint32()
+				syn, err := pcapio.SerializeTCP(&pcapio.IPv4{Src: src, Dst: dst},
+					&pcapio.TCP{SrcPort: srcPort, DstPort: 53, Seq: seq, Flags: pcapio.FlagSYN}, nil)
+				if err != nil {
+					return written, err
+				}
+				synack, err := pcapio.SerializeTCP(&pcapio.IPv4{Src: dst, Dst: src},
+					&pcapio.TCP{SrcPort: 53, DstPort: srcPort, Seq: rng.Uint32(), Ack: seq + 1,
+						Flags: pcapio.FlagSYN | pcapio.FlagACK}, nil)
+				if err != nil {
+					return written, err
+				}
+				dataPkt, err := pcapio.SerializeTCP(&pcapio.IPv4{Src: src, Dst: dst},
+					&pcapio.TCP{SrcPort: srcPort, DstPort: 53, Seq: seq + 1, Ack: 1,
+						Flags: pcapio.FlagACK | pcapio.FlagPSH}, qb)
+				if err != nil {
+					return written, err
+				}
+				rtt := time.Duration(c.PerLetter[li][cb.recIdx].BaseRTTMs * float64(time.Millisecond))
+				if err := emit(ts, syn); err != nil {
+					return written, err
+				}
+				if err := emit(ts.Add(time.Microsecond), synack); err != nil {
+					return written, err
+				}
+				if err := emit(ts.Add(rtt), dataPkt); err != nil {
+					return written, err
+				}
+				continue
+			}
+
+			pkt, err := pcapio.SerializeUDP(&pcapio.IPv4{Src: src, Dst: dst, ID: uint16(k)},
+				&pcapio.UDP{SrcPort: srcPort, DstPort: 53}, qb)
+			if err != nil {
+				return written, err
+			}
+			if err := emit(ts, pkt); err != nil {
+				return written, err
+			}
+			// Response packet (server-side captures see both directions).
+			// With a zone attached, the authoritative server produces real
+			// referrals/NXDOMAINs; otherwise synthesize a plain response.
+			var resp *dnswire.Message
+			if server != nil {
+				resp = server.Respond(q)
+			} else {
+				resp = dnswire.NewResponse(q, dnswire.RCodeNoError, nil)
+				if qtype == dnswire.TypeA && len(qname) > 0 {
+					resp.Header.RCode = dnswire.RCodeNXDomain
+				}
+			}
+			rb, err := resp.Encode()
+			if err != nil {
+				return written, err
+			}
+			rpkt, err := pcapio.SerializeUDP(&pcapio.IPv4{Src: dst, Dst: src, ID: uint16(k)},
+				&pcapio.UDP{SrcPort: 53, DstPort: srcPort}, rb)
+			if err != nil {
+				return written, err
+			}
+			if err := emit(ts.Add(50*time.Microsecond), rpkt); err != nil {
+				return written, err
+			}
+		}
+	}
+	return written, pw.Flush()
+}
+
+// sampleQuery draws a query type/name matching the recursive's traffic mix.
+func sampleQuery(valid, invalid, ptr float64, rng *rand.Rand) (dnswire.Type, string) {
+	total := valid + invalid + ptr
+	if total <= 0 {
+		return dnswire.TypeNS, "com"
+	}
+	u := rng.Float64() * total
+	switch {
+	case u < valid:
+		return dnswire.TypeNS, validTLDName(rng)
+	case u < valid+invalid:
+		return dnswire.TypeA, randomProbeName(rng)
+	default:
+		return dnswire.TypePTR, fmt.Sprintf("%d.%d.%d.%d.in-addr.arpa",
+			rng.Intn(256), rng.Intn(256), rng.Intn(256), rng.Intn(256))
+	}
+}
+
+var commonTLDs = []string{"com", "net", "org", "de", "cn", "uk", "nl", "ru", "jp", "fr", "io", "info"}
+
+func validTLDName(rng *rand.Rand) string {
+	return commonTLDs[rng.Intn(len(commonTLDs))]
+}
+
+func randomProbeName(rng *rand.Rand) string {
+	n := 7 + rng.Intn(9)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + rng.Intn(26))
+	}
+	return string(b)
+}
+
+// CaptureSummary aggregates a read-back capture.
+type CaptureSummary struct {
+	Packets     int
+	UDPQueries  int
+	TCPPackets  int
+	Responses   int
+	NXDomain    int
+	PTRQueries  int
+	Sources     map[ipaddr.Slash24Key]int
+	FirstToLast time.Duration
+}
+
+// SummarizeCapture decodes a pcap stream (as written by EmitSiteCapture)
+// back into aggregate counts — the first stage of the analysis pipeline,
+// exercising the same decode path a DITL consumer would.
+func SummarizeCapture(r io.Reader) (*CaptureSummary, error) {
+	pr, err := pcapio.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	s := &CaptureSummary{Sources: make(map[ipaddr.Slash24Key]int)}
+	var first, last time.Time
+	err = pr.ForEach(func(rec pcapio.Record) error {
+		s.Packets++
+		if first.IsZero() || rec.Time.Before(first) {
+			first = rec.Time
+		}
+		if rec.Time.After(last) {
+			last = rec.Time
+		}
+		pkt, err := pcapio.DecodePacket(rec.Data)
+		if err != nil {
+			return fmt.Errorf("packet %d: %w", s.Packets, err)
+		}
+		ip := pkt.IPv4()
+		if pkt.TCP() != nil {
+			s.TCPPackets++
+		}
+		payload := pkt.Payload()
+		if len(payload) == 0 {
+			return nil
+		}
+		msg, err := dnswire.Decode(payload)
+		if err != nil {
+			return fmt.Errorf("packet %d DNS: %w", s.Packets, err)
+		}
+		if msg.Header.Response {
+			s.Responses++
+			if msg.Header.RCode == dnswire.RCodeNXDomain {
+				s.NXDomain++
+			}
+			return nil
+		}
+		if pkt.UDP() != nil {
+			s.UDPQueries++
+		}
+		s.Sources[ipaddr.Key24(ip.Src)]++
+		if len(msg.Questions) > 0 && msg.Questions[0].Type == dnswire.TypePTR {
+			s.PTRQueries++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !first.IsZero() {
+		s.FirstToLast = last.Sub(first)
+	}
+	return s, nil
+}

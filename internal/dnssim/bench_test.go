@@ -1,0 +1,66 @@
+package dnssim
+
+import (
+	"math/rand"
+	"testing"
+
+	"anycastctx/internal/geo"
+	"anycastctx/internal/topology"
+	"anycastctx/internal/users"
+)
+
+// BenchmarkResolveA measures event-level resolution throughput against a
+// warm cache (the dominant operation of the local-perspective studies).
+func BenchmarkResolveA(b *testing.B) {
+	z := NewZone(1000, rand.New(rand.NewSource(1)))
+	rng := rand.New(rand.NewSource(2))
+	r, err := NewResolver(z, ResolverConfig{NumLetters: 13, Bug: true},
+		StandardUpstreams([]float64{30, 40, 50, 25, 35, 45, 55, 65, 70, 20, 80, 90, 60}, rng), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := NewClient(z, ClientConfig{}, rng)
+	names := make([]string, 4096)
+	for i := range names {
+		names[i] = client.SampleDomain()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.AdvanceTo(r.Now() + 0.05)
+		r.ResolveA(names[i%len(names)])
+	}
+}
+
+// BenchmarkClientDay measures a full simulated day for a small population.
+func BenchmarkClientDay(b *testing.B) {
+	z := NewZone(1000, rand.New(rand.NewSource(3)))
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(int64(i + 1)))
+		r, err := NewResolver(z, ResolverConfig{NumLetters: 13, Bug: true},
+			StandardUpstreams([]float64{30, 40, 50, 25, 35, 45, 55, 65, 70, 20, 80, 90, 60}, rng), rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		client := NewClient(z, ClientConfig{Users: 30}, rng)
+		client.Run(r, 1, nil)
+	}
+}
+
+// BenchmarkComputeRates measures the analytic rate model at population
+// scale.
+func BenchmarkComputeRates(b *testing.B) {
+	regions := geo.GenerateRegions(geo.PaperRegionCounts, rand.New(rand.NewSource(42)))
+	g, err := topology.New(topology.Config{Seed: 11, NumTier1: 6, NumTransit: 40, NumEyeball: 1000}, regions)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pop, err := users.Build(g, users.Config{TotalUsers: 1e9}, rand.New(rand.NewSource(5)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	z := NewZone(1000, rand.New(rand.NewSource(5)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ComputeRates(pop, z, RateConfig{}, rand.New(rand.NewSource(int64(i))))
+	}
+}

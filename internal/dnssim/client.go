@@ -1,0 +1,225 @@
+package dnssim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ClientConfig describes the user population driving one recursive
+// resolver in the event-level simulation (the "local perspective" of §4.3).
+type ClientConfig struct {
+	// Users behind the resolver.
+	Users int
+	// QueriesPerUserPerDay is each user's mean DNS lookup rate (browsing,
+	// apps, background software).
+	QueriesPerUserPerDay float64
+	// ChromiumProbesPerUserPerDay is the rate of captive-portal detection
+	// probes — random single labels that are NXDOMAIN at the root (§B.1).
+	ChromiumProbesPerUserPerDay float64
+	// JunkPerUserPerDay is the rate of queries for invalid suffixes like
+	// local/belkin/corp leaking from software and corporate networks.
+	JunkPerUserPerDay float64
+	// DomainZipfS shapes domain popularity (>1; higher = more head-heavy).
+	DomainZipfS float64
+	// DomainsPerTLD bounds the per-TLD domain universe.
+	DomainsPerTLD int
+	// TLDsPerUser bounds how many distinct TLDs each user's browsing
+	// touches (individuals concentrate far harder than the aggregate;
+	// this is why a personal resolver's root miss rate stays near 1.5%,
+	// §4.3).
+	TLDsPerUser int
+}
+
+func (c ClientConfig) withDefaults() ClientConfig {
+	if c.Users == 0 {
+		c.Users = 100
+	}
+	if c.QueriesPerUserPerDay == 0 {
+		c.QueriesPerUserPerDay = 250
+	}
+	if c.ChromiumProbesPerUserPerDay == 0 {
+		c.ChromiumProbesPerUserPerDay = 1.5
+	}
+	if c.JunkPerUserPerDay == 0 {
+		c.JunkPerUserPerDay = 0.8
+	}
+	if c.DomainZipfS == 0 {
+		c.DomainZipfS = 1.2
+	}
+	if c.DomainsPerTLD == 0 {
+		c.DomainsPerTLD = 50000
+	}
+	if c.TLDsPerUser == 0 {
+		c.TLDsPerUser = 30
+	}
+	return c
+}
+
+var junkSuffixes = []string{"local", "belkin", "corp", "home", "lan", "internal"}
+
+// Client generates a user query stream against a Resolver.
+type Client struct {
+	cfg  ClientConfig
+	zone *Zone
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	// palette is the union of the users' TLD interests: popularity-drawn
+	// with duplicates, so sampling uniformly from it preserves the
+	// aggregate distribution while bounding per-population TLD diversity.
+	palette []int
+}
+
+// NewClient builds a workload generator for zone.
+func NewClient(zone *Zone, cfg ClientConfig, rng *rand.Rand) *Client {
+	cfg = cfg.withDefaults()
+	palette := make([]int, cfg.Users*cfg.TLDsPerUser)
+	for i := range palette {
+		palette[i] = zone.SampleTLD(rng)
+	}
+	return &Client{
+		cfg:     cfg,
+		zone:    zone,
+		rng:     rng,
+		zipf:    rand.NewZipf(rng, cfg.DomainZipfS, 1, uint64(cfg.DomainsPerTLD-1)),
+		palette: palette,
+	}
+}
+
+// SampleDomain draws a valid domain from the population's TLD palette and
+// site popularity.
+func (c *Client) SampleDomain() string {
+	tld := c.zone.TLDs[c.palette[c.rng.Intn(len(c.palette))]]
+	site := c.zipf.Uint64()
+	return fmt.Sprintf("site%d.%s", site, tld.Name)
+}
+
+// SampleChromiumProbe draws a random single-label probe name.
+func (c *Client) SampleChromiumProbe() string {
+	n := 7 + c.rng.Intn(9)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + c.rng.Intn(26))
+	}
+	return string(b)
+}
+
+// SampleJunk draws a query under an invalid suffix.
+func (c *Client) SampleJunk() string {
+	return fmt.Sprintf("host%d.%s", c.rng.Intn(2000), junkSuffixes[c.rng.Intn(len(junkSuffixes))])
+}
+
+// RunStats summarizes one Run.
+type RunStats struct {
+	Queries        uint64
+	ValidQueries   uint64
+	ProbeQueries   uint64
+	JunkQueries    uint64
+	TotalLatencyMs float64
+	RootLatencyMs  float64
+}
+
+// Run drives r for the given number of simulated days at the population's
+// aggregate rate, invoking onResult (if non-nil) per user query. The query
+// arrival process is Poisson.
+func (c *Client) Run(r *Resolver, days float64, onResult func(kind QueryKind, res QueryResult)) RunStats {
+	totalRate := float64(c.cfg.Users) *
+		(c.cfg.QueriesPerUserPerDay + c.cfg.ChromiumProbesPerUserPerDay + c.cfg.JunkPerUserPerDay) / 86400
+	pProbe := c.cfg.ChromiumProbesPerUserPerDay /
+		(c.cfg.QueriesPerUserPerDay + c.cfg.ChromiumProbesPerUserPerDay + c.cfg.JunkPerUserPerDay)
+	pJunk := c.cfg.JunkPerUserPerDay /
+		(c.cfg.QueriesPerUserPerDay + c.cfg.ChromiumProbesPerUserPerDay + c.cfg.JunkPerUserPerDay)
+
+	end := r.Now() + days*86400
+	var stats RunStats
+	for {
+		dt := c.rng.ExpFloat64() / totalRate
+		next := r.Now() + dt
+		if next > end {
+			break
+		}
+		r.AdvanceTo(next)
+		u := c.rng.Float64()
+		var kind QueryKind
+		var name string
+		switch {
+		case u < pProbe:
+			kind, name = QueryProbe, c.SampleChromiumProbe()
+		case u < pProbe+pJunk:
+			kind, name = QueryJunk, c.SampleJunk()
+		default:
+			kind, name = QueryValid, c.SampleDomain()
+		}
+		res := r.ResolveA(name)
+		stats.Queries++
+		switch kind {
+		case QueryProbe:
+			stats.ProbeQueries++
+		case QueryJunk:
+			stats.JunkQueries++
+		default:
+			stats.ValidQueries++
+		}
+		stats.TotalLatencyMs += res.LatencyMs
+		stats.RootLatencyMs += res.RootLatencyMs
+		if onResult != nil {
+			onResult(kind, res)
+		}
+	}
+	return stats
+}
+
+// QueryKind classifies a generated user query.
+type QueryKind uint8
+
+// Query kinds.
+const (
+	QueryValid QueryKind = iota
+	QueryProbe
+	QueryJunk
+)
+
+// String implements fmt.Stringer.
+func (k QueryKind) String() string {
+	switch k {
+	case QueryValid:
+		return "valid"
+	case QueryProbe:
+		return "probe"
+	case QueryJunk:
+		return "junk"
+	default:
+		return fmt.Sprintf("QueryKind(%d)", uint8(k))
+	}
+}
+
+// StandardUpstreams builds a plausible Upstreams for local-perspective
+// experiments: the roots at the provided base RTTs, TLD servers mostly
+// nearby (anycast gTLD networks), and authoritatives spread worldwide with
+// a long tail.
+func StandardUpstreams(rootBaseRTTs []float64, rng *rand.Rand) Upstreams {
+	return Upstreams{
+		RootRTT: func(letter int) float64 {
+			base := rootBaseRTTs[letter%len(rootBaseRTTs)]
+			return jitterRTT(base, rng)
+		},
+		TLDRTT: func() float64 {
+			return jitterRTT(8+rng.ExpFloat64()*15, rng)
+		},
+		AuthRTT: func(domain string) float64 {
+			// Deterministic per-domain base: some domains are far away.
+			h := uint32(216613626)
+			for i := 0; i < len(domain); i++ {
+				h = (h ^ uint32(domain[i])) * 16777619
+			}
+			base := 3 + float64(h%240)
+			return jitterRTT(base, rng)
+		},
+		AuthTimeoutProb: 0.004,
+	}
+}
+
+func jitterRTT(base float64, rng *rand.Rand) float64 {
+	v := base * (1 + 0.1*rng.NormFloat64())
+	return math.Max(0.2, v)
+}

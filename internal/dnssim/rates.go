@@ -1,0 +1,166 @@
+package dnssim
+
+import (
+	"math"
+	"math/rand"
+
+	"anycastctx/internal/users"
+)
+
+// RateConfig tunes the analytic per-recursive query-rate model used to
+// scale root DNS behavior to the global population (the event-level
+// resolver is exact but cannot run billions of queries; the rate model
+// reproduces its aggregate behavior per recursive).
+type RateConfig struct {
+	// QueriesPerUserPerDayMin/Max bound each recursive's per-user DNS
+	// lookup rate.
+	QueriesPerUserPerDayMin, QueriesPerUserPerDayMax float64
+	// MissRateMedian is the median root cache miss rate (§4.3: ISI daily
+	// rates span 0.1%–2.5% with median 0.5%).
+	MissRateMedian float64
+	// MissRateSigma is the lognormal spread of miss rates.
+	MissRateSigma float64
+	// InvalidPerUserPerDay is the rate of invalid-TLD queries reaching the
+	// roots per user (Chromium probes + leaked suffixes; §2.1 discards 31B
+	// of 51.9B daily queries as junk).
+	InvalidPerUserPerDay float64
+	// PTRPerUserPerDay is the PTR query rate per user (2B/day in DITL).
+	PTRPerUserPerDay float64
+	// AnomalousProb is the chance a recursive is a spammer/buggy volume
+	// source; AnomalousFactor multiplies its root query rate.
+	AnomalousProb, AnomalousFactor float64
+	// TCPShare is the fraction of root queries carried over TCP (the
+	// latency-measurable subset, §3: 40% of volume had enough TCP).
+	TCPShare float64
+	// ForwarderProb is the chance a recursive is a pure forwarder: visible
+	// to the CDN as its users' resolver, but absent from DITL because it
+	// forwards upstream instead of querying the roots — one reason the
+	// paper's CDN-side overlap stays below 100% (Table 4).
+	ForwarderProb float64
+}
+
+func (c RateConfig) withDefaults() RateConfig {
+	if c.QueriesPerUserPerDayMin == 0 {
+		c.QueriesPerUserPerDayMin = 120
+	}
+	if c.QueriesPerUserPerDayMax == 0 {
+		c.QueriesPerUserPerDayMax = 380
+	}
+	if c.MissRateMedian == 0 {
+		c.MissRateMedian = 0.005
+	}
+	if c.MissRateSigma == 0 {
+		c.MissRateSigma = 0.8
+	}
+	if c.InvalidPerUserPerDay == 0 {
+		c.InvalidPerUserPerDay = 19
+	}
+	if c.PTRPerUserPerDay == 0 {
+		c.PTRPerUserPerDay = 1.2
+	}
+	if c.AnomalousProb == 0 {
+		c.AnomalousProb = 0.02
+	}
+	if c.AnomalousFactor == 0 {
+		c.AnomalousFactor = 80
+	}
+	if c.TCPShare == 0 {
+		c.TCPShare = 0.06
+	}
+	if c.ForwarderProb == 0 {
+		c.ForwarderProb = 0.12
+	}
+	return c
+}
+
+// Rates is the daily query profile of one recursive /24.
+type Rates struct {
+	Rec *users.Recursive
+	// UserQueriesPerDay is the stream arriving from users.
+	UserQueriesPerDay float64
+	// RootValidPerDay is the daily valid root query volume (cache misses
+	// plus redundant re-resolutions).
+	RootValidPerDay float64
+	// RootInvalidPerDay is junk (NXDomain) volume hitting the roots.
+	RootInvalidPerDay float64
+	// RootPTRPerDay is PTR volume hitting the roots.
+	RootPTRPerDay float64
+	// IdealPerDay is the hypothetical once-per-TTL-per-TLD rate (Fig 3's
+	// Ideal line: every TLD record refreshed exactly once per 2-day TTL).
+	IdealPerDay float64
+	// TCPShare is the fraction of this recursive's root queries over TCP.
+	TCPShare float64
+	// Anomalous marks spammer/buggy-volume recursives.
+	Anomalous bool
+	// Forwarder marks recursives that never query the roots directly.
+	Forwarder bool
+}
+
+// RootTotalPerDay returns all root-bound queries per day.
+func (r Rates) RootTotalPerDay() float64 {
+	return r.RootValidPerDay + r.RootInvalidPerDay + r.RootPTRPerDay
+}
+
+// ComputeRates derives a daily rate profile for every recursive in pop.
+func ComputeRates(pop *users.Population, zone *Zone, cfg RateConfig, rng *rand.Rand) []Rates {
+	cfg = cfg.withDefaults()
+	idealPerDay := float64(zone.Len()) / (float64(TLDTTLSeconds) / 86400)
+	out := make([]Rates, 0, len(pop.Recursives))
+	for i := range pop.Recursives {
+		rec := &pop.Recursives[i]
+		qpu := cfg.QueriesPerUserPerDayMin +
+			rng.Float64()*(cfg.QueriesPerUserPerDayMax-cfg.QueriesPerUserPerDayMin)
+		userQ := rec.Users * qpu
+		missRate := cfg.MissRateMedian * math.Exp(cfg.MissRateSigma*rng.NormFloat64())
+		if missRate > 0.2 {
+			missRate = 0.2
+		}
+		valid := userQ * missRate
+		// A recursive never needs fewer root queries than its active TLD
+		// set demands, and caching cannot push it below ~the ideal when it
+		// has meaningful traffic.
+		if floor := math.Min(zone.ActiveTLDs(userQ)/2, idealPerDay); valid < floor {
+			valid = floor
+		}
+		r := Rates{
+			Rec:               rec,
+			UserQueriesPerDay: userQ,
+			RootValidPerDay:   valid,
+			RootInvalidPerDay: rec.Users * cfg.InvalidPerUserPerDay * (0.5 + rng.Float64()),
+			RootPTRPerDay:     rec.Users * cfg.PTRPerUserPerDay * (0.5 + rng.Float64()),
+			IdealPerDay:       idealPerDay,
+			TCPShare:          cfg.TCPShare * (0.5 + rng.Float64()),
+		}
+		// Many resolvers never fall back to TCP at all; this is what limits
+		// the paper's latency-inflation coverage to 40% of query volume.
+		if rng.Float64() < 0.35 {
+			r.TCPShare = 0
+		}
+		if rng.Float64() < cfg.AnomalousProb {
+			r.Anomalous = true
+			r.RootValidPerDay *= cfg.AnomalousFactor
+			r.RootInvalidPerDay *= cfg.AnomalousFactor
+		}
+		if !rec.Public && rng.Float64() < cfg.ForwarderProb {
+			r.Forwarder = true
+			r.RootValidPerDay = 0
+			r.RootInvalidPerDay = 0
+			r.RootPTRPerDay = 0
+			r.TCPShare = 0
+			r.Anomalous = false
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// TotalDailyQueries sums all root-bound traffic across rates (the 51.9B/day
+// figure in the paper's pre-processing narrative).
+func TotalDailyQueries(rates []Rates) (valid, invalid, ptr float64) {
+	for _, r := range rates {
+		valid += r.RootValidPerDay
+		invalid += r.RootInvalidPerDay
+		ptr += r.RootPTRPerDay
+	}
+	return valid, invalid, ptr
+}

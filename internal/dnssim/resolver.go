@@ -1,0 +1,486 @@
+package dnssim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// Upstreams supplies the resolver's view of the outside world: sampled
+// round-trip times to root letters, TLD servers, and SLD authoritatives.
+type Upstreams struct {
+	// RootRTT samples an RTT in ms to the given root letter.
+	RootRTT func(letter int) float64
+	// TLDRTT samples an RTT to a TLD nameserver.
+	TLDRTT func() float64
+	// AuthRTT samples an RTT to a second-level-domain authoritative.
+	AuthRTT func(domain string) float64
+	// AuthTimeoutProb is the per-lookup chance an authoritative query
+	// times out (triggering retry — and, with the bug, redundant root
+	// queries).
+	AuthTimeoutProb float64
+}
+
+// ResolverConfig tunes the event-level recursive resolver.
+type ResolverConfig struct {
+	// NumLetters is how many root letters exist.
+	NumLetters int
+	// Bug enables the BIND redundant-query behavior (Appendix E): on an
+	// authoritative timeout, the resolver queries the roots for the
+	// AAAA/A records of the delegation's out-of-glue nameserver names even
+	// though the relevant TLD NS record is cached.
+	Bug bool
+	// ExploreProb is the chance a root query probes a random letter
+	// instead of the lowest-sRTT one (recursives' preferential querying
+	// with occasional exploration, Müller et al.).
+	ExploreProb float64
+	// SRTTAlpha is the smoothing factor for sRTT updates.
+	SRTTAlpha float64
+	// NegTTLSeconds is the negative-cache TTL for NXDOMAIN answers.
+	NegTTLSeconds float64
+	// SLDTTLMinSeconds/SLDTTLMaxSeconds bound (log-uniformly) the TTLs of
+	// final answers.
+	SLDTTLMinSeconds, SLDTTLMaxSeconds float64
+	// TimeoutPenaltyMs is the latency a client suffers per timeout+retry.
+	TimeoutPenaltyMs float64
+	// TruncationProb is the chance a UDP root response arrives truncated,
+	// forcing a TCP retry (the handshakes the paper mines for RTTs, §3).
+	TruncationProb float64
+	// LocalRoot enables RFC 8806 operation: the resolver serves the root
+	// zone from a local copy, so no user query ever waits on a root
+	// server; the zone is refreshed once per TTL (the paper's "Ideal"
+	// querying behavior made real, §4.3).
+	LocalRoot bool
+	// NoNSRefresh disables refreshing the cached TLD NS RRset from the
+	// authority section of TLD-server responses. Real resolvers do
+	// refresh (it is why busy resolvers' root miss rates sit near 0.5%);
+	// disabling it isolates the pure-TTL-expiry behavior.
+	NoNSRefresh bool
+}
+
+func (c ResolverConfig) withDefaults() ResolverConfig {
+	if c.NumLetters == 0 {
+		c.NumLetters = 13
+	}
+	if c.ExploreProb == 0 {
+		c.ExploreProb = 0.05
+	}
+	if c.SRTTAlpha == 0 {
+		c.SRTTAlpha = 0.3
+	}
+	if c.NegTTLSeconds == 0 {
+		c.NegTTLSeconds = 3600
+	}
+	if c.SLDTTLMinSeconds == 0 {
+		c.SLDTTLMinSeconds = 60
+	}
+	if c.SLDTTLMaxSeconds == 0 {
+		c.SLDTTLMaxSeconds = 86400
+	}
+	if c.TimeoutPenaltyMs == 0 {
+		c.TimeoutPenaltyMs = 800
+	}
+	if c.TruncationProb == 0 {
+		c.TruncationProb = 0.04
+	}
+	return c
+}
+
+// Counters accumulates resolver statistics.
+type Counters struct {
+	UserQueries uint64
+	// CacheHits counts user queries answered entirely from cache.
+	CacheHits uint64
+	// RootQueriesValid counts root queries for existing TLDs, including
+	// redundant ones.
+	RootQueriesValid uint64
+	// RootQueriesInvalid counts root queries for nonexistent TLDs.
+	RootQueriesInvalid uint64
+	// RootQueriesRedundant counts bug-driven root queries (a subset of
+	// RootQueriesValid: the cached TLD NS made them unnecessary).
+	RootQueriesRedundant uint64
+	// RootQueriesPerLetter splits all root queries by letter.
+	RootQueriesPerLetter []uint64
+	// RootQueriesTCP counts root queries retried over TCP after a
+	// truncated UDP response.
+	RootQueriesTCP uint64
+	// ZoneRefreshes counts RFC 8806 local-root zone transfers.
+	ZoneRefreshes uint64
+}
+
+// RootQueries returns all root queries (valid + invalid).
+func (c *Counters) RootQueries() uint64 { return c.RootQueriesValid + c.RootQueriesInvalid }
+
+// RootMissRate is the paper's "root cache miss rate": root queries as a
+// fraction of user queries (§4.3; ISI median 0.5%).
+func (c *Counters) RootMissRate() float64 {
+	if c.UserQueries == 0 {
+		return 0
+	}
+	return float64(c.RootQueries()) / float64(c.UserQueries)
+}
+
+// TraceStep is one message of a resolution, for the Table 5 reproduction.
+type TraceStep struct {
+	RelSeconds float64
+	From, To   string
+	QName      string
+	QType      string
+	Note       string
+}
+
+// QueryResult describes one user query's outcome.
+type QueryResult struct {
+	// LatencyMs is the total latency the user saw.
+	LatencyMs float64
+	// RootLatencyMs is the share of LatencyMs spent waiting on root
+	// servers (zero when the TLD NS was cached).
+	RootLatencyMs float64
+	// RootQueriesOnPath counts root queries the user waited for.
+	RootQueriesOnPath int
+	// RedundantRootQueries counts bug-driven background root queries.
+	RedundantRootQueries int
+	// CacheHit reports a full cache answer.
+	CacheHit bool
+	// NXDomain reports a nonexistent TLD.
+	NXDomain bool
+}
+
+// Resolver is an event-level caching recursive resolver. Time is virtual
+// (seconds); callers advance it between queries. Not safe for concurrent
+// use.
+type Resolver struct {
+	zone *Zone
+	cfg  ResolverConfig
+	ups  Upstreams
+	rng  *rand.Rand
+
+	now   float64
+	cache map[string]float64 // key -> absolute expiry (seconds)
+	srtt  []float64
+
+	counters Counters
+	trace    []TraceStep
+	tracing  bool
+
+	// localRootExpiry is when the RFC 8806 zone copy goes stale.
+	localRootExpiry float64
+}
+
+// NewResolver creates a resolver over zone with the given upstreams.
+func NewResolver(zone *Zone, cfg ResolverConfig, ups Upstreams, rng *rand.Rand) (*Resolver, error) {
+	cfg = cfg.withDefaults()
+	if zone == nil {
+		return nil, fmt.Errorf("dnssim: nil zone")
+	}
+	if ups.RootRTT == nil || ups.TLDRTT == nil || ups.AuthRTT == nil {
+		return nil, fmt.Errorf("dnssim: incomplete upstreams")
+	}
+	srtt := make([]float64, cfg.NumLetters)
+	for i := range srtt {
+		srtt[i] = math.Inf(1) // unknown
+	}
+	return &Resolver{
+		zone:  zone,
+		cfg:   cfg,
+		ups:   ups,
+		rng:   rng,
+		cache: make(map[string]float64),
+		srtt:  srtt,
+		counters: Counters{
+			RootQueriesPerLetter: make([]uint64, cfg.NumLetters),
+		},
+	}, nil
+}
+
+// Now returns the resolver's virtual time in seconds.
+func (r *Resolver) Now() float64 { return r.now }
+
+// AdvanceTo moves virtual time forward (no-op if t is in the past).
+func (r *Resolver) AdvanceTo(t float64) {
+	if t > r.now {
+		r.now = t
+	}
+}
+
+// Counters returns accumulated statistics.
+func (r *Resolver) Counters() Counters { return r.counters }
+
+// StartTrace begins recording message steps (Table 5).
+func (r *Resolver) StartTrace() { r.tracing = true; r.trace = nil }
+
+// StopTrace stops recording and returns the steps.
+func (r *Resolver) StopTrace() []TraceStep {
+	r.tracing = false
+	out := r.trace
+	r.trace = nil
+	return out
+}
+
+func (r *Resolver) addTrace(rel float64, from, to, qname, qtype, note string) {
+	if r.tracing {
+		r.trace = append(r.trace, TraceStep{rel, from, to, qname, qtype, note})
+	}
+}
+
+func (r *Resolver) cached(key string) bool {
+	exp, ok := r.cache[key]
+	if !ok {
+		return false
+	}
+	if exp <= r.now {
+		delete(r.cache, key)
+		return false
+	}
+	return true
+}
+
+func (r *Resolver) put(key string, ttl float64) {
+	r.cache[key] = r.now + ttl
+}
+
+// CacheLen returns the number of live cache entries (expired entries may
+// linger until touched).
+func (r *Resolver) CacheLen() int { return len(r.cache) }
+
+// pickLetter applies sRTT preference with exploration.
+func (r *Resolver) pickLetter() int {
+	// Prefer probing any letter never tried.
+	unknown := make([]int, 0, len(r.srtt))
+	for i, v := range r.srtt {
+		if math.IsInf(v, 1) {
+			unknown = append(unknown, i)
+		}
+	}
+	if len(unknown) > 0 {
+		return unknown[r.rng.Intn(len(unknown))]
+	}
+	if r.rng.Float64() < r.cfg.ExploreProb {
+		return r.rng.Intn(len(r.srtt))
+	}
+	best := 0
+	for i, v := range r.srtt {
+		if v < r.srtt[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// queryRoot performs one root query, updating sRTT and counters. A
+// truncated UDP response forces a TCP retry costing two extra round trips
+// (SYN handshake plus the query itself).
+func (r *Resolver) queryRoot(valid, redundant bool) (latencyMs float64, letter int) {
+	letter = r.pickLetter()
+	lat := r.ups.RootRTT(letter)
+	if r.rng.Float64() < r.cfg.TruncationProb {
+		lat += 2 * r.ups.RootRTT(letter)
+		r.counters.RootQueriesTCP++
+	}
+	if math.IsInf(r.srtt[letter], 1) {
+		r.srtt[letter] = lat
+	} else {
+		a := r.cfg.SRTTAlpha
+		r.srtt[letter] = (1-a)*r.srtt[letter] + a*lat
+	}
+	if valid {
+		r.counters.RootQueriesValid++
+	} else {
+		r.counters.RootQueriesInvalid++
+	}
+	if redundant {
+		r.counters.RootQueriesRedundant++
+	}
+	r.counters.RootQueriesPerLetter[letter]++
+	return lat, letter
+}
+
+// localRootCurrent refreshes the RFC 8806 local zone copy if stale and
+// reports that the zone answers locally.
+func (r *Resolver) localRootCurrent() bool {
+	if !r.cfg.LocalRoot {
+		return false
+	}
+	if r.now >= r.localRootExpiry {
+		r.counters.ZoneRefreshes++
+		r.localRootExpiry = r.now + TLDTTLSeconds
+	}
+	return true
+}
+
+// sldDelegation deterministically derives the nameserver set for a
+// second-level domain: 2–6 NS names under the domain itself, with A glue
+// in the TLD's response for only the first few — the out-of-glue remainder
+// is what the bug re-resolves via the roots.
+func sldDelegation(domain string) (ns []string, glued int) {
+	h := uint32(2166136261)
+	for i := 0; i < len(domain); i++ {
+		h = (h ^ uint32(domain[i])) * 16777619
+	}
+	n := 2 + int(h%5)       // 2..6
+	glued = 1 + int(h>>8)%2 // 1..2
+	if glued > n {
+		glued = n
+	}
+	ns = make([]string, n)
+	for i := range ns {
+		ns[i] = fmt.Sprintf("ns%d.%s", 20+i, domain)
+	}
+	return ns, glued
+}
+
+// ResolveA resolves an A query for domain ("label.tld" or a single label)
+// as a user query at the current virtual time.
+func (r *Resolver) ResolveA(domain string) QueryResult {
+	return r.resolve(domain, false)
+}
+
+// ResolveAForceTimeout is ResolveA with the authoritative timeout forced,
+// for reproducing the redundant-query trace deterministically (Table 5).
+func (r *Resolver) ResolveAForceTimeout(domain string) QueryResult {
+	return r.resolve(domain, true)
+}
+
+func (r *Resolver) resolve(domain string, forceTimeout bool) QueryResult {
+	r.counters.UserQueries++
+	domain = strings.TrimSuffix(domain, ".")
+	var res QueryResult
+	start := r.now
+	r.addTrace(0, "client", "resolver", domain, "A", "")
+
+	// Full-answer cache.
+	if r.cached("A:" + domain) {
+		r.counters.CacheHits++
+		res.CacheHit = true
+		res.LatencyMs = 0.1 + r.rng.Float64()*0.7
+		return res
+	}
+	if r.cached("NEG:" + domain) {
+		r.counters.CacheHits++
+		res.CacheHit = true
+		res.NXDomain = true
+		res.LatencyMs = 0.1 + r.rng.Float64()*0.7
+		return res
+	}
+
+	tldName := lastLabel(domain)
+	tld, ok := r.zone.Lookup(tldName)
+	if !ok {
+		// Invalid TLD: answered NXDOMAIN by the roots — or instantly from
+		// the local zone copy under RFC 8806.
+		if r.localRootCurrent() {
+			res.LatencyMs = 0.1 + r.rng.Float64()*0.4
+			res.NXDomain = true
+			r.put("NEG:"+domain, r.cfg.NegTTLSeconds)
+			return res
+		}
+		lat, letter := r.queryRoot(false, false)
+		r.addTrace(r.now-start, "resolver", letterName(letter), domain, "A", "NXDOMAIN")
+		res.LatencyMs = lat
+		res.RootLatencyMs = lat
+		res.RootQueriesOnPath = 1
+		res.NXDomain = true
+		r.put("NEG:"+domain, r.cfg.NegTTLSeconds)
+		return res
+	}
+
+	// TLD NS from cache, the local zone copy, or a root query.
+	if r.localRootCurrent() {
+		if !r.cached("NS:" + tldName) {
+			ttl := float64(TLDTTLSeconds)
+			r.put("NS:"+tldName, ttl)
+			for i := 0; i < tld.GluedA && i < len(tld.NSNames); i++ {
+				r.put("ADDR:"+tld.NSNames[i], ttl)
+			}
+		}
+	} else if !r.cached("NS:" + tldName) {
+		lat, letter := r.queryRoot(true, false)
+		r.addTrace(r.now-start, "resolver", letterName(letter), tldName, "NS", "referral")
+		res.LatencyMs += lat
+		res.RootLatencyMs += lat
+		res.RootQueriesOnPath++
+		ttl := float64(TLDTTLSeconds) * (0.9 + 0.1*r.rng.Float64())
+		r.put("NS:"+tldName, ttl)
+		for i := 0; i < tld.GluedA && i < len(tld.NSNames); i++ {
+			r.put("ADDR:"+tld.NSNames[i], ttl)
+		}
+	}
+
+	if domain == tldName {
+		// A query for the TLD itself: answered by the TLD servers.
+		res.LatencyMs += r.ups.TLDRTT()
+		r.put("A:"+domain, r.sldTTL())
+		return res
+	}
+
+	// Query the TLD server for the delegation. Its response's authority
+	// section re-delivers the TLD's NS RRset, refreshing the cache: only
+	// TLDs untouched for a full TTL ever need the root again.
+	tldLat := r.ups.TLDRTT()
+	res.LatencyMs += tldLat
+	if !r.cfg.NoNSRefresh {
+		r.put("NS:"+tldName, float64(TLDTTLSeconds)*(0.9+0.1*r.rng.Float64()))
+	}
+	nsNames, glued := sldDelegation(domain)
+	r.addTrace(r.now-start, "resolver", "tld."+tldName, domain, "A",
+		fmt.Sprintf("referral to %d NS (%d glued)", len(nsNames), glued))
+	for i := 0; i < glued; i++ {
+		r.put("ADDR:"+nsNames[i], 3600)
+	}
+
+	// Query the SLD authoritative.
+	timedOut := forceTimeout || r.rng.Float64() < r.ups.AuthTimeoutProb
+	if timedOut {
+		res.LatencyMs += r.cfg.TimeoutPenaltyMs
+		r.addTrace(r.now-start, "resolver", "ns-primary."+domain, domain, "A", "timeout")
+		// Retry another nameserver.
+		res.LatencyMs += r.ups.AuthRTT(domain)
+		r.addTrace(r.now-start, "resolver", "ns-alt."+domain, domain, "A", "answer")
+		if r.cfg.Bug {
+			// BIND re-resolves the address records of every nameserver in
+			// the delegation, starting from the root, even though the TLD
+			// NS is cached — redundant queries (Appendix E). AAAA lookups
+			// dominate because fewer AAAA records ride the additional
+			// section.
+			for _, ns := range nsNames {
+				if r.localRootCurrent() {
+					// Under RFC 8806 the re-resolution consults the local
+					// zone copy: no packet reaches the roots.
+					r.put("ADDR:"+ns, 3600)
+					continue
+				}
+				if !r.cached("ADDR:" + ns) {
+					r.queryRoot(true, true)
+					r.addTrace(r.now-start, "resolver", "root", ns, "A", "redundant")
+					r.put("ADDR:"+ns, 3600)
+				}
+				r.queryRoot(true, true)
+				r.addTrace(r.now-start, "resolver", "root", ns, "AAAA", "redundant")
+				res.RedundantRootQueries++
+			}
+		}
+	} else {
+		res.LatencyMs += r.ups.AuthRTT(domain)
+		r.addTrace(r.now-start, "resolver", "ns-primary."+domain, domain, "A", "answer")
+	}
+	r.put("A:"+domain, r.sldTTL())
+	return res
+}
+
+// sldTTL draws a log-uniform answer TTL.
+func (r *Resolver) sldTTL() float64 {
+	lo, hi := math.Log(r.cfg.SLDTTLMinSeconds), math.Log(r.cfg.SLDTTLMaxSeconds)
+	return math.Exp(lo + r.rng.Float64()*(hi-lo))
+}
+
+func lastLabel(name string) string {
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		return name[i+1:]
+	}
+	return name
+}
+
+func letterName(i int) string {
+	return fmt.Sprintf("%c.root", 'A'+i%26)
+}

@@ -1,0 +1,135 @@
+// Package dnssim models the root DNS service and its clients: the root
+// zone (TLD delegations with two-day TTLs), an event-level recursive
+// resolver with a TTL cache, sRTT-based root letter preference, and the
+// BIND redundant-query bug (Appendix E), plus the analytic per-recursive
+// query-rate model that scales the same behavior to the global population.
+package dnssim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// TLDTTLSeconds is the TTL of TLD NS records in the root zone: two days
+// (§4.1 — nearly all TLD records carry this TTL).
+const TLDTTLSeconds = 172800
+
+// TLD is one top-level domain delegation in the root zone.
+type TLD struct {
+	Name string
+	// Popularity is the TLD's share of user lookups; sums to 1 over the zone.
+	Popularity float64
+	// NSNames are the delegation's nameserver names.
+	NSNames []string
+	// GluedA is the number of leading NSNames with A glue in the root's
+	// additional section (the rest require separate resolution — the
+	// precondition for the redundant-query bug).
+	GluedA int
+}
+
+// Zone is the root zone: the full set of TLD delegations.
+type Zone struct {
+	TLDs   []TLD
+	byName map[string]int
+	// cumulative popularity for sampling
+	cum []float64
+}
+
+// realTLDs seed the zone with actual TLD names, most popular first; the
+// remainder of the ~1000 singleton delegations is synthesized.
+var realTLDs = []string{
+	"com", "net", "org", "de", "cn", "uk", "nl", "ru", "jp", "fr",
+	"br", "it", "pl", "in", "au", "ir", "info", "io", "co", "us",
+	"ca", "es", "se", "ch", "tr", "mx", "kr", "ar", "id", "tw",
+	"vn", "ua", "cz", "be", "gr", "at", "dk", "fi", "no", "pt",
+	"ro", "hu", "il", "sg", "hk", "nz", "za", "th", "my", "cl",
+	"biz", "xyz", "online", "app", "dev", "edu", "gov", "mil", "int", "arpa",
+}
+
+// NewZone builds a root zone with n TLDs (default 1000 when n <= 0).
+// Popularity is Zipf-like with "com" carrying the largest share, matching
+// the heavy concentration of real lookups.
+func NewZone(n int, rng *rand.Rand) *Zone {
+	if n <= 0 {
+		n = 1000
+	}
+	z := &Zone{byName: make(map[string]int, n)}
+	var totalPop float64
+	for i := 0; i < n; i++ {
+		var name string
+		if i < len(realTLDs) {
+			name = realTLDs[i]
+		} else {
+			name = fmt.Sprintf("gtld%03d", i-len(realTLDs))
+		}
+		pop := 1 / math.Pow(float64(i+1), 1.5)
+		if i == 0 {
+			pop *= 6 // com dominates
+		}
+		nNS := 2 + rng.Intn(5)
+		ns := make([]string, nNS)
+		for k := range ns {
+			ns[k] = fmt.Sprintf("%c.nic.%s", 'a'+k, name)
+		}
+		glued := 1 + rng.Intn(nNS)
+		z.TLDs = append(z.TLDs, TLD{
+			Name:       name,
+			Popularity: pop,
+			NSNames:    ns,
+			GluedA:     glued,
+		})
+		z.byName[name] = i
+		totalPop += pop
+	}
+	z.cum = make([]float64, n)
+	var c float64
+	for i := range z.TLDs {
+		z.TLDs[i].Popularity /= totalPop
+		c += z.TLDs[i].Popularity
+		z.cum[i] = c
+	}
+	return z
+}
+
+// Len returns the number of delegations.
+func (z *Zone) Len() int { return len(z.TLDs) }
+
+// Lookup returns the delegation for a TLD name.
+func (z *Zone) Lookup(name string) (*TLD, bool) {
+	i, ok := z.byName[name]
+	if !ok {
+		return nil, false
+	}
+	return &z.TLDs[i], true
+}
+
+// SampleTLD draws a TLD index by popularity.
+func (z *Zone) SampleTLD(rng *rand.Rand) int {
+	x := rng.Float64()
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// ActiveTLDs estimates how many distinct TLDs appear among q popularity-
+// weighted lookups: the expected number of delegations touched, which
+// bounds a perfectly caching recursive's daily root queries. Computed as
+// sum over TLDs of (1 - (1-p_i)^q).
+func (z *Zone) ActiveTLDs(q float64) float64 {
+	if q <= 0 {
+		return 0
+	}
+	var s float64
+	for _, t := range z.TLDs {
+		s += 1 - math.Exp(-t.Popularity*q)
+	}
+	return s
+}

@@ -1,0 +1,312 @@
+package ipaddr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"anycastctx/internal/geo"
+)
+
+func TestAddrRoundTrip(t *testing.T) {
+	tests := []string{"0.0.0.0", "1.2.3.4", "10.0.0.1", "192.168.255.254", "255.255.255.255"}
+	for _, s := range tests {
+		a, err := ParseAddr(s)
+		if err != nil {
+			t.Fatalf("ParseAddr(%q): %v", s, err)
+		}
+		if a.String() != s {
+			t.Errorf("round trip %q -> %q", s, a.String())
+		}
+	}
+	if _, err := ParseAddr("::1"); err == nil {
+		t.Error("accepted IPv6 address")
+	}
+	if _, err := ParseAddr("bogus"); err == nil {
+		t.Error("accepted garbage")
+	}
+}
+
+func TestAddrRoundTripProperty(t *testing.T) {
+	prop := func(v uint32) bool {
+		a := Addr(v)
+		b, err := ParseAddr(a.String())
+		return err == nil && b == a
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAs4(t *testing.T) {
+	a := AddrFrom4(1, 2, 3, 4)
+	if got := a.As4(); got != [4]byte{1, 2, 3, 4} {
+		t.Errorf("As4 = %v", got)
+	}
+}
+
+func TestSlash24(t *testing.T) {
+	a, _ := ParseAddr("203.0.114.77")
+	p := a.Slash24()
+	if p.String() != "203.0.114.0/24" {
+		t.Errorf("Slash24 = %s", p)
+	}
+	if !p.Contains(a) {
+		t.Error("slash24 does not contain its address")
+	}
+}
+
+func TestPrefixParseAndContains(t *testing.T) {
+	p, err := ParsePrefix("10.20.0.0/16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, _ := ParseAddr("10.20.99.1")
+	out, _ := ParseAddr("10.21.0.1")
+	if !p.Contains(in) {
+		t.Error("should contain in-range address")
+	}
+	if p.Contains(out) {
+		t.Error("should not contain out-of-range address")
+	}
+	if _, err := ParsePrefix("junk"); err == nil {
+		t.Error("accepted garbage prefix")
+	}
+	if _, err := ParsePrefix("::/0"); err == nil {
+		t.Error("accepted IPv6 prefix")
+	}
+	if _, err := NewPrefix(0, 33); err == nil {
+		t.Error("accepted /33")
+	}
+}
+
+func TestPrefixMasking(t *testing.T) {
+	p, err := NewPrefix(AddrFrom4(10, 20, 30, 40), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Addr != AddrFrom4(10, 20, 0, 0) {
+		t.Errorf("prefix addr not masked: %s", p.Addr)
+	}
+	zero, err := NewPrefix(AddrFrom4(9, 9, 9, 9), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.Addr != 0 {
+		t.Errorf("/0 not fully masked: %s", zero.Addr)
+	}
+	if !zero.Contains(AddrFrom4(255, 1, 2, 3)) {
+		t.Error("/0 should contain everything")
+	}
+}
+
+func TestPrefixOverlaps(t *testing.T) {
+	a := MustPrefix(AddrFrom4(10, 0, 0, 0), 8)
+	b := MustPrefix(AddrFrom4(10, 5, 0, 0), 16)
+	c := MustPrefix(AddrFrom4(11, 0, 0, 0), 8)
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("nested prefixes should overlap")
+	}
+	if a.Overlaps(c) {
+		t.Error("disjoint prefixes should not overlap")
+	}
+}
+
+func TestPrefixNth(t *testing.T) {
+	p := MustPrefix(AddrFrom4(192, 0, 2, 0), 24)
+	if p.NumAddrs() != 256 {
+		t.Errorf("NumAddrs = %d", p.NumAddrs())
+	}
+	if p.Nth(0) != AddrFrom4(192, 0, 2, 0) || p.Nth(255) != AddrFrom4(192, 0, 2, 255) {
+		t.Error("Nth endpoints wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Nth out of range did not panic")
+		}
+	}()
+	p.Nth(256)
+}
+
+func TestIsSpecialPurpose(t *testing.T) {
+	special := []string{"10.1.2.3", "192.168.0.1", "172.16.5.5", "127.0.0.1", "169.254.1.1", "100.64.0.1", "224.0.0.1", "240.0.0.1", "0.1.2.3"}
+	for _, s := range special {
+		a, _ := ParseAddr(s)
+		if !IsSpecialPurpose(a) {
+			t.Errorf("%s should be special purpose", s)
+		}
+	}
+	public := []string{"8.8.8.8", "1.1.1.1", "199.7.83.42", "198.41.0.4"}
+	for _, s := range public {
+		a, _ := ParseAddr(s)
+		if IsSpecialPurpose(a) {
+			t.Errorf("%s should be public", s)
+		}
+	}
+}
+
+func TestTableLongestPrefixMatch(t *testing.T) {
+	var tb Table
+	tb.Insert(MustPrefix(AddrFrom4(10, 0, 0, 0), 8), 100)
+	tb.Insert(MustPrefix(AddrFrom4(10, 1, 0, 0), 16), 200)
+	tb.Insert(MustPrefix(AddrFrom4(10, 1, 2, 0), 24), 300)
+
+	tests := []struct {
+		addr string
+		want int32
+		ok   bool
+	}{
+		{"10.1.2.3", 300, true},
+		{"10.1.9.9", 200, true},
+		{"10.200.0.1", 100, true},
+		{"11.0.0.1", 0, false},
+	}
+	for _, tt := range tests {
+		a, _ := ParseAddr(tt.addr)
+		got, ok := tb.Lookup(a)
+		if ok != tt.ok || (ok && got != tt.want) {
+			t.Errorf("Lookup(%s) = %d,%v want %d,%v", tt.addr, got, ok, tt.want, tt.ok)
+		}
+	}
+	if tb.Len() != 3 {
+		t.Errorf("Len = %d", tb.Len())
+	}
+	// Replacing the same prefix should not grow Len.
+	tb.Insert(MustPrefix(AddrFrom4(10, 0, 0, 0), 8), 101)
+	if tb.Len() != 3 {
+		t.Errorf("Len after replace = %d", tb.Len())
+	}
+	a, _ := ParseAddr("10.200.0.1")
+	if got, _ := tb.Lookup(a); got != 101 {
+		t.Errorf("replaced value = %d", got)
+	}
+}
+
+func TestTableDefaultRouteAndHostRoute(t *testing.T) {
+	var tb Table
+	tb.Insert(MustPrefix(0, 0), 1)
+	tb.Insert(MustPrefix(AddrFrom4(5, 6, 7, 8), 32), 2)
+	if got, ok := tb.Lookup(AddrFrom4(9, 9, 9, 9)); !ok || got != 1 {
+		t.Errorf("default route lookup = %d,%v", got, ok)
+	}
+	if got, ok := tb.Lookup(AddrFrom4(5, 6, 7, 8)); !ok || got != 2 {
+		t.Errorf("host route lookup = %d,%v", got, ok)
+	}
+}
+
+func TestTableRandomConsistency(t *testing.T) {
+	// Property: lookups agree with a brute-force scan over inserted prefixes.
+	rng := rand.New(rand.NewSource(17))
+	var tb Table
+	type entry struct {
+		p Prefix
+		v int32
+	}
+	entries := map[Prefix]int32{}
+	for i := 0; i < 400; i++ {
+		bits := uint8(8 + rng.Intn(25))
+		p := MustPrefix(Addr(rng.Uint32()), bits)
+		entries[p] = int32(i)
+		tb.Insert(p, int32(i))
+	}
+	var list []entry
+	for p, v := range entries {
+		list = append(list, entry{p, v})
+	}
+	for i := 0; i < 2000; i++ {
+		a := Addr(rng.Uint32())
+		var best *entry
+		for j := range list {
+			e := &list[j]
+			if e.p.Contains(a) && (best == nil || e.p.Bits > best.p.Bits) {
+				best = e
+			}
+		}
+		got, ok := tb.Lookup(a)
+		if best == nil {
+			if ok {
+				t.Fatalf("Lookup(%s) = %d, want miss", a, got)
+			}
+			continue
+		}
+		if !ok || got != best.v {
+			t.Fatalf("Lookup(%s) = %d,%v want %d", a, got, ok, best.v)
+		}
+	}
+}
+
+func TestASNTable(t *testing.T) {
+	var at ASNTable
+	at.AddRoute(MustPrefix(AddrFrom4(20, 0, 0, 0), 8), 64500)
+	a, _ := ParseAddr("20.1.2.3")
+	asn, ok := at.ASN(a)
+	if !ok || asn != 64500 {
+		t.Errorf("ASN = %d,%v", asn, ok)
+	}
+	if _, ok := at.ASN(AddrFrom4(99, 0, 0, 1)); ok {
+		t.Error("unexpected ASN hit")
+	}
+	if at.Len() != 1 {
+		t.Errorf("Len = %d", at.Len())
+	}
+}
+
+func TestGeoDB(t *testing.T) {
+	var db GeoDB
+	loc := geo.Coord{Lat: 40, Lon: -74}
+	db.AddPrefix(MustPrefix(AddrFrom4(30, 0, 0, 0), 8), loc)
+	got, ok := db.Locate(AddrFrom4(30, 5, 5, 5))
+	if !ok || got != loc {
+		t.Errorf("Locate = %v,%v", got, ok)
+	}
+	if _, ok := db.Locate(AddrFrom4(31, 0, 0, 0)); ok {
+		t.Error("unexpected geo hit")
+	}
+	if db.Len() != 1 {
+		t.Errorf("Len = %d", db.Len())
+	}
+}
+
+func TestKey24(t *testing.T) {
+	a, _ := ParseAddr("198.51.100.200")
+	b, _ := ParseAddr("198.51.100.1")
+	c, _ := ParseAddr("198.51.101.1")
+	if Key24(a) != Key24(b) {
+		t.Error("same /24 should share key")
+	}
+	if Key24(a) == Key24(c) {
+		t.Error("different /24s should differ")
+	}
+	if Key24(a).Prefix().String() != "198.51.100.0/24" {
+		t.Errorf("key prefix = %s", Key24(a).Prefix())
+	}
+	if Key24(a).String() != "198.51.100.0/24" {
+		t.Errorf("key string = %s", Key24(a))
+	}
+}
+
+func TestPoolSkipsReserved(t *testing.T) {
+	p := NewPool()
+	// Allocate enough to cross the 10/8 boundary: 1/8..9/8 is ~9*65536 /24s.
+	const n = 10 * 65536
+	prefixes, err := p.AllocSlash24s(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prefixes) != n {
+		t.Fatalf("got %d prefixes", len(prefixes))
+	}
+	seen := map[Addr]bool{}
+	for _, pfx := range prefixes {
+		if pfx.Bits != 24 {
+			t.Fatalf("non-/24 allocated: %s", pfx)
+		}
+		if IsSpecialPurpose(pfx.Addr) {
+			t.Fatalf("reserved space allocated: %s", pfx)
+		}
+		if seen[pfx.Addr] {
+			t.Fatalf("duplicate allocation: %s", pfx)
+		}
+		seen[pfx.Addr] = true
+	}
+}

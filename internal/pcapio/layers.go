@@ -1,0 +1,334 @@
+// Package pcapio provides packet capture I/O for the DITL-style captures:
+// a classic pcap file writer/reader (LINKTYPE_RAW, packets begin at the
+// IPv4 header) and a small gopacket-style layered codec for
+// IPv4/UDP/TCP+payload packets, with real header checksums.
+package pcapio
+
+import (
+	"errors"
+	"fmt"
+
+	"anycastctx/internal/ipaddr"
+)
+
+// LayerType identifies a decoded protocol layer.
+type LayerType uint8
+
+// Layer types understood by the codec.
+const (
+	LayerTypeIPv4 LayerType = iota
+	LayerTypeUDP
+	LayerTypeTCP
+	LayerTypePayload
+)
+
+// String implements fmt.Stringer.
+func (t LayerType) String() string {
+	switch t {
+	case LayerTypeIPv4:
+		return "IPv4"
+	case LayerTypeUDP:
+		return "UDP"
+	case LayerTypeTCP:
+		return "TCP"
+	case LayerTypePayload:
+		return "Payload"
+	default:
+		return fmt.Sprintf("LayerType(%d)", uint8(t))
+	}
+}
+
+// Layer is one decoded protocol layer.
+type Layer interface {
+	LayerType() LayerType
+}
+
+// IP protocol numbers.
+const (
+	ProtoTCP = 6
+	ProtoUDP = 17
+)
+
+// Decode errors.
+var (
+	ErrShortPacket = errors.New("pcapio: packet too short")
+	ErrBadVersion  = errors.New("pcapio: not an IPv4 packet")
+	ErrBadChecksum = errors.New("pcapio: bad IPv4 header checksum")
+	ErrBadLength   = errors.New("pcapio: inconsistent length fields")
+)
+
+// IPv4 is the network layer.
+type IPv4 struct {
+	Src, Dst ipaddr.Addr
+	Protocol uint8
+	TTL      uint8
+	ID       uint16
+}
+
+// LayerType implements Layer.
+func (*IPv4) LayerType() LayerType { return LayerTypeIPv4 }
+
+// UDP is the UDP transport layer.
+type UDP struct {
+	SrcPort, DstPort uint16
+}
+
+// LayerType implements Layer.
+func (*UDP) LayerType() LayerType { return LayerTypeUDP }
+
+// TCP flag bits.
+const (
+	FlagFIN = 1 << 0
+	FlagSYN = 1 << 1
+	FlagRST = 1 << 2
+	FlagPSH = 1 << 3
+	FlagACK = 1 << 4
+)
+
+// TCP is the TCP transport layer (the subset the captures need: ports,
+// sequence numbers, and flags, so handshake RTT estimation has real
+// SYN/SYN-ACK/ACK exchanges to look at).
+type TCP struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            uint8
+}
+
+// LayerType implements Layer.
+func (*TCP) LayerType() LayerType { return LayerTypeTCP }
+
+// Payload is the application-layer bytes (a DNS message in this system).
+type Payload []byte
+
+// LayerType implements Layer.
+func (Payload) LayerType() LayerType { return LayerTypePayload }
+
+// Packet is a decoded packet: an IPv4 layer, a transport layer, and an
+// optional payload.
+type Packet struct {
+	layers []Layer
+}
+
+// Layers returns all decoded layers outermost-first.
+func (p *Packet) Layers() []Layer { return p.layers }
+
+// Layer returns the first layer of the given type, or nil.
+func (p *Packet) Layer(t LayerType) Layer {
+	for _, l := range p.layers {
+		if l.LayerType() == t {
+			return l
+		}
+	}
+	return nil
+}
+
+// IPv4 returns the network layer (never nil for a decoded packet).
+func (p *Packet) IPv4() *IPv4 {
+	if l := p.Layer(LayerTypeIPv4); l != nil {
+		return l.(*IPv4)
+	}
+	return nil
+}
+
+// UDP returns the UDP layer or nil.
+func (p *Packet) UDP() *UDP {
+	if l := p.Layer(LayerTypeUDP); l != nil {
+		return l.(*UDP)
+	}
+	return nil
+}
+
+// TCP returns the TCP layer or nil.
+func (p *Packet) TCP() *TCP {
+	if l := p.Layer(LayerTypeTCP); l != nil {
+		return l.(*TCP)
+	}
+	return nil
+}
+
+// Payload returns the application payload (nil if none).
+func (p *Packet) Payload() []byte {
+	if l := p.Layer(LayerTypePayload); l != nil {
+		return []byte(l.(Payload))
+	}
+	return nil
+}
+
+// checksum computes the Internet checksum over b with an initial sum.
+func checksum(b []byte, initial uint32) uint16 {
+	sum := initial
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(b[i])<<8 | uint32(b[i+1])
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum > 0xFFFF {
+		sum = (sum & 0xFFFF) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// pseudoHeaderSum folds the IPv4 pseudo-header for transport checksums.
+func pseudoHeaderSum(src, dst ipaddr.Addr, proto uint8, length int) uint32 {
+	var sum uint32
+	s, d := uint32(src), uint32(dst)
+	sum += s >> 16
+	sum += s & 0xFFFF
+	sum += d >> 16
+	sum += d & 0xFFFF
+	sum += uint32(proto)
+	sum += uint32(length)
+	return sum
+}
+
+// SerializeUDP builds a full IPv4+UDP packet with valid checksums.
+func SerializeUDP(ip *IPv4, udp *UDP, payload []byte) ([]byte, error) {
+	udpLen := 8 + len(payload)
+	total := 20 + udpLen
+	if total > 0xFFFF {
+		return nil, fmt.Errorf("pcapio: packet too large (%d bytes)", total)
+	}
+	b := make([]byte, total)
+	writeIPv4Header(b, ip, ProtoUDP, total)
+
+	u := b[20:]
+	be16(u[0:], udp.SrcPort)
+	be16(u[2:], udp.DstPort)
+	be16(u[4:], uint16(udpLen))
+	copy(u[8:], payload)
+	ck := checksum(u[:udpLen], pseudoHeaderSum(ip.Src, ip.Dst, ProtoUDP, udpLen))
+	if ck == 0 {
+		ck = 0xFFFF // RFC 768: transmitted as all ones
+	}
+	be16(u[6:], ck)
+	return b, nil
+}
+
+// SerializeTCP builds a full IPv4+TCP packet (20-byte TCP header, no
+// options) with valid checksums.
+func SerializeTCP(ip *IPv4, tcp *TCP, payload []byte) ([]byte, error) {
+	tcpLen := 20 + len(payload)
+	total := 20 + tcpLen
+	if total > 0xFFFF {
+		return nil, fmt.Errorf("pcapio: packet too large (%d bytes)", total)
+	}
+	b := make([]byte, total)
+	writeIPv4Header(b, ip, ProtoTCP, total)
+
+	s := b[20:]
+	be16(s[0:], tcp.SrcPort)
+	be16(s[2:], tcp.DstPort)
+	be32(s[4:], tcp.Seq)
+	be32(s[8:], tcp.Ack)
+	s[12] = 5 << 4 // data offset: 5 words
+	s[13] = tcp.Flags
+	be16(s[14:], 65535) // window
+	copy(s[20:], payload)
+	ck := checksum(s[:tcpLen], pseudoHeaderSum(ip.Src, ip.Dst, ProtoTCP, tcpLen))
+	be16(s[16:], ck)
+	return b, nil
+}
+
+func writeIPv4Header(b []byte, ip *IPv4, proto uint8, total int) {
+	b[0] = 0x45 // version 4, IHL 5
+	be16(b[2:], uint16(total))
+	be16(b[4:], ip.ID)
+	ttl := ip.TTL
+	if ttl == 0 {
+		ttl = 64
+	}
+	b[8] = ttl
+	b[9] = proto
+	be32(b[12:], uint32(ip.Src))
+	be32(b[16:], uint32(ip.Dst))
+	be16(b[10:], checksum(b[:20], 0))
+}
+
+// DecodePacket parses an IPv4 packet into layers, verifying the IPv4
+// header checksum and length consistency.
+func DecodePacket(data []byte) (*Packet, error) {
+	if len(data) < 20 {
+		return nil, ErrShortPacket
+	}
+	if data[0]>>4 != 4 {
+		return nil, ErrBadVersion
+	}
+	ihl := int(data[0]&0xF) * 4
+	if ihl < 20 || len(data) < ihl {
+		return nil, ErrShortPacket
+	}
+	if checksum(data[:ihl], 0) != 0 {
+		return nil, ErrBadChecksum
+	}
+	total := int(u16(data[2:]))
+	if total < ihl || total > len(data) {
+		return nil, ErrBadLength
+	}
+	ip := &IPv4{
+		Src:      ipaddr.Addr(u32(data[12:])),
+		Dst:      ipaddr.Addr(u32(data[16:])),
+		Protocol: data[9],
+		TTL:      data[8],
+		ID:       u16(data[4:]),
+	}
+	pkt := &Packet{layers: []Layer{ip}}
+	rest := data[ihl:total]
+
+	switch ip.Protocol {
+	case ProtoUDP:
+		if len(rest) < 8 {
+			return nil, ErrShortPacket
+		}
+		udpLen := int(u16(rest[4:]))
+		if udpLen < 8 || udpLen > len(rest) {
+			return nil, ErrBadLength
+		}
+		pkt.layers = append(pkt.layers, &UDP{SrcPort: u16(rest[0:]), DstPort: u16(rest[2:])})
+		if udpLen > 8 {
+			pl := make(Payload, udpLen-8)
+			copy(pl, rest[8:udpLen])
+			pkt.layers = append(pkt.layers, pl)
+		}
+	case ProtoTCP:
+		if len(rest) < 20 {
+			return nil, ErrShortPacket
+		}
+		off := int(rest[12]>>4) * 4
+		if off < 20 || off > len(rest) {
+			return nil, ErrBadLength
+		}
+		pkt.layers = append(pkt.layers, &TCP{
+			SrcPort: u16(rest[0:]),
+			DstPort: u16(rest[2:]),
+			Seq:     u32(rest[4:]),
+			Ack:     u32(rest[8:]),
+			Flags:   rest[13],
+		})
+		if len(rest) > off {
+			pl := make(Payload, len(rest)-off)
+			copy(pl, rest[off:])
+			pkt.layers = append(pkt.layers, pl)
+		}
+	default:
+		// Unknown transport: keep raw bytes as payload.
+		if len(rest) > 0 {
+			pl := make(Payload, len(rest))
+			copy(pl, rest)
+			pkt.layers = append(pkt.layers, pl)
+		}
+	}
+	return pkt, nil
+}
+
+func be16(b []byte, v uint16) { b[0] = byte(v >> 8); b[1] = byte(v) }
+func be32(b []byte, v uint32) {
+	b[0] = byte(v >> 24)
+	b[1] = byte(v >> 16)
+	b[2] = byte(v >> 8)
+	b[3] = byte(v)
+}
+func u16(b []byte) uint16 { return uint16(b[0])<<8 | uint16(b[1]) }
+func u32(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}

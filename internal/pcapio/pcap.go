@@ -1,0 +1,137 @@
+package pcapio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+)
+
+// pcap file constants (classic libpcap format).
+const (
+	magicMicros   = 0xa1b2c3d4
+	versionMajor  = 2
+	versionMinor  = 4
+	linkTypeRaw   = 101 // packets begin directly with the IP header
+	maxSnapLen    = 262144
+	recordHdrLen  = 16
+	fileHeaderLen = 24
+)
+
+// Writer writes a pcap capture file. Create with NewWriter; call Close (or
+// Flush) when done. Writer is not safe for concurrent use.
+type Writer struct {
+	w   *bufio.Writer
+	buf [recordHdrLen]byte
+}
+
+// NewWriter writes the pcap global header to w and returns a Writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var hdr [fileHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:], magicMicros)
+	binary.LittleEndian.PutUint16(hdr[4:], versionMajor)
+	binary.LittleEndian.PutUint16(hdr[6:], versionMinor)
+	// thiszone=0, sigfigs=0
+	binary.LittleEndian.PutUint32(hdr[16:], maxSnapLen)
+	binary.LittleEndian.PutUint32(hdr[20:], linkTypeRaw)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("pcapio: writing file header: %w", err)
+	}
+	return &Writer{w: bw}, nil
+}
+
+// WritePacket appends one packet with the given capture timestamp.
+func (w *Writer) WritePacket(ts time.Time, data []byte) error {
+	if len(data) > maxSnapLen {
+		return fmt.Errorf("pcapio: packet length %d exceeds snaplen", len(data))
+	}
+	binary.LittleEndian.PutUint32(w.buf[0:], uint32(ts.Unix()))
+	binary.LittleEndian.PutUint32(w.buf[4:], uint32(ts.Nanosecond()/1000))
+	binary.LittleEndian.PutUint32(w.buf[8:], uint32(len(data)))
+	binary.LittleEndian.PutUint32(w.buf[12:], uint32(len(data)))
+	if _, err := w.w.Write(w.buf[:]); err != nil {
+		return fmt.Errorf("pcapio: writing record header: %w", err)
+	}
+	if _, err := w.w.Write(data); err != nil {
+		return fmt.Errorf("pcapio: writing record data: %w", err)
+	}
+	return nil
+}
+
+// Flush writes buffered data to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Record is one captured packet.
+type Record struct {
+	Time time.Time
+	Data []byte
+}
+
+// Reader reads a pcap capture file written by Writer (or any classic
+// little-endian microsecond pcap with a raw-IP link type).
+type Reader struct {
+	r        *bufio.Reader
+	linkType uint32
+}
+
+// NewReader validates the pcap global header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [fileHeaderLen]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("pcapio: reading file header: %w", err)
+	}
+	if magic := binary.LittleEndian.Uint32(hdr[0:]); magic != magicMicros {
+		return nil, fmt.Errorf("pcapio: bad magic 0x%08x", magic)
+	}
+	return &Reader{
+		r:        br,
+		linkType: binary.LittleEndian.Uint32(hdr[20:]),
+	}, nil
+}
+
+// LinkType returns the capture's link type.
+func (r *Reader) LinkType() uint32 { return r.linkType }
+
+// Next returns the next record, or io.EOF at the end of the capture.
+func (r *Reader) Next() (Record, error) {
+	var hdr [recordHdrLen]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("pcapio: reading record header: %w", err)
+	}
+	sec := binary.LittleEndian.Uint32(hdr[0:])
+	usec := binary.LittleEndian.Uint32(hdr[4:])
+	incl := binary.LittleEndian.Uint32(hdr[8:])
+	if incl > maxSnapLen {
+		return Record{}, fmt.Errorf("pcapio: record length %d exceeds snaplen", incl)
+	}
+	data := make([]byte, incl)
+	if _, err := io.ReadFull(r.r, data); err != nil {
+		return Record{}, fmt.Errorf("pcapio: reading record data: %w", err)
+	}
+	return Record{
+		Time: time.Unix(int64(sec), int64(usec)*1000).UTC(),
+		Data: data,
+	}, nil
+}
+
+// ForEach iterates records, stopping on the callback's error or EOF.
+func (r *Reader) ForEach(fn func(Record) error) error {
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+}

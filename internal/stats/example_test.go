@@ -1,0 +1,35 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"anycastctx/internal/stats"
+)
+
+func ExampleNewCDF() {
+	// 90% of users see no inflation; 10% see 50 ms.
+	cdf, err := stats.NewCDF([]stats.WeightedValue{
+		{Value: 0, Weight: 9e8},
+		{Value: 50, Weight: 1e8},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("median: %.0f ms\n", cdf.Median())
+	fmt.Printf("share above 20 ms: %.0f%%\n", 100*cdf.FractionAbove(20))
+	fmt.Printf("p95: %.0f ms\n", cdf.Quantile(0.95))
+	// Output:
+	// median: 0 ms
+	// share above 20 ms: 10%
+	// p95: 50 ms
+}
+
+func ExampleBox() {
+	b, err := stats.Box([]float64{1, 2, 3, 4, 5, 6, 7, 8})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(b)
+	// Output:
+	// [min=1.0 q1=2.0 med=4.0 q3=6.0 max=8.0 n=8]
+}

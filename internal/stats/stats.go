@@ -1,0 +1,279 @@
+// Package stats provides the small statistical toolkit the analysis
+// pipeline needs: weighted empirical CDFs (every figure in the paper is a
+// CDF "of users" or "of /24s"), quantiles, means, histograms, and
+// box-and-whisker summaries (Fig 6b).
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by constructors handed no observations.
+var ErrEmpty = errors.New("stats: no observations")
+
+// WeightedValue is one observation with a non-negative weight. Figures in
+// the paper weight observations by user counts; unweighted data uses
+// weight 1.
+type WeightedValue struct {
+	Value  float64
+	Weight float64
+}
+
+// CDF is an immutable weighted empirical distribution.
+type CDF struct {
+	values  []float64 // ascending
+	cumul   []float64 // cumulative weight, same length, ending at total
+	total   float64
+	minimum float64
+	maximum float64
+}
+
+// NewCDF builds a weighted empirical CDF. Zero-weight observations are
+// dropped; negative weights are an error. The input slice is not retained.
+func NewCDF(obs []WeightedValue) (*CDF, error) {
+	filtered := make([]WeightedValue, 0, len(obs))
+	for _, o := range obs {
+		if o.Weight < 0 {
+			return nil, fmt.Errorf("stats: negative weight %v for value %v", o.Weight, o.Value)
+		}
+		if math.IsNaN(o.Value) || math.IsInf(o.Value, 0) {
+			return nil, fmt.Errorf("stats: non-finite value %v", o.Value)
+		}
+		if o.Weight > 0 {
+			filtered = append(filtered, o)
+		}
+	}
+	if len(filtered) == 0 {
+		return nil, ErrEmpty
+	}
+	sort.Slice(filtered, func(i, j int) bool { return filtered[i].Value < filtered[j].Value })
+
+	c := &CDF{
+		values:  make([]float64, 0, len(filtered)),
+		cumul:   make([]float64, 0, len(filtered)),
+		minimum: filtered[0].Value,
+		maximum: filtered[len(filtered)-1].Value,
+	}
+	for _, o := range filtered {
+		if n := len(c.values); n > 0 && c.values[n-1] == o.Value {
+			c.total += o.Weight
+			c.cumul[n-1] = c.total
+			continue
+		}
+		c.total += o.Weight
+		c.values = append(c.values, o.Value)
+		c.cumul = append(c.cumul, c.total)
+	}
+	return c, nil
+}
+
+// NewCDFFromValues builds an unweighted CDF.
+func NewCDFFromValues(vals []float64) (*CDF, error) {
+	obs := make([]WeightedValue, len(vals))
+	for i, v := range vals {
+		obs[i] = WeightedValue{Value: v, Weight: 1}
+	}
+	return NewCDF(obs)
+}
+
+// Len returns the number of distinct values.
+func (c *CDF) Len() int { return len(c.values) }
+
+// TotalWeight returns the sum of all weights.
+func (c *CDF) TotalWeight() float64 { return c.total }
+
+// Min returns the smallest observed value.
+func (c *CDF) Min() float64 { return c.minimum }
+
+// Max returns the largest observed value.
+func (c *CDF) Max() float64 { return c.maximum }
+
+// P returns the cumulative probability P(X <= x).
+func (c *CDF) P(x float64) float64 {
+	// First index with values[i] > x.
+	i := sort.SearchFloat64s(c.values, math.Nextafter(x, math.Inf(1)))
+	if i == 0 {
+		return 0
+	}
+	return c.cumul[i-1] / c.total
+}
+
+// Quantile returns the smallest value v with P(X <= v) >= q, for q in
+// [0, 1]. Out-of-range q values are clamped.
+func (c *CDF) Quantile(q float64) float64 {
+	if q <= 0 {
+		return c.minimum
+	}
+	if q >= 1 {
+		return c.maximum
+	}
+	target := q * c.total
+	i := sort.Search(len(c.cumul), func(i int) bool { return c.cumul[i] >= target-1e-12 })
+	if i >= len(c.values) {
+		i = len(c.values) - 1
+	}
+	return c.values[i]
+}
+
+// Median is Quantile(0.5).
+func (c *CDF) Median() float64 { return c.Quantile(0.5) }
+
+// Mean returns the weighted mean.
+func (c *CDF) Mean() float64 {
+	var sum, prev float64
+	for i, v := range c.values {
+		w := c.cumul[i] - prev
+		prev = c.cumul[i]
+		sum += v * w
+	}
+	return sum / c.total
+}
+
+// FractionAbove returns P(X > x) — the paper's frequent "N% of users
+// experience more than X ms" statistic.
+func (c *CDF) FractionAbove(x float64) float64 { return 1 - c.P(x) }
+
+// FractionAtOrBelow returns P(X <= x).
+func (c *CDF) FractionAtOrBelow(x float64) float64 { return c.P(x) }
+
+// Point is one (x, P(X<=x)) sample of the CDF curve.
+type Point struct {
+	X float64
+	P float64
+}
+
+// Curve samples the CDF at each distinct value, suitable for plotting or
+// printing a figure series.
+func (c *CDF) Curve() []Point {
+	pts := make([]Point, len(c.values))
+	for i, v := range c.values {
+		pts[i] = Point{X: v, P: c.cumul[i] / c.total}
+	}
+	return pts
+}
+
+// SampleAt evaluates the CDF at the provided x positions.
+func (c *CDF) SampleAt(xs []float64) []Point {
+	pts := make([]Point, len(xs))
+	for i, x := range xs {
+		pts[i] = Point{X: x, P: c.P(x)}
+	}
+	return pts
+}
+
+// BoxStats is a five-number summary: the box-and-whisker bars of Fig 6b.
+type BoxStats struct {
+	Min, Q1, Median, Q3, Max float64
+	N                        int
+}
+
+// Box computes the five-number summary of vals.
+func Box(vals []float64) (BoxStats, error) {
+	c, err := NewCDFFromValues(vals)
+	if err != nil {
+		return BoxStats{}, err
+	}
+	return BoxStats{
+		Min:    c.Min(),
+		Q1:     c.Quantile(0.25),
+		Median: c.Median(),
+		Q3:     c.Quantile(0.75),
+		Max:    c.Max(),
+		N:      len(vals),
+	}, nil
+}
+
+// String renders the summary compactly.
+func (b BoxStats) String() string {
+	return fmt.Sprintf("[min=%.1f q1=%.1f med=%.1f q3=%.1f max=%.1f n=%d]",
+		b.Min, b.Q1, b.Median, b.Q3, b.Max, b.N)
+}
+
+// Mean returns the arithmetic mean of vals, or 0 for an empty slice.
+func Mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}
+
+// Median returns the median of vals (0 for empty input). The input is not
+// modified.
+func Median(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	tmp := make([]float64, len(vals))
+	copy(tmp, vals)
+	sort.Float64s(tmp)
+	n := len(tmp)
+	if n%2 == 1 {
+		return tmp[n/2]
+	}
+	return (tmp[n/2-1] + tmp[n/2]) / 2
+}
+
+// Percentile returns the p-th percentile (0..100) using nearest-rank on a
+// copy of vals; 0 for empty input.
+func Percentile(vals []float64, p float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	c, err := NewCDFFromValues(vals)
+	if err != nil {
+		return 0
+	}
+	return c.Quantile(p / 100)
+}
+
+// Histogram buckets observations into equal-width bins over [lo, hi);
+// values outside the range land in the first or last bin.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []float64 // weight per bin
+	total  float64
+}
+
+// NewHistogram creates a histogram with n bins over [lo, hi).
+func NewHistogram(lo, hi float64, n int) (*Histogram, error) {
+	if n <= 0 || hi <= lo {
+		return nil, fmt.Errorf("stats: bad histogram bounds [%v, %v) with %d bins", lo, hi, n)
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]float64, n)}, nil
+}
+
+// Add records value v with weight w.
+func (h *Histogram) Add(v, w float64) {
+	n := len(h.Counts)
+	i := int(float64(n) * (v - h.Lo) / (h.Hi - h.Lo))
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	h.Counts[i] += w
+	h.total += w
+}
+
+// Fractions returns per-bin weight shares (empty histogram yields zeros).
+func (h *Histogram) Fractions() []float64 {
+	out := make([]float64, len(h.Counts))
+	if h.total == 0 {
+		return out
+	}
+	for i, c := range h.Counts {
+		out[i] = c / h.total
+	}
+	return out
+}
+
+// Total returns the accumulated weight.
+func (h *Histogram) Total() float64 { return h.total }

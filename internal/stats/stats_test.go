@@ -1,0 +1,272 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewCDFErrors(t *testing.T) {
+	if _, err := NewCDF(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("NewCDF(nil) err = %v, want ErrEmpty", err)
+	}
+	if _, err := NewCDF([]WeightedValue{{1, 0}}); !errors.Is(err, ErrEmpty) {
+		t.Errorf("all-zero-weight err = %v, want ErrEmpty", err)
+	}
+	if _, err := NewCDF([]WeightedValue{{1, -1}}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := NewCDF([]WeightedValue{{math.NaN(), 1}}); err == nil {
+		t.Error("NaN value accepted")
+	}
+	if _, err := NewCDF([]WeightedValue{{math.Inf(1), 1}}); err == nil {
+		t.Error("Inf value accepted")
+	}
+}
+
+func TestCDFBasics(t *testing.T) {
+	c, err := NewCDF([]WeightedValue{{1, 1}, {2, 1}, {3, 1}, {4, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.P(0); got != 0 {
+		t.Errorf("P(0) = %v, want 0", got)
+	}
+	if got := c.P(2); got != 0.5 {
+		t.Errorf("P(2) = %v, want 0.5", got)
+	}
+	if got := c.P(2.5); got != 0.5 {
+		t.Errorf("P(2.5) = %v, want 0.5", got)
+	}
+	if got := c.P(4); got != 1 {
+		t.Errorf("P(4) = %v, want 1", got)
+	}
+	if got := c.Median(); got != 2 {
+		t.Errorf("Median = %v, want 2", got)
+	}
+	if got := c.Quantile(0.75); got != 3 {
+		t.Errorf("Q(0.75) = %v, want 3", got)
+	}
+	if got := c.Quantile(0); got != 1 {
+		t.Errorf("Q(0) = %v, want 1", got)
+	}
+	if got := c.Quantile(1); got != 4 {
+		t.Errorf("Q(1) = %v, want 4", got)
+	}
+	if got := c.Mean(); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+	if got := c.FractionAbove(3); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("FractionAbove(3) = %v, want 0.25", got)
+	}
+}
+
+func TestCDFWeighted(t *testing.T) {
+	// 90% of the weight at 0, 10% at 100 — like inflation with most users at zero.
+	c, err := NewCDF([]WeightedValue{{0, 9}, {100, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.P(0); math.Abs(got-0.9) > 1e-12 {
+		t.Errorf("P(0) = %v, want 0.9", got)
+	}
+	if got := c.Median(); got != 0 {
+		t.Errorf("Median = %v, want 0", got)
+	}
+	if got := c.Quantile(0.95); got != 100 {
+		t.Errorf("Q(0.95) = %v, want 100", got)
+	}
+	if got := c.Mean(); math.Abs(got-10) > 1e-12 {
+		t.Errorf("Mean = %v, want 10", got)
+	}
+}
+
+func TestCDFDuplicatesMerged(t *testing.T) {
+	c, err := NewCDF([]WeightedValue{{5, 1}, {5, 2}, {5, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+	if c.TotalWeight() != 6 {
+		t.Errorf("TotalWeight = %v, want 6", c.TotalWeight())
+	}
+	if c.P(5) != 1 {
+		t.Errorf("P(5) = %v, want 1", c.P(5))
+	}
+}
+
+func TestCDFQuantilePInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	vals := make([]float64, 200)
+	for i := range vals {
+		vals[i] = rng.NormFloat64() * 50
+	}
+	c, err := NewCDFFromValues(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0.01; q < 1; q += 0.01 {
+		v := c.Quantile(q)
+		if p := c.P(v); p+1e-9 < q {
+			t.Fatalf("P(Quantile(%f)) = %f < q", q, p)
+		}
+	}
+}
+
+func TestCDFMonotonicProperty(t *testing.T) {
+	prop := func(raw []float64) bool {
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		c, err := NewCDFFromValues(vals)
+		if err != nil {
+			return false
+		}
+		pts := c.Curve()
+		for i := 1; i < len(pts); i++ {
+			if pts[i].X <= pts[i-1].X || pts[i].P < pts[i-1].P {
+				return false
+			}
+		}
+		return math.Abs(pts[len(pts)-1].P-1) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCurveAndSampleAt(t *testing.T) {
+	c, err := NewCDFFromValues([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := c.Curve()
+	if len(pts) != 3 || pts[2].P != 1 {
+		t.Errorf("Curve = %v", pts)
+	}
+	s := c.SampleAt([]float64{0, 1.5, 10})
+	want := []float64{0, 1.0 / 3, 1}
+	for i, p := range s {
+		if math.Abs(p.P-want[i]) > 1e-12 {
+			t.Errorf("SampleAt[%d] = %v, want %v", i, p.P, want[i])
+		}
+	}
+}
+
+func TestBox(t *testing.T) {
+	b, err := Box([]float64{1, 2, 3, 4, 5, 6, 7, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Min != 1 || b.Max != 8 || b.N != 8 {
+		t.Errorf("Box = %+v", b)
+	}
+	if b.Median != 4 {
+		t.Errorf("Median = %v, want 4", b.Median)
+	}
+	if b.Q1 != 2 || b.Q3 != 6 {
+		t.Errorf("Q1/Q3 = %v/%v, want 2/6", b.Q1, b.Q3)
+	}
+	if _, err := Box(nil); err == nil {
+		t.Error("Box(nil) should fail")
+	}
+	if s := b.String(); s == "" {
+		t.Error("empty box string")
+	}
+}
+
+func TestMeanMedianPercentile(t *testing.T) {
+	if Mean(nil) != 0 || Median(nil) != 0 || Percentile(nil, 50) != 0 {
+		t.Error("empty-input helpers should return 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("Median odd = %v", got)
+	}
+	if got := Median([]float64{4, 1, 2, 3}); got != 2.5 {
+		t.Errorf("Median even = %v", got)
+	}
+	if got := Percentile([]float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}, 95); got != 100 {
+		t.Errorf("P95 = %v", got)
+	}
+	// Median must not mutate its input.
+	in := []float64{9, 1, 5}
+	Median(in)
+	if in[0] != 9 || in[1] != 1 || in[2] != 5 {
+		t.Error("Median mutated its input")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Add(0, 1)   // bin 0
+	h.Add(9.9, 1) // bin 4
+	h.Add(-5, 1)  // clamped to bin 0
+	h.Add(50, 1)  // clamped to bin 4
+	h.Add(5, 2)   // bin 2
+	fr := h.Fractions()
+	if math.Abs(fr[0]-2.0/6) > 1e-12 || math.Abs(fr[2]-2.0/6) > 1e-12 || math.Abs(fr[4]-2.0/6) > 1e-12 {
+		t.Errorf("Fractions = %v", fr)
+	}
+	if h.Total() != 6 {
+		t.Errorf("Total = %v", h.Total())
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Error("degenerate bounds accepted")
+	}
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Error("zero bins accepted")
+	}
+	empty, _ := NewHistogram(0, 1, 2)
+	for _, f := range empty.Fractions() {
+		if f != 0 {
+			t.Error("empty histogram fraction nonzero")
+		}
+	}
+}
+
+func TestCDFAgainstSort(t *testing.T) {
+	// Cross-check weighted quantiles against a brute-force expansion.
+	rng := rand.New(rand.NewSource(21))
+	obs := make([]WeightedValue, 50)
+	var expanded []float64
+	for i := range obs {
+		v := math.Floor(rng.Float64() * 20)
+		w := float64(1 + rng.Intn(5))
+		obs[i] = WeightedValue{v, w}
+		for k := 0; k < int(w); k++ {
+			expanded = append(expanded, v)
+		}
+	}
+	c, err := NewCDF(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Float64s(expanded)
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		idx := int(math.Ceil(q*float64(len(expanded)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		want := expanded[idx]
+		if got := c.Quantile(q); got != want {
+			t.Errorf("Quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+}

@@ -1,0 +1,590 @@
+// Package topology models the AS-level Internet the two anycast systems
+// live on: a tier-1 clique, regional transit providers, eyeball (access)
+// ASes placed by user population, and the host ASes that anycast sites and
+// the CDN attach to.
+//
+// The graph deliberately encodes the two mechanisms the paper identifies
+// (§7.1): (1) BGP prefers shorter AS paths even when a longer path leads to
+// a geographically closer anycast site, and (2) direct peering aligns
+// early-exit routing with the nearest site. Packages bgp and anycastnet
+// compute catchments on top of this graph.
+package topology
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"anycastctx/internal/geo"
+)
+
+// ASN is an autonomous system number.
+type ASN int32
+
+// Class categorizes an AS's role in the hierarchy.
+type Class uint8
+
+// AS classes.
+const (
+	ClassTier1   Class = iota // global backbone, peers with every other tier-1
+	ClassTransit              // regional transit provider
+	ClassEyeball              // access network originating users
+	ClassHost                 // hosts one or more anycast sites
+	ClassCDN                  // the CDN's own network
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassTier1:
+		return "tier1"
+	case ClassTransit:
+		return "transit"
+	case ClassEyeball:
+		return "eyeball"
+	case ClassHost:
+		return "host"
+	case ClassCDN:
+		return "cdn"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// AS is one autonomous system.
+type AS struct {
+	ASN   ASN
+	Class Class
+	Name  string
+	// Org identifies the owning organization; siblings share an Org
+	// (CAIDA AS-to-organization mapping, used by Fig 6a's sibling merge).
+	Org int32
+	// Region is the index of the AS's home region; -1 for global networks.
+	Region int
+	// Loc is the AS's home location (for tier-1s, the headquarters; use
+	// Presence for routing decisions).
+	Loc geo.Coord
+	// Presence lists the locations where the AS has points of presence.
+	// Always non-empty; for single-homed ASes it is just {Loc}.
+	Presence []geo.Coord
+	// Providers are the ASes this AS buys transit from (valley-free "up").
+	Providers []ASN
+	// PeeringRichness in [0,1] scales how readily the AS forms
+	// settlement-free peering (CDNs and IXP-dense networks peer widely).
+	PeeringRichness float64
+	// UserWeight is the share of the world's Internet users behind this AS
+	// (eyeballs only; 0 elsewhere). Sums to 1 over all eyeballs.
+	UserWeight float64
+}
+
+// NearestPresence returns the AS presence point closest to c and its
+// distance in km.
+func (a *AS) NearestPresence(c geo.Coord) (geo.Coord, float64) {
+	best := a.Presence[0]
+	bestD := geo.DistanceKm(c, best)
+	for _, p := range a.Presence[1:] {
+		if d := geo.DistanceKm(c, p); d < bestD {
+			best, bestD = p, d
+		}
+	}
+	return best, bestD
+}
+
+// Config controls graph generation.
+type Config struct {
+	// Seed drives all randomness in generation and the deterministic
+	// peering hash.
+	Seed int64
+	// NumTier1 is the number of tier-1 backbones (default 12).
+	NumTier1 int
+	// NumTransit is the number of regional transit providers (default 150).
+	NumTransit int
+	// NumEyeball is the number of access networks (default 4500).
+	NumEyeball int
+	// Tier1PresenceMin/Max bound how many metros each tier-1 covers.
+	Tier1PresenceMin, Tier1PresenceMax int
+}
+
+// DefaultConfig returns the paper-scale configuration.
+func DefaultConfig() Config {
+	return Config{
+		Seed:             1,
+		NumTier1:         12,
+		NumTransit:       150,
+		NumEyeball:       4500,
+		Tier1PresenceMin: 18,
+		Tier1PresenceMax: 40,
+	}
+}
+
+// scaled shrinks counts for small test worlds.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.NumTier1 == 0 {
+		c.NumTier1 = d.NumTier1
+	}
+	if c.NumTransit == 0 {
+		c.NumTransit = d.NumTransit
+	}
+	if c.NumEyeball == 0 {
+		c.NumEyeball = d.NumEyeball
+	}
+	if c.Tier1PresenceMin == 0 {
+		c.Tier1PresenceMin = d.Tier1PresenceMin
+	}
+	if c.Tier1PresenceMax == 0 {
+		c.Tier1PresenceMax = d.Tier1PresenceMax
+	}
+	return c
+}
+
+// Graph is the AS-level topology. Construct with New; add host/CDN ASes
+// with AddHostAS / AddCDNAS. Reads are safe for concurrent use once
+// construction is complete.
+type Graph struct {
+	Regions []geo.Region
+
+	byASN map[ASN]*AS
+	order []ASN // insertion order, for deterministic iteration
+
+	tier1s   []ASN
+	transits []ASN
+	eyeballs []ASN
+
+	// peers holds explicit peering edges keyed smaller-ASN-first.
+	peers map[[2]ASN]bool
+
+	peerSalt uint64
+	nextASN  ASN
+	rng      *rand.Rand
+}
+
+// New generates the hierarchy: tier-1 clique, regional transits (each a
+// customer of 2 tier-1s), and eyeballs placed proportionally to region
+// population (each a customer of 1–3 transits).
+func New(cfg Config, regions []geo.Region) (*Graph, error) {
+	cfg = cfg.withDefaults()
+	if len(regions) == 0 {
+		return nil, fmt.Errorf("topology: no regions")
+	}
+	g := &Graph{
+		Regions:  regions,
+		byASN:    make(map[ASN]*AS),
+		peers:    make(map[[2]ASN]bool),
+		peerSalt: uint64(cfg.Seed)*0x9e3779b97f4a7c15 + 0x1234,
+		nextASN:  100,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+	}
+
+	anchorList := geo.Anchors()
+
+	// Tier-1 backbones: global presence across many metros, full peer mesh.
+	for i := 0; i < cfg.NumTier1; i++ {
+		n := cfg.Tier1PresenceMin
+		if cfg.Tier1PresenceMax > cfg.Tier1PresenceMin {
+			n += g.rng.Intn(cfg.Tier1PresenceMax - cfg.Tier1PresenceMin)
+		}
+		if n > len(anchorList) {
+			n = len(anchorList)
+		}
+		presence := make([]geo.Coord, 0, n)
+		perm := g.rng.Perm(len(anchorList))
+		// Always include the top metros so every tier-1 is present where
+		// users concentrate, then fill randomly.
+		seen := map[int]bool{}
+		for k := 0; k < 6 && k < len(anchorList); k++ {
+			presence = append(presence, anchorList[k].Coord)
+			seen[k] = true
+		}
+		for _, pi := range perm {
+			if len(presence) >= n {
+				break
+			}
+			if seen[pi] {
+				continue
+			}
+			presence = append(presence, anchorList[pi].Coord)
+			seen[pi] = true
+		}
+		as := &AS{
+			ASN:             g.allocASN(),
+			Class:           ClassTier1,
+			Name:            fmt.Sprintf("tier1-%d", i),
+			Org:             int32(i),
+			Region:          -1,
+			Loc:             presence[0],
+			Presence:        presence,
+			PeeringRichness: 0.95,
+		}
+		g.add(as)
+		g.tier1s = append(g.tier1s, as.ASN)
+	}
+	// Tier-1 full mesh. Give the first two tier-1s a sibling relationship
+	// (same org) so the sibling-merge path in the analysis has real work.
+	for i, a := range g.tier1s {
+		for _, b := range g.tier1s[i+1:] {
+			g.addPeer(a, b)
+		}
+	}
+	if len(g.tier1s) >= 2 {
+		g.byASN[g.tier1s[1]].Org = g.byASN[g.tier1s[0]].Org
+	}
+
+	// Regional transits: placed at regions weighted by population, customer
+	// of 2 tier-1s, some peering among nearby transits.
+	regionPicker := newWeightedPicker(regions)
+	orgBase := int32(1000)
+	for i := 0; i < cfg.NumTransit; i++ {
+		ri := regionPicker.pick(g.rng)
+		r := regions[ri]
+		// Presence: home metro plus up to 3 nearby regions.
+		presence := []geo.Coord{r.Center}
+		for k := 0; k < 3; k++ {
+			presence = append(presence, geo.Jitter(r.Center, 900, g.rng.Float64(), g.rng.Float64()))
+		}
+		t1a := g.tier1s[g.rng.Intn(len(g.tier1s))]
+		t1b := g.tier1s[g.rng.Intn(len(g.tier1s))]
+		providers := []ASN{t1a}
+		if t1b != t1a {
+			providers = append(providers, t1b)
+		}
+		as := &AS{
+			ASN:             g.allocASN(),
+			Class:           ClassTransit,
+			Name:            fmt.Sprintf("transit-%s-%d", r.Name, i),
+			Org:             orgBase + int32(i),
+			Region:          ri,
+			Loc:             r.Center,
+			Presence:        presence,
+			Providers:       providers,
+			PeeringRichness: 0.3 + 0.5*g.rng.Float64(),
+		}
+		g.add(as)
+		g.transits = append(g.transits, as.ASN)
+	}
+
+	// Eyeballs: count per region proportional to population weight; each
+	// buys transit from 1-3 transits (preferring nearby ones), with a small
+	// chance of a direct tier-1 upstream.
+	orgBase = 10000
+	transitByDist := g.transitsNear(regions)
+	for i := 0; i < cfg.NumEyeball; i++ {
+		ri := regionPicker.pick(g.rng)
+		r := regions[ri]
+		loc := geo.Jitter(r.Center, 120, g.rng.Float64(), g.rng.Float64())
+		nearby := transitByDist[ri]
+		nProv := 1 + g.rng.Intn(3)
+		if nProv > len(nearby) {
+			nProv = len(nearby)
+		}
+		var providers []ASN
+		for k := 0; k < nProv; k++ {
+			// Mostly the closest transits, occasionally a farther one.
+			idx := k
+			if g.rng.Float64() < 0.2 && len(nearby) > nProv {
+				idx = nProv + g.rng.Intn(len(nearby)-nProv)
+			}
+			if idx < len(nearby) {
+				providers = append(providers, nearby[idx])
+			}
+		}
+		if len(providers) == 0 || g.rng.Float64() < 0.05 {
+			providers = append(providers, g.tier1s[g.rng.Intn(len(g.tier1s))])
+		}
+		// Peering richness is lognormal-ish: most eyeballs peer a little,
+		// IXP-dense ones peer a lot.
+		rich := math.Min(1, 0.1+0.4*g.rng.ExpFloat64()*0.5)
+		as := &AS{
+			ASN:             g.allocASN(),
+			Class:           ClassEyeball,
+			Name:            fmt.Sprintf("eyeball-%s-%d", r.Name, i),
+			Org:             orgBase + int32(i),
+			Region:          ri,
+			Loc:             loc,
+			Presence:        []geo.Coord{loc},
+			Providers:       dedupASNs(providers),
+			PeeringRichness: rich,
+		}
+		g.add(as)
+		g.eyeballs = append(g.eyeballs, as.ASN)
+	}
+	g.assignUserWeights()
+	return g, nil
+}
+
+// transitsNear returns, per region index, transits sorted by distance.
+func (g *Graph) transitsNear(regions []geo.Region) [][]ASN {
+	out := make([][]ASN, len(regions))
+	for ri, r := range regions {
+		type cand struct {
+			asn ASN
+			d   float64
+		}
+		cands := make([]cand, 0, len(g.transits))
+		for _, tn := range g.transits {
+			t := g.byASN[tn]
+			_, d := t.NearestPresence(r.Center)
+			cands = append(cands, cand{tn, d})
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].d != cands[j].d {
+				return cands[i].d < cands[j].d
+			}
+			return cands[i].asn < cands[j].asn
+		})
+		asns := make([]ASN, len(cands))
+		for i, c := range cands {
+			asns[i] = c.asn
+		}
+		out[ri] = asns
+	}
+	return out
+}
+
+// assignUserWeights splits each region's population weight across its
+// eyeballs with a heavy-tailed share (a few large ISPs per region).
+func (g *Graph) assignUserWeights() {
+	byRegion := map[int][]*AS{}
+	for _, asn := range g.eyeballs {
+		as := g.byASN[asn]
+		byRegion[as.Region] = append(byRegion[as.Region], as)
+	}
+	var total float64
+	for ri := range g.Regions {
+		list := byRegion[ri]
+		if len(list) == 0 {
+			continue
+		}
+		w := g.Regions[ri].PopWeight
+		// Zipf-ish shares.
+		shares := make([]float64, len(list))
+		var sum float64
+		for i := range shares {
+			shares[i] = 1 / float64(i+1)
+			sum += shares[i]
+		}
+		for i, as := range list {
+			as.UserWeight = w * shares[i] / sum
+			total += as.UserWeight
+		}
+	}
+	if total == 0 {
+		return
+	}
+	for _, asn := range g.eyeballs {
+		g.byASN[asn].UserWeight /= total
+	}
+}
+
+func (g *Graph) allocASN() ASN {
+	n := g.nextASN
+	g.nextASN++
+	return n
+}
+
+func (g *Graph) add(as *AS) {
+	g.byASN[as.ASN] = as
+	g.order = append(g.order, as.ASN)
+}
+
+func (g *Graph) addPeer(a, b ASN) {
+	if a == b {
+		return
+	}
+	if a > b {
+		a, b = b, a
+	}
+	g.peers[[2]ASN{a, b}] = true
+}
+
+func dedupASNs(in []ASN) []ASN {
+	seen := map[ASN]bool{}
+	out := in[:0]
+	for _, a := range in {
+		if !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// AS returns the AS with the given number, or nil.
+func (g *Graph) AS(n ASN) *AS { return g.byASN[n] }
+
+// Tier1s returns the tier-1 ASNs in creation order.
+func (g *Graph) Tier1s() []ASN { return g.tier1s }
+
+// Transits returns the regional transit ASNs.
+func (g *Graph) Transits() []ASN { return g.transits }
+
+// Eyeballs returns the eyeball ASNs.
+func (g *Graph) Eyeballs() []ASN { return g.eyeballs }
+
+// All returns every ASN in deterministic creation order.
+func (g *Graph) All() []ASN { return g.order }
+
+// Len returns the number of ASes.
+func (g *Graph) Len() int { return len(g.order) }
+
+// AddHostAS creates a host AS at loc (home region inferred) with the given
+// upstream providers and peering richness, registering it in the graph.
+func (g *Graph) AddHostAS(name string, loc geo.Coord, providers []ASN, richness float64) *AS {
+	ri := geo.NearestRegion(g.Regions, loc)
+	as := &AS{
+		ASN:             g.allocASN(),
+		Class:           ClassHost,
+		Name:            name,
+		Org:             20000 + int32(len(g.order)),
+		Region:          ri,
+		Loc:             loc,
+		Presence:        []geo.Coord{loc},
+		Providers:       dedupASNs(providers),
+		PeeringRichness: richness,
+	}
+	g.add(as)
+	return as
+}
+
+// AddCDNAS creates the CDN's network with presence at the given PoP
+// locations, peered richly. The CDN also buys from two tier-1s so
+// non-peered clients can reach it.
+func (g *Graph) AddCDNAS(name string, pops []geo.Coord) *AS {
+	providers := []ASN{}
+	if len(g.tier1s) > 0 {
+		providers = append(providers, g.tier1s[0])
+	}
+	if len(g.tier1s) > 1 {
+		providers = append(providers, g.tier1s[1])
+	}
+	as := &AS{
+		ASN:             g.allocASN(),
+		Class:           ClassCDN,
+		Name:            name,
+		Org:             30000,
+		Region:          -1,
+		Loc:             pops[0],
+		Presence:        append([]geo.Coord(nil), pops...),
+		Providers:       providers,
+		PeeringRichness: 0.92,
+	}
+	g.add(as)
+	return as
+}
+
+// Peer records an explicit settlement-free peering between a and b.
+func (g *Graph) Peer(a, b ASN) { g.addPeer(a, b) }
+
+// HasExplicitPeering reports whether a and b have an explicit peering edge.
+func (g *Graph) HasExplicitPeering(a, b ASN) bool {
+	if a > b {
+		a, b = b, a
+	}
+	return g.peers[[2]ASN{a, b}]
+}
+
+// Peered reports whether ASes a and b interconnect settlement-free. In
+// addition to explicit edges, pairs peer "implicitly" with a deterministic
+// probability driven by both ASes' peering richness and geographic
+// co-presence — this is how the CDN's wide peering and per-letter host
+// openness are expressed without materializing millions of edges.
+func (g *Graph) Peered(a, b ASN) bool {
+	if a == b {
+		return false
+	}
+	if g.HasExplicitPeering(a, b) {
+		return true
+	}
+	A, B := g.byASN[a], g.byASN[b]
+	if A == nil || B == nil {
+		return false
+	}
+	// Tier-1s do not peer with small networks implicitly.
+	if A.Class == ClassTier1 || B.Class == ClassTier1 {
+		return false
+	}
+	p := g.implicitPeerProb(A, B)
+	if p <= 0 {
+		return false
+	}
+	return g.PairUnit(a, b) < p
+}
+
+// implicitPeerProb returns the probability that A and B peer.
+func (g *Graph) implicitPeerProb(A, B *AS) float64 {
+	p := A.PeeringRichness * B.PeeringRichness
+	// Require rough geographic co-presence: peering happens at IXPs.
+	_, d := B.NearestPresence(A.Loc)
+	if A.Class != ClassEyeball && B.Class == ClassEyeball {
+		_, d = A.NearestPresence(B.Loc)
+	}
+	switch {
+	case d < 500:
+		// fully local: no penalty
+	case d < 1500:
+		p *= 0.6
+	case d < 3000:
+		p *= 0.25
+	default:
+		p *= 0.02
+	}
+	return p
+}
+
+// PairUnit returns a deterministic uniform [0,1) deviate for the AS pair.
+func (g *Graph) PairUnit(a, b ASN) float64 {
+	if a > b {
+		a, b = b, a
+	}
+	h := g.peerSalt
+	h ^= uint64(uint32(a)) * 0xff51afd7ed558ccd
+	h = (h << 31) | (h >> 33)
+	h ^= uint64(uint32(b)) * 0xc4ceb9fe1a85ec53
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return float64(h%1_000_000) / 1_000_000
+}
+
+// Connected reports whether transit/tier-1 p has a direct BGP adjacency to
+// h that yields h's routes: h is a customer of p, or p peers with h.
+func (g *Graph) Connected(p, h ASN) bool {
+	H := g.byASN[h]
+	if H == nil {
+		return false
+	}
+	for _, up := range H.Providers {
+		if up == p {
+			return true
+		}
+	}
+	return g.Peered(p, h)
+}
+
+// weightedPicker draws region indices proportionally to population.
+type weightedPicker struct {
+	cum []float64
+}
+
+func newWeightedPicker(regions []geo.Region) *weightedPicker {
+	cum := make([]float64, len(regions))
+	var s float64
+	for i, r := range regions {
+		s += r.PopWeight
+		cum[i] = s
+	}
+	return &weightedPicker{cum: cum}
+}
+
+func (w *weightedPicker) pick(rng *rand.Rand) int {
+	if len(w.cum) == 0 {
+		return 0
+	}
+	x := rng.Float64() * w.cum[len(w.cum)-1]
+	i := sort.SearchFloat64s(w.cum, x)
+	if i >= len(w.cum) {
+		i = len(w.cum) - 1
+	}
+	return i
+}

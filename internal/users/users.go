@@ -1,0 +1,347 @@
+// Package users models who is behind the DNS queries: the ground-truth
+// user population of each eyeball AS, the recursive resolvers (as /24s with
+// individual resolver IPs) serving those users, and the two independently
+// derived user-count datasets the paper amortizes queries over —
+// Microsoft-style per-/24 counts (NAT-undercounted, partial coverage) and
+// APNIC-style per-AS estimates (ad-based, country-normalized noise). §2.1.
+package users
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"anycastctx/internal/geo"
+	"anycastctx/internal/ipaddr"
+	"anycastctx/internal/topology"
+)
+
+// Recursive is one recursive-resolver /24: the paper's unit of join between
+// DITL query volumes and CDN user counts. A /24 may contain several
+// colocated resolver IPs (§2.1, Appendix B.2).
+type Recursive struct {
+	// Key identifies the /24.
+	Key ipaddr.Slash24Key
+	// ASN is the hosting AS.
+	ASN topology.ASN
+	// Loc is the resolver's physical location.
+	Loc geo.Coord
+	// Users is the ground-truth number of users this /24's resolvers serve.
+	Users float64
+	// IPs are the active resolver addresses within the /24.
+	IPs []ipaddr.Addr
+	// Public marks a public-DNS-service resolver, whose users live in many
+	// other ASes (breaking the users-in-same-AS assumption, §2.1).
+	Public bool
+}
+
+// Config controls population construction.
+type Config struct {
+	// TotalUsers is the world's Internet user count (default 1.2e9,
+	// matching the paper's "over a billion users").
+	TotalUsers float64
+	// PublicResolverShare is the fraction of each AS's users who use a
+	// public DNS service instead of their ISP resolver (default 0.12).
+	PublicResolverShare float64
+	// MaxResolverIPs bounds the number of active resolver IPs per /24
+	// (default 5).
+	MaxResolverIPs int
+	// NumPublicServices is how many public DNS operators exist (default 3).
+	NumPublicServices int
+}
+
+func (c Config) withDefaults() Config {
+	if c.TotalUsers == 0 {
+		c.TotalUsers = 1.2e9
+	}
+	if c.PublicResolverShare == 0 {
+		c.PublicResolverShare = 0.12
+	}
+	if c.MaxResolverIPs == 0 {
+		c.MaxResolverIPs = 5
+	}
+	if c.NumPublicServices == 0 {
+		c.NumPublicServices = 3
+	}
+	return c
+}
+
+// Population is the ground truth: every recursive, address-plan lookup
+// tables, and the total user count.
+type Population struct {
+	TotalUsers float64
+	Recursives []Recursive
+
+	// ASNTable maps any allocated address to its origin AS (the synthetic
+	// Team Cymru database).
+	ASNTable *ipaddr.ASNTable
+	// GeoDB maps allocated prefixes to locations (the synthetic MaxMind).
+	GeoDB *ipaddr.GeoDB
+	// Pool continues handing out unallocated space (e.g. for junk traffic
+	// sources added by the capture generator).
+	Pool *ipaddr.Pool
+	// PublicASNs lists the public DNS services' ASes.
+	PublicASNs []topology.ASN
+
+	byKey map[ipaddr.Slash24Key]int
+	byASN map[topology.ASN][]int
+}
+
+// Build constructs the population on g: allocates address space, places
+// 1–4 recursive /24s per eyeball AS (more for bigger ASes), creates public
+// DNS services, and splits users across them.
+func Build(g *topology.Graph, cfg Config, rng *rand.Rand) (*Population, error) {
+	cfg = cfg.withDefaults()
+	p := &Population{
+		TotalUsers: cfg.TotalUsers,
+		ASNTable:   &ipaddr.ASNTable{},
+		GeoDB:      &ipaddr.GeoDB{},
+		Pool:       ipaddr.NewPool(),
+		byKey:      make(map[ipaddr.Slash24Key]int),
+		byASN:      make(map[topology.ASN][]int),
+	}
+
+	// Public DNS services at the biggest metros.
+	anchors := geo.Anchors()
+	publicRecs := make([]int, 0, cfg.NumPublicServices*2)
+	for i := 0; i < cfg.NumPublicServices; i++ {
+		a := anchors[i%len(anchors)]
+		host := g.AddHostAS(fmt.Sprintf("public-dns-%d", i), a.Coord, publicUpstreams(g, i), 0.6)
+		p.PublicASNs = append(p.PublicASNs, host.ASN)
+		blocks, err := p.Pool.AllocSlash24s(2)
+		if err != nil {
+			return nil, fmt.Errorf("users: %w", err)
+		}
+		for _, b := range blocks {
+			idx, err := p.addRecursive(b, host.ASN, a.Coord, 0, true, cfg, rng)
+			if err != nil {
+				return nil, err
+			}
+			publicRecs = append(publicRecs, idx)
+		}
+	}
+
+	// ISP recursives.
+	var publicUsers float64
+	for _, asn := range g.Eyeballs() {
+		as := g.AS(asn)
+		asUsers := as.UserWeight * cfg.TotalUsers
+		pubShare := cfg.PublicResolverShare * (0.5 + rng.Float64())
+		if pubShare > 0.9 {
+			pubShare = 0.9
+		}
+		publicUsers += asUsers * pubShare
+		ownUsers := asUsers * (1 - pubShare)
+
+		nRec := 1
+		switch {
+		case asUsers > 5e6:
+			nRec = 4
+		case asUsers > 1e6:
+			nRec = 3
+		case asUsers > 2e5:
+			nRec = 2
+		}
+		blocks, err := p.Pool.AllocSlash24s(nRec)
+		if err != nil {
+			return nil, fmt.Errorf("users: %w", err)
+		}
+		// Zipf split of the AS's users over its recursives.
+		var denom float64
+		for i := 0; i < nRec; i++ {
+			denom += 1 / float64(i+1)
+		}
+		for i, b := range blocks {
+			share := (1 / float64(i+1)) / denom
+			loc := geo.Jitter(as.Loc, 80, rng.Float64(), rng.Float64())
+			if _, err := p.addRecursive(b, asn, loc, ownUsers*share, false, cfg, rng); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Spread public-DNS users over the public recursives.
+	if len(publicRecs) > 0 {
+		per := publicUsers / float64(len(publicRecs))
+		for _, idx := range publicRecs {
+			p.Recursives[idx].Users = per
+		}
+	}
+	return p, nil
+}
+
+func publicUpstreams(g *topology.Graph, i int) []topology.ASN {
+	t1s := g.Tier1s()
+	return []topology.ASN{t1s[i%len(t1s)], t1s[(i+1)%len(t1s)]}
+}
+
+func (p *Population) addRecursive(b ipaddr.Prefix, asn topology.ASN, loc geo.Coord,
+	users float64, public bool, cfg Config, rng *rand.Rand) (int, error) {
+	if b.Bits != 24 {
+		return 0, fmt.Errorf("users: recursive prefix %s is not a /24", b)
+	}
+	nIPs := 1 + rng.Intn(cfg.MaxResolverIPs)
+	ips := make([]ipaddr.Addr, nIPs)
+	for i := range ips {
+		ips[i] = b.Nth(uint64(1 + i)) // .1, .2, ...
+	}
+	rec := Recursive{
+		Key:    ipaddr.Key24(b.Addr),
+		ASN:    asn,
+		Loc:    loc,
+		Users:  users,
+		IPs:    ips,
+		Public: public,
+	}
+	p.ASNTable.AddRoute(b, int32(asn))
+	p.GeoDB.AddPrefix(b, loc)
+	p.byKey[rec.Key] = len(p.Recursives)
+	p.byASN[asn] = append(p.byASN[asn], len(p.Recursives))
+	p.Recursives = append(p.Recursives, rec)
+	return len(p.Recursives) - 1, nil
+}
+
+// ByKey returns the recursive for a /24 key.
+func (p *Population) ByKey(k ipaddr.Slash24Key) (*Recursive, bool) {
+	i, ok := p.byKey[k]
+	if !ok {
+		return nil, false
+	}
+	return &p.Recursives[i], true
+}
+
+// ByASN returns the recursives hosted in an AS.
+func (p *Population) ByASN(asn topology.ASN) []*Recursive {
+	idxs := p.byASN[asn]
+	out := make([]*Recursive, len(idxs))
+	for i, idx := range idxs {
+		out[i] = &p.Recursives[idx]
+	}
+	return out
+}
+
+// UsersServed sums ground-truth users over all recursives.
+func (p *Population) UsersServed() float64 {
+	var s float64
+	for _, r := range p.Recursives {
+		s += r.Users
+	}
+	return s
+}
+
+// CDNCounts is the Microsoft-style user-count dataset: unique client IPs
+// observed requesting instrumented DNS records, attributed to resolver IPs
+// (§2.1). It systematically undercounts (NAT) and misses some recursives.
+type CDNCounts struct {
+	// ByIP maps individual resolver IPs to observed user counts.
+	ByIP map[ipaddr.Addr]float64
+	// By24 aggregates ByIP at the /24 level (user IPs deduplicated per /24
+	// before counting, per the paper's footnote 1).
+	By24 map[ipaddr.Slash24Key]float64
+}
+
+// CDNConfig tunes the CDN dataset's observation process.
+type CDNConfig struct {
+	// IPCoverage is the probability an individual resolver IP is observed
+	// (default 0.55 — Microsoft sees the resolvers its users actually use,
+	// not all of them; with several IPs per /24 this yields high /24-level
+	// coverage but low exact-IP coverage, the Table 4 effect).
+	IPCoverage float64
+	// NATFactorMin/Max bound the undercount multiplier (default 0.55–0.95).
+	NATFactorMin, NATFactorMax float64
+}
+
+func (c CDNConfig) withDefaults() CDNConfig {
+	if c.IPCoverage == 0 {
+		c.IPCoverage = 0.55
+	}
+	if c.NATFactorMin == 0 {
+		c.NATFactorMin = 0.55
+	}
+	if c.NATFactorMax == 0 {
+		c.NATFactorMax = 0.95
+	}
+	return c
+}
+
+// BuildCDNCounts derives the CDN dataset from ground truth.
+func BuildCDNCounts(p *Population, cfg CDNConfig, rng *rand.Rand) *CDNCounts {
+	cfg = cfg.withDefaults()
+	out := &CDNCounts{
+		ByIP: make(map[ipaddr.Addr]float64),
+		By24: make(map[ipaddr.Slash24Key]float64),
+	}
+	for _, rec := range p.Recursives {
+		perIP := rec.Users / float64(len(rec.IPs))
+		nat := cfg.NATFactorMin + rng.Float64()*(cfg.NATFactorMax-cfg.NATFactorMin)
+		var total float64
+		for _, ip := range rec.IPs {
+			if rng.Float64() >= cfg.IPCoverage {
+				continue
+			}
+			c := perIP * nat
+			if c < 1 {
+				continue
+			}
+			out.ByIP[ip] = c
+			total += c
+		}
+		if total >= 1 {
+			out.By24[rec.Key] = total
+		}
+	}
+	return out
+}
+
+// APNICCounts is the APNIC-style per-AS population estimate: derived from
+// ad-delivery sampling normalized by country Internet population, so it has
+// multiplicative noise and attributes public-DNS users to their home AS.
+type APNICCounts struct {
+	ByASN map[topology.ASN]float64
+}
+
+// BuildAPNICCounts derives the APNIC dataset from ground truth on g.
+func BuildAPNICCounts(g *topology.Graph, p *Population, rng *rand.Rand) *APNICCounts {
+	out := &APNICCounts{ByASN: make(map[topology.ASN]float64)}
+	for _, asn := range g.Eyeballs() {
+		as := g.AS(asn)
+		truth := as.UserWeight * p.TotalUsers
+		if truth < 1 {
+			continue
+		}
+		noise := 0.6 + rng.Float64() // U(0.6, 1.6)
+		est := truth * noise
+		// Ad sampling misses a small share of tiny networks entirely.
+		if truth < 5000 && rng.Float64() < 0.3 {
+			continue
+		}
+		out.ByASN[asn] = est
+	}
+	return out
+}
+
+// WeightedUsers returns the total users in the APNIC dataset.
+func (a *APNICCounts) WeightedUsers() float64 {
+	var s float64
+	for _, v := range a.ByASN {
+		s += v
+	}
+	return s
+}
+
+// TotalBy24 returns the total users in the CDN dataset at /24 granularity.
+func (c *CDNCounts) TotalBy24() float64 {
+	var s float64
+	for _, v := range c.By24 {
+		s += v
+	}
+	return s
+}
+
+// RelativeError returns |est-truth|/truth, a convenience for validation.
+func RelativeError(est, truth float64) float64 {
+	if truth == 0 {
+		return math.Inf(1)
+	}
+	return math.Abs(est-truth) / truth
+}

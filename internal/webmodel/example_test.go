@@ -1,0 +1,28 @@
+package webmodel_test
+
+import (
+	"fmt"
+
+	"anycastctx/internal/webmodel"
+)
+
+func ExampleConnRTTs() {
+	// Eq. 4: a 1 MB transfer over a fresh connection with a 15 kB initial
+	// window needs ceil(log2(1000/15)) slow-start rounds.
+	fmt.Println(webmodel.ConnRTTs(1_000_000, webmodel.DefaultInitialWindowBytes))
+	// Output:
+	// 7
+}
+
+func ExamplePageRTTs() {
+	// A main document plus one dependent (serial) resource; a third
+	// connection fully overlaps the main transfer and costs nothing extra.
+	conns := []webmodel.Connection{
+		{Bytes: 900_000, Start: 0, End: 1.2},
+		{Bytes: 120_000, Start: 1.3, End: 1.7},
+		{Bytes: 400_000, Start: 0.2, End: 1.0},
+	}
+	fmt.Println(webmodel.PageRTTs(conns, webmodel.DefaultInitialWindowBytes))
+	// Output:
+	// 11
+}

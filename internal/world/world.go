@@ -1,0 +1,189 @@
+// Package world is the composition root: it builds the entire simulated
+// measurement environment — regions, AS topology, user population, root
+// zone, query rates, root letter deployments, the CDN, user-count
+// datasets, and the Atlas platform — from one seeded configuration, with
+// presets matching the paper's 2018 and 2020 DITL scenarios.
+package world
+
+import (
+	"fmt"
+	"math/rand"
+
+	"anycastctx/internal/anycastnet"
+	"anycastctx/internal/atlas"
+	"anycastctx/internal/cdn"
+	"anycastctx/internal/ditl"
+	"anycastctx/internal/dnssim"
+	"anycastctx/internal/geo"
+	"anycastctx/internal/latency"
+	"anycastctx/internal/topology"
+	"anycastctx/internal/users"
+)
+
+// Year selects the DITL scenario.
+type Year int
+
+// Supported DITL scenarios.
+const (
+	DITL2018 Year = 2018
+	DITL2020 Year = 2020
+)
+
+// Config assembles a world. The zero value plus a seed builds the
+// paper-scale 2018 scenario.
+type Config struct {
+	// Seed drives every random choice; equal configs build equal worlds.
+	Seed int64
+	// Scale in (0, 1] shrinks AS counts and probe counts for fast tests.
+	Scale float64
+	// TotalUsers is the modeled global user count (default 1.2e9).
+	TotalUsers float64
+	// Year picks the letter inventory (default DITL2018).
+	Year Year
+	// NumTLDs sizes the root zone (default 1000).
+	NumTLDs int
+	// NumProbes sizes the Atlas platform (default 1000, scaled).
+	NumProbes int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	if c.TotalUsers == 0 {
+		c.TotalUsers = 1.2e9
+	}
+	if c.Year == 0 {
+		c.Year = DITL2018
+	}
+	if c.NumTLDs == 0 {
+		c.NumTLDs = 1000
+	}
+	if c.NumProbes == 0 {
+		c.NumProbes = 1000
+	}
+	return c
+}
+
+// TestScale returns a configuration small enough for unit tests.
+func TestScale(seed int64) Config {
+	return Config{Seed: seed, Scale: 0.12}
+}
+
+// World is the fully built environment.
+type World struct {
+	Cfg       Config
+	Regions   []geo.Region
+	Graph     *topology.Graph
+	Model     *latency.Model
+	Pop       *users.Population
+	Zone      *dnssim.Zone
+	Rates     []dnssim.Rates
+	Letters   []*anycastnet.Deployment
+	Campaign  *ditl.Campaign
+	CDN       *cdn.CDN
+	CDNCounts *users.CDNCounts
+	APNIC     *users.APNICCounts
+	Atlas     *atlas.Platform
+	Locations []cdn.Location
+
+	join *ditl.Join
+}
+
+// Build constructs the world deterministically from cfg.
+func Build(cfg Config) (*World, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Scale <= 0 || cfg.Scale > 1 {
+		return nil, fmt.Errorf("world: scale %v out of (0, 1]", cfg.Scale)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	regions := geo.GenerateRegions(geo.PaperRegionCounts, rng)
+	topoCfg := topology.DefaultConfig()
+	topoCfg.Seed = cfg.Seed + 1
+	topoCfg.NumTransit = scaleInt(topoCfg.NumTransit, cfg.Scale, 20)
+	topoCfg.NumEyeball = scaleInt(topoCfg.NumEyeball, cfg.Scale, 200)
+	g, err := topology.New(topoCfg, regions)
+	if err != nil {
+		return nil, fmt.Errorf("world: topology: %w", err)
+	}
+
+	model := latency.DefaultModel()
+	pop, err := users.Build(g, users.Config{TotalUsers: cfg.TotalUsers}, rng)
+	if err != nil {
+		return nil, fmt.Errorf("world: population: %w", err)
+	}
+	zone := dnssim.NewZone(cfg.NumTLDs, rng)
+	rates := dnssim.ComputeRates(pop, zone, dnssim.RateConfig{}, rng)
+
+	var specs []anycastnet.LetterSpec
+	switch cfg.Year {
+	case DITL2018:
+		specs = anycastnet.Letters2018()
+	case DITL2020:
+		specs = anycastnet.Letters2020()
+	default:
+		return nil, fmt.Errorf("world: unsupported DITL year %d", cfg.Year)
+	}
+	letters, err := anycastnet.BuildLetters(g, specs, rng)
+	if err != nil {
+		return nil, fmt.Errorf("world: letters: %w", err)
+	}
+	camp, err := ditl.Build(g, letters, pop, zone, rates, model, ditl.Config{}, rng)
+	if err != nil {
+		return nil, fmt.Errorf("world: campaign: %w", err)
+	}
+
+	cdnNet, err := cdn.Build(g, model, cdn.Config{}, rng)
+	if err != nil {
+		return nil, fmt.Errorf("world: cdn: %w", err)
+	}
+
+	cdnCounts := users.BuildCDNCounts(pop, users.CDNConfig{}, rng)
+	apnic := users.BuildAPNICCounts(g, pop, rng)
+
+	probes := scaleInt(cfg.NumProbes, cfg.Scale, 100)
+	plat, err := atlas.Deploy(g, model, atlas.Config{NumProbes: probes}, rng)
+	if err != nil {
+		return nil, fmt.Errorf("world: atlas: %w", err)
+	}
+
+	return &World{
+		Cfg:       cfg,
+		Regions:   regions,
+		Graph:     g,
+		Model:     model,
+		Pop:       pop,
+		Zone:      zone,
+		Rates:     rates,
+		Letters:   letters,
+		Campaign:  camp,
+		CDN:       cdnNet,
+		CDNCounts: cdnCounts,
+		APNIC:     apnic,
+		Atlas:     plat,
+		Locations: cdn.Locations(g, cfg.TotalUsers),
+	}, nil
+}
+
+func scaleInt(v int, scale float64, floor int) int {
+	s := int(float64(v) * scale)
+	if s < floor {
+		s = floor
+	}
+	if s > v {
+		s = v
+	}
+	return s
+}
+
+// Join returns the /24-level DITL∩CDN join (computed lazily and cached).
+func (w *World) Join() *ditl.Join {
+	if w.join == nil {
+		w.join = w.Campaign.JoinCDN(w.CDNCounts, false)
+	}
+	return w.join
+}

@@ -1,0 +1,109 @@
+package world
+
+import (
+	"testing"
+)
+
+func TestBuildTestScale(t *testing.T) {
+	w, err := Build(TestScale(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Regions) != 508 {
+		t.Errorf("regions = %d", len(w.Regions))
+	}
+	if w.Graph == nil || w.Pop == nil || w.Zone == nil || w.CDN == nil ||
+		w.Atlas == nil || w.Campaign == nil || w.APNIC == nil || w.CDNCounts == nil {
+		t.Fatal("incomplete world")
+	}
+	if len(w.Letters) != 10 {
+		t.Errorf("letters = %d", len(w.Letters))
+	}
+	if len(w.Rates) != len(w.Pop.Recursives) {
+		t.Error("rates not parallel to recursives")
+	}
+	if len(w.Locations) == 0 {
+		t.Error("no user locations")
+	}
+	if w.Model == nil || w.Model.Validate() != nil {
+		t.Error("bad latency model")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(Config{Seed: 1, Scale: -1}); err == nil {
+		t.Error("negative scale accepted")
+	}
+	if _, err := Build(Config{Seed: 1, Scale: 1.5}); err == nil {
+		t.Error("scale > 1 accepted")
+	}
+	if _, err := Build(Config{Seed: 1, Year: 2019}); err == nil {
+		t.Error("unknown year accepted")
+	}
+}
+
+func TestBuild2020(t *testing.T) {
+	cfg := TestScale(3)
+	cfg.Year = DITL2020
+	w, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Letters) != 7 {
+		t.Errorf("2020 letters = %d", len(w.Letters))
+	}
+}
+
+func TestJoinCachedAndNonEmpty(t *testing.T) {
+	w, err := Build(TestScale(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1 := w.Join()
+	j2 := w.Join()
+	if j1 != j2 {
+		t.Error("join not cached")
+	}
+	if len(j1.Rows) == 0 {
+		t.Error("empty join")
+	}
+}
+
+func TestScaleInt(t *testing.T) {
+	if got := scaleInt(100, 0.5, 10); got != 50 {
+		t.Errorf("scaleInt = %d", got)
+	}
+	if got := scaleInt(100, 0.01, 10); got != 10 {
+		t.Errorf("floor not applied: %d", got)
+	}
+	if got := scaleInt(100, 1, 10); got != 100 {
+		t.Errorf("full scale = %d", got)
+	}
+}
+
+func TestDeterministicBuild(t *testing.T) {
+	w1, err := Build(TestScale(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Build(TestScale(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w1.Pop.Recursives) != len(w2.Pop.Recursives) {
+		t.Fatal("population differs")
+	}
+	for i := range w1.Pop.Recursives {
+		if w1.Pop.Recursives[i].Key != w2.Pop.Recursives[i].Key {
+			t.Fatal("recursive keys differ")
+		}
+	}
+	for li := range w1.Campaign.PerLetter {
+		for ri := range w1.Campaign.PerLetter[li] {
+			a, b := w1.Campaign.PerLetter[li][ri], w2.Campaign.PerLetter[li][ri]
+			if a.Reachable != b.Reachable || a.BaseRTTMs != b.BaseRTTMs || a.LetterWeight != b.LetterWeight {
+				t.Fatalf("assignment differs at letter %d rec %d", li, ri)
+			}
+		}
+	}
+}
