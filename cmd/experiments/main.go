@@ -7,25 +7,40 @@
 //	experiments -list
 //	experiments -run fig2a
 //	experiments -run all -scale 0.2 -seed 7
+//	experiments -run all -report run.json -trace trace.txt -metrics metrics.json
+//	experiments -run fig2a -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// The observability flags never change experiment output: instrumented
+// runs are byte-identical to uninstrumented runs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"time"
 
 	"anycastctx"
+	"anycastctx/internal/obs"
 )
 
 func main() {
 	var (
-		seed  = flag.Int64("seed", 1, "world seed")
-		scale = flag.Float64("scale", 0.25, "world scale in (0,1]; 1 = paper scale")
-		year  = flag.Int("year", 2018, "DITL scenario year (2018 or 2020)")
-		run   = flag.String("run", "all", "experiment ID to run, or 'all'")
-		list  = flag.Bool("list", false, "list experiments and exit")
-		out   = flag.String("out", "", "directory to also write one .txt file per experiment")
+		seed       = flag.Int64("seed", 1, "world seed")
+		scale      = flag.Float64("scale", 0.25, "world scale in (0,1]; 1 = paper scale")
+		year       = flag.Int("year", 2018, "DITL scenario year (2018 or 2020)")
+		run        = flag.String("run", "all", "experiment ID to run, or 'all'")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		out        = flag.String("out", "", "directory to also write one .txt file per experiment")
+		traceFile  = flag.String("trace", "", "write a flame-ordered span trace (wall time + allocs per stage)")
+		metrics    = flag.String("metrics", "", "write a JSON snapshot of every pipeline metric")
+		report     = flag.String("report", "", "write a machine-readable JSON run report")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile")
+		memprofile = flag.String("memprofile", "", "write a heap profile")
 	)
 	flag.Parse()
 
@@ -34,6 +49,25 @@ func main() {
 			fmt.Printf("%-6s %s\n       paper: %s\n", e.ID, e.Title, e.PaperClaim)
 		}
 		return
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	// Span collection drives the trace and the report's per-experiment
+	// stats; metric counters are always live.
+	observing := *traceFile != "" || *metrics != "" || *report != ""
+	if observing {
+		obs.Enable()
 	}
 
 	cfg := anycastctx.Config{Seed: *seed, Scale: *scale}
@@ -47,29 +81,32 @@ func main() {
 		os.Exit(2)
 	}
 
+	runStart := time.Now()
 	fmt.Fprintf(os.Stderr, "building world (seed %d, scale %.2f, year %d)...\n", *seed, *scale, *year)
+	buildSpan := obs.StartSpan("run.build_world")
 	w, err := anycastctx.BuildWorld(cfg)
+	buildSpan.End()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(err)
 	}
 
 	var results []anycastctx.Result
+	var runErr error
 	if *run == "all" {
-		results, err = anycastctx.RunAll(w)
+		results, runErr = anycastctx.RunAll(w)
 	} else {
 		var res anycastctx.Result
-		res, err = anycastctx.RunExperiment(w, *run)
-		results = append(results, res)
+		res, runErr = anycastctx.RunExperiment(w, *run)
+		if runErr == nil {
+			results = append(results, res)
+		}
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+
+	// Print every successful result before reporting failures: a broken
+	// experiment must not discard work already done.
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
 	}
 	for _, res := range results {
@@ -82,9 +119,125 @@ func main() {
 				res.Title, res.PaperClaim, res.Measured, res.Output)
 			path := filepath.Join(*out, res.ID+".txt")
 			if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				fatal(err)
 			}
 		}
 	}
+
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := obs.WriteTrace(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if *metrics != "" {
+		if err := writeJSON(*metrics, obs.TakeSnapshot()); err != nil {
+			fatal(err)
+		}
+	}
+	if *report != "" {
+		rep := buildReport(cfg, *year, results, runErr, buildSpan, time.Since(runStart))
+		if err := writeJSON(*report, rep); err != nil {
+			fatal(err)
+		}
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "%d experiment(s) succeeded; failures:\n%v\n", len(results), runErr)
+		os.Exit(1)
+	}
+}
+
+// runReport is the machine-readable record of one experiments run, meant
+// for tracking the performance trajectory across changes.
+type runReport struct {
+	Seed        int64     `json:"seed"`
+	Scale       float64   `json:"scale"`
+	Year        int       `json:"year"`
+	WallMs      float64   `json:"wall_ms"`
+	WorldBuild  stageStat `json:"world_build"`
+	Experiments []expStat `json:"experiments"`
+	// Metrics is the end-of-run snapshot of every registered pipeline
+	// metric (world, bgp, dnssim, ditl, cdn, ...).
+	Metrics  obs.Snapshot `json:"metrics"`
+	Failures []string     `json:"failures,omitempty"`
+}
+
+type stageStat struct {
+	WallMs     float64 `json:"wall_ms"`
+	AllocBytes uint64  `json:"alloc_bytes"`
+}
+
+type expStat struct {
+	ID         string            `json:"id"`
+	Title      string            `json:"title"`
+	Measured   string            `json:"measured"`
+	WallMs     float64           `json:"wall_ms"`
+	AllocBytes uint64            `json:"alloc_bytes"`
+	Metrics    map[string]uint64 `json:"metrics,omitempty"`
+}
+
+func buildReport(cfg anycastctx.Config, year int, results []anycastctx.Result,
+	runErr error, buildSpan obs.Span, elapsed time.Duration) runReport {
+	rep := runReport{
+		Seed:    cfg.Seed,
+		Scale:   cfg.Scale,
+		Year:    year,
+		WallMs:  float64(elapsed.Nanoseconds()) / 1e6,
+		Metrics: obs.TakeSnapshot(),
+	}
+	if rec, ok := buildSpan.Record(); ok {
+		rep.WorldBuild = stageStat{WallMs: float64(rec.WallNs) / 1e6, AllocBytes: rec.AllocBytes}
+	}
+	for _, res := range results {
+		st := expStat{ID: res.ID, Title: res.Title, Measured: res.Measured}
+		if res.Stats != nil {
+			st.WallMs = float64(res.Stats.WallNs) / 1e6
+			st.AllocBytes = res.Stats.AllocBytes
+			st.Metrics = res.Stats.CounterDeltas
+		}
+		rep.Experiments = append(rep.Experiments, st)
+	}
+	if runErr != nil {
+		rep.Failures = append(rep.Failures, runErr.Error())
+	}
+	return rep
+}
+
+func writeJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
 }

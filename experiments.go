@@ -1,10 +1,12 @@
 package anycastctx
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
 
+	"anycastctx/internal/obs"
 	"anycastctx/internal/stats"
 	"anycastctx/internal/world"
 )
@@ -21,6 +23,21 @@ type Result struct {
 	Measured string
 	// Output is the rendered table or CDF series.
 	Output string
+	// Stats holds per-run observability data — wall time, allocation
+	// delta, and which pipeline counters advanced. Nil unless obs span
+	// collection is enabled; never influences Measured or Output.
+	Stats *RunStats
+}
+
+// RunStats is the observability record of one experiment run.
+type RunStats struct {
+	// WallNs is the experiment's wall-clock duration.
+	WallNs int64 `json:"wall_ns"`
+	// AllocBytes is the heap allocated while it ran.
+	AllocBytes uint64 `json:"alloc_bytes"`
+	// CounterDeltas maps metric names to how far each pipeline counter
+	// advanced during the run.
+	CounterDeltas map[string]uint64 `json:"counter_deltas,omitempty"`
 }
 
 // Experiment is a registered, runnable reproduction of one paper artifact.
@@ -53,8 +70,7 @@ func Experiments() []Experiment {
 func RunExperiment(w *World, id string) (Result, error) {
 	for _, e := range registry {
 		if e.ID == id {
-			rng := rand.New(rand.NewSource(w.Cfg.Seed * 7919))
-			return e.Run(w, rng)
+			return runOne(w, e)
 		}
 	}
 	known := make([]string, 0, len(registry))
@@ -65,22 +81,47 @@ func RunExperiment(w *World, id string) (Result, error) {
 	return Result{}, fmt.Errorf("anycastctx: unknown experiment %q (known: %v)", id, known)
 }
 
-// RunAll runs every experiment, collecting failures into the error.
+// runOne executes one experiment with its derived seed. When obs span
+// collection is enabled it records an "experiment.<id>" span and attaches
+// wall time, allocation, and counter deltas to the result; the experiment
+// itself sees an identical world and rng either way.
+func runOne(w *World, e Experiment) (Result, error) {
+	rng := rand.New(rand.NewSource(w.Cfg.Seed * 7919))
+	if !obs.Enabled() {
+		return e.Run(w, rng)
+	}
+	before := obs.TakeSnapshot()
+	span := obs.StartSpan("experiment." + e.ID)
+	res, err := e.Run(w, rng)
+	span.End()
+	if err != nil {
+		return res, err
+	}
+	if rec, ok := span.Record(); ok {
+		res.Stats = &RunStats{
+			WallNs:        rec.WallNs,
+			AllocBytes:    rec.AllocBytes,
+			CounterDeltas: obs.TakeSnapshot().CounterDeltas(before),
+		}
+	}
+	return res, err
+}
+
+// RunAll runs every experiment. It always returns the results of the
+// experiments that succeeded; the error aggregates every failure (one
+// broken experiment does not mask the others).
 func RunAll(w *World) ([]Result, error) {
 	var out []Result
-	var firstErr error
+	var errs []error
 	for _, e := range registry {
-		rng := rand.New(rand.NewSource(w.Cfg.Seed * 7919))
-		res, err := e.Run(w, rng)
+		res, err := runOne(w, e)
 		if err != nil {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("experiment %s: %w", e.ID, err)
-			}
+			errs = append(errs, fmt.Errorf("experiment %s: %w", e.ID, err))
 			continue
 		}
 		out = append(out, res)
 	}
-	return out, firstErr
+	return out, errors.Join(errs...)
 }
 
 // mustCDF panics only on programmer error (callers pass non-empty data).

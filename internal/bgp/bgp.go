@@ -22,9 +22,26 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"anycastctx/internal/geo"
+	"anycastctx/internal/obs"
 	"anycastctx/internal/topology"
+)
+
+// Observability handles. Route outcomes are counted by decision phase:
+// direct (2-AS peering win), provider (shortest AS path via transit), and
+// unreachable (no visible site).
+var (
+	obsResolvers     = obs.NewCounter("bgp.resolvers_built")
+	obsRoutes        = obs.NewCounter("bgp.routes_resolved")
+	obsDirectRoutes  = obs.NewCounter("bgp.routes_direct")
+	obsProvRoutes    = obs.NewCounter("bgp.routes_provider")
+	obsUnreachable   = obs.NewCounter("bgp.routes_unreachable")
+	obsCatchBatches  = obs.NewCounter("bgp.catchment_batches")
+	obsCatchPerAS    = obs.NewHistogram("bgp.catchment_ns_per_as")
+	obsBestPathTies  = obs.NewCounter("bgp.best_path_decisions")
+	obsDeepDecisions = obs.NewCounter("bgp.deep_path_decisions")
 )
 
 // Site is one anycast site of a deployment.
@@ -106,6 +123,7 @@ func NewResolver(g *topology.Graph, sites []Site) (*Resolver, error) {
 		}
 		r.transitDist[p] = dists
 	}
+	obsResolvers.Inc()
 	return r, nil
 }
 
@@ -176,6 +194,7 @@ func (r *Resolver) visible(src *topology.AS, s Site) bool {
 func (r *Resolver) Route(src topology.ASN) (Route, bool) {
 	S := r.g.AS(src)
 	if S == nil {
+		obsUnreachable.Inc()
 		return Route{}, false
 	}
 
@@ -223,6 +242,8 @@ func (r *Resolver) Route(src topology.ASN) (Route, bool) {
 		}
 	}
 	if best.SiteID != -1 {
+		obsRoutes.Inc()
+		obsDirectRoutes.Inc()
 		return best, true
 	}
 
@@ -259,8 +280,10 @@ func (r *Resolver) Route(src topology.ASN) (Route, bool) {
 		}
 	}
 	if len(opts) == 0 {
+		obsUnreachable.Inc()
 		return Route{}, false
 	}
+	obsBestPathTies.Inc()
 	var chosen topology.ASN
 	for _, o := range opts {
 		if o.minDist == bestLen {
@@ -269,12 +292,17 @@ func (r *Resolver) Route(src topology.ASN) (Route, bool) {
 		}
 	}
 
+	obsRoutes.Inc()
+	obsProvRoutes.Inc()
 	return r.routeViaTransit(S, chosen, bestLen), true
 }
 
 // routeViaTransit picks the site reached through provider p among sites at
 // transit distance d, applying hot-potato selection at each stage.
 func (r *Resolver) routeViaTransit(S *topology.AS, p topology.ASN, d uint8) Route {
+	if d >= 2 {
+		obsDeepDecisions.Inc()
+	}
 	P := r.g.AS(p)
 	entry, _ := P.NearestPresence(S.Loc)
 	dists := r.transitDist[p]
@@ -421,6 +449,14 @@ func (r *Resolver) preferredTier1(p topology.ASN) topology.ASN {
 // Catchments resolves routes for every AS in srcs, returning only
 // successful resolutions.
 func (r *Resolver) Catchments(srcs []topology.ASN) map[topology.ASN]Route {
+	var start time.Time
+	if timed := obs.Enabled() && len(srcs) > 0; timed {
+		start = time.Now()
+		defer func() {
+			obsCatchPerAS.Observe(float64(time.Since(start).Nanoseconds()) / float64(len(srcs)))
+		}()
+	}
+	obsCatchBatches.Inc()
 	out := make(map[topology.ASN]Route, len(srcs))
 	for _, s := range srcs {
 		if rt, ok := r.Route(s); ok {

@@ -23,7 +23,19 @@ import (
 	"anycastctx/internal/bgp"
 	"anycastctx/internal/geo"
 	"anycastctx/internal/latency"
+	"anycastctx/internal/obs"
 	"anycastctx/internal/topology"
+)
+
+// Observability handles for the two measurement planes: server-side log
+// lines (handshake RTT rows) and client-side (Odin-style) ring
+// measurements. Updated from worker goroutines; counters are atomic.
+var (
+	obsBuilds     = obs.NewCounter("cdn.builds")
+	obsRings      = obs.NewCounter("cdn.rings_built")
+	obsLogRows    = obs.NewCounter("cdn.server_log_rows")
+	obsClientRows = obs.NewCounter("cdn.client_measurement_rows")
+	obsLogRTTs    = obs.NewHistogram("cdn.server_log_rtt_ms")
 )
 
 // RingSpec names one ring and its front-end count.
@@ -153,7 +165,9 @@ func Build(g *topology.Graph, model *latency.Model, cfg Config, rng *rand.Rand) 
 			return nil, err
 		}
 		c.Rings = append(c.Rings, &Ring{Name: spec.Name, Deployment: dep, SiteLocs: locs})
+		obsRings.Inc()
 	}
+	obsBuilds.Inc()
 	return c, nil
 }
 
@@ -259,9 +273,11 @@ func (c *CDN) ServerSideLogs(locs []Location, rng *rand.Rand) []ServerLogRow {
 		for _, r := range grid[ri] {
 			if r.Ring != "" {
 				rows = append(rows, r)
+				obsLogRTTs.Observe(r.MedianRTTMs)
 			}
 		}
 	}
+	obsLogRows.Add(uint64(len(rows)))
 	return rows
 }
 
@@ -344,6 +360,7 @@ func (c *CDN) ClientMeasurements(locs []Location, rng *rand.Rand) []ClientMeasur
 			rows = append(rows, r)
 		}
 	}
+	obsClientRows.Add(uint64(len(rows)))
 	return rows
 }
 

@@ -15,8 +15,26 @@ import (
 	"anycastctx/internal/dnssim"
 	"anycastctx/internal/ipaddr"
 	"anycastctx/internal/latency"
+	"anycastctx/internal/obs"
 	"anycastctx/internal/topology"
 	"anycastctx/internal/users"
+)
+
+// Observability handles. The filter gauges mirror the §2.1 pre-processing
+// funnel (drop volume per reason, queries/day) from the last Preprocess
+// call; campaign counters accumulate across builds.
+var (
+	obsCampaigns       = obs.NewCounter("ditl.campaigns_built")
+	obsAssignments     = obs.NewCounter("ditl.assignments")
+	obsAssignReachable = obs.NewCounter("ditl.assignments_reachable")
+	obsJunk24s         = obs.NewCounter("ditl.junk_slash24s")
+	obsPcapCaptures    = obs.NewCounter("ditl.pcap_captures")
+	obsPcapPackets     = obs.NewCounter("ditl.pcap_packets")
+	obsFilterInvalid   = obs.NewGauge("ditl.filter_invalid_per_day")
+	obsFilterPTR       = obs.NewGauge("ditl.filter_ptr_per_day")
+	obsFilterPrivate   = obs.NewGauge("ditl.filter_private_per_day")
+	obsFilterV6        = obs.NewGauge("ditl.filter_v6_per_day")
+	obsFilterRetained  = obs.NewGauge("ditl.filter_retained_per_day")
 )
 
 // SiteShare is one site's share of a recursive's queries to a letter.
@@ -192,6 +210,7 @@ func Build(g *topology.Graph, letters []*anycastnet.Deployment, pop *users.Popul
 				continue
 			}
 			a.Reachable = true
+			obsAssignReachable.Inc()
 			a.Route = rt
 			a.BaseRTTMs = model.BaseRTTMs(rec.ASN, rt)
 			rtts[li] = a.BaseRTTMs
@@ -272,6 +291,9 @@ func Build(g *topology.Graph, letters []*anycastnet.Deployment, pop *users.Popul
 		c.JunkSources = append(c.JunkSources, b.Nth(uint64(1+rng.Intn(250))))
 		c.JunkQueriesPerDay += 50 + rng.ExpFloat64()*2000
 	}
+	obsCampaigns.Inc()
+	obsAssignments.Add(uint64(len(letters) * len(pop.Recursives)))
+	obsJunk24s.Add(uint64(len(c.JunkSources)))
 	return c, nil
 }
 
@@ -326,5 +348,10 @@ func (c *Campaign) Preprocess() PreprocessStats {
 	s.V6PerDay = valid * c.Cfg.V6Share
 	s.RetainedPerDay = valid * (1 - c.Cfg.PrivateShare - c.Cfg.V6Share)
 	s.RawPerDay = s.InvalidPerDay + s.PTRPerDay + valid
+	obsFilterInvalid.Set(s.InvalidPerDay)
+	obsFilterPTR.Set(s.PTRPerDay)
+	obsFilterPrivate.Set(s.PrivatePerDay)
+	obsFilterV6.Set(s.V6PerDay)
+	obsFilterRetained.Set(s.RetainedPerDay)
 	return s
 }

@@ -2,8 +2,17 @@ package ditl
 
 import (
 	"anycastctx/internal/ipaddr"
+	"anycastctx/internal/obs"
 	"anycastctx/internal/topology"
 	"anycastctx/internal/users"
+)
+
+// Observability handles: join row counts and the per-/24 joined user-count
+// distribution (how many users each retained /24 represents).
+var (
+	obsJoins        = obs.NewCounter("ditl.joins_computed")
+	obsJoinRows     = obs.NewCounter("ditl.join_rows")
+	obsJoinRowUsers = obs.NewHistogram("ditl.join_users_per_row")
 )
 
 // JoinedRow is one recursive of the DITL∩CDN dataset: query volume joined
@@ -90,6 +99,11 @@ func (c *Campaign) JoinCDN(cdn *users.CDNCounts, byIP bool) *Join {
 			QueriesPerDay: vol,
 			Users:         u,
 		})
+	}
+	obsJoins.Inc()
+	obsJoinRows.Add(uint64(len(j.Rows)))
+	for _, row := range j.Rows {
+		obsJoinRowUsers.Observe(row.Users)
 	}
 	return j
 }

@@ -69,6 +69,7 @@ func (c *Campaign) EmitSiteCapture(w io.Writer, li, siteID, maxPackets int, rng 
 		return 0, pw.Flush()
 	}
 
+	obsPcapCaptures.Inc()
 	written := 0
 	emit := func(ts time.Time, pkt []byte) error {
 		if written >= maxPackets {
@@ -78,6 +79,7 @@ func (c *Campaign) EmitSiteCapture(w io.Writer, li, siteID, maxPackets int, rng 
 			return err
 		}
 		written++
+		obsPcapPackets.Inc()
 		return nil
 	}
 

@@ -4,6 +4,15 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"anycastctx/internal/obs"
+)
+
+// Observability handles for the generated workload mix.
+var (
+	obsClientQueries = obs.NewCounter("dnssim.client_queries")
+	obsProbeQueries  = obs.NewCounter("dnssim.probe_queries")
+	obsJunkQueries   = obs.NewCounter("dnssim.junk_queries")
 )
 
 // ClientConfig describes the user population driving one recursive
@@ -152,11 +161,14 @@ func (c *Client) Run(r *Resolver, days float64, onResult func(kind QueryKind, re
 		}
 		res := r.ResolveA(name)
 		stats.Queries++
+		obsClientQueries.Inc()
 		switch kind {
 		case QueryProbe:
 			stats.ProbeQueries++
+			obsProbeQueries.Inc()
 		case QueryJunk:
 			stats.JunkQueries++
+			obsJunkQueries.Inc()
 		default:
 			stats.ValidQueries++
 		}

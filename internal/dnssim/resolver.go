@@ -5,6 +5,23 @@ import (
 	"math"
 	"math/rand"
 	"strings"
+
+	"anycastctx/internal/obs"
+)
+
+// Observability handles, aggregated across every Resolver in the process
+// (per-resolver figures stay in Counters). The redundant counter tracks
+// the BIND bug triggers the paper's Appendix E measures.
+var (
+	obsResolvers     = obs.NewCounter("dnssim.resolvers_built")
+	obsUserQueries   = obs.NewCounter("dnssim.user_queries")
+	obsCacheHits     = obs.NewCounter("dnssim.cache_hits")
+	obsRootValid     = obs.NewCounter("dnssim.root_queries_valid")
+	obsRootInvalid   = obs.NewCounter("dnssim.root_queries_invalid")
+	obsRootRedundant = obs.NewCounter("dnssim.root_queries_redundant")
+	obsRootTCP       = obs.NewCounter("dnssim.root_queries_tcp")
+	obsZoneRefreshes = obs.NewCounter("dnssim.zone_refreshes")
+	obsTimeouts      = obs.NewCounter("dnssim.auth_timeouts")
 )
 
 // Upstreams supplies the resolver's view of the outside world: sampled
@@ -181,6 +198,7 @@ func NewResolver(zone *Zone, cfg ResolverConfig, ups Upstreams, rng *rand.Rand) 
 	for i := range srtt {
 		srtt[i] = math.Inf(1) // unknown
 	}
+	obsResolvers.Inc()
 	return &Resolver{
 		zone:  zone,
 		cfg:   cfg,
@@ -277,6 +295,7 @@ func (r *Resolver) queryRoot(valid, redundant bool) (latencyMs float64, letter i
 	if r.rng.Float64() < r.cfg.TruncationProb {
 		lat += 2 * r.ups.RootRTT(letter)
 		r.counters.RootQueriesTCP++
+		obsRootTCP.Inc()
 	}
 	if math.IsInf(r.srtt[letter], 1) {
 		r.srtt[letter] = lat
@@ -286,11 +305,14 @@ func (r *Resolver) queryRoot(valid, redundant bool) (latencyMs float64, letter i
 	}
 	if valid {
 		r.counters.RootQueriesValid++
+		obsRootValid.Inc()
 	} else {
 		r.counters.RootQueriesInvalid++
+		obsRootInvalid.Inc()
 	}
 	if redundant {
 		r.counters.RootQueriesRedundant++
+		obsRootRedundant.Inc()
 	}
 	r.counters.RootQueriesPerLetter[letter]++
 	return lat, letter
@@ -304,6 +326,7 @@ func (r *Resolver) localRootCurrent() bool {
 	}
 	if r.now >= r.localRootExpiry {
 		r.counters.ZoneRefreshes++
+		obsZoneRefreshes.Inc()
 		r.localRootExpiry = r.now + TLDTTLSeconds
 	}
 	return true
@@ -344,6 +367,7 @@ func (r *Resolver) ResolveAForceTimeout(domain string) QueryResult {
 
 func (r *Resolver) resolve(domain string, forceTimeout bool) QueryResult {
 	r.counters.UserQueries++
+	obsUserQueries.Inc()
 	domain = strings.TrimSuffix(domain, ".")
 	var res QueryResult
 	start := r.now
@@ -352,12 +376,14 @@ func (r *Resolver) resolve(domain string, forceTimeout bool) QueryResult {
 	// Full-answer cache.
 	if r.cached("A:" + domain) {
 		r.counters.CacheHits++
+		obsCacheHits.Inc()
 		res.CacheHit = true
 		res.LatencyMs = 0.1 + r.rng.Float64()*0.7
 		return res
 	}
 	if r.cached("NEG:" + domain) {
 		r.counters.CacheHits++
+		obsCacheHits.Inc()
 		res.CacheHit = true
 		res.NXDomain = true
 		res.LatencyMs = 0.1 + r.rng.Float64()*0.7
@@ -432,6 +458,7 @@ func (r *Resolver) resolve(domain string, forceTimeout bool) QueryResult {
 	// Query the SLD authoritative.
 	timedOut := forceTimeout || r.rng.Float64() < r.ups.AuthTimeoutProb
 	if timedOut {
+		obsTimeouts.Inc()
 		res.LatencyMs += r.cfg.TimeoutPenaltyMs
 		r.addTrace(r.now-start, "resolver", "ns-primary."+domain, domain, "A", "timeout")
 		// Retry another nameserver.

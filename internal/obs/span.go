@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// SpanRecord is one completed (or still-open) traced stage.
+type SpanRecord struct {
+	// Name identifies the stage, dot-scoped by subsystem
+	// ("world.topology", "bgp.catchments", "experiment.fig2a").
+	Name string
+	// Depth is the nesting level at start time (0 = top level).
+	Depth int
+	// StartNs is the start offset from the registry's first span.
+	StartNs int64
+	// WallNs is the span's wall-clock duration (0 until End).
+	WallNs int64
+	// AllocBytes is the runtime.MemStats.TotalAlloc delta across the
+	// span: bytes allocated by this stage (and any concurrent work).
+	AllocBytes uint64
+
+	startAlloc uint64
+	done       bool
+}
+
+// Span is a handle to an in-flight traced stage. The zero value (returned
+// when tracing is disabled) is inert: End is a no-op and nothing was
+// recorded or allocated.
+type Span struct {
+	r   *Registry
+	idx int
+}
+
+// StartSpan begins a traced stage on the default registry.
+func StartSpan(name string) Span { return Default.StartSpan(name) }
+
+// StartSpan begins a traced stage. When tracing is disabled it returns
+// the inert zero Span without reading the clock or memory statistics.
+func (r *Registry) StartSpan(name string) Span {
+	if !r.enabled.Load() {
+		return Span{}
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	now := time.Now().UnixNano()
+	r.spanMu.Lock()
+	if r.clock == 0 {
+		r.clock = now
+	}
+	idx := len(r.spans)
+	r.spans = append(r.spans, SpanRecord{
+		Name:       name,
+		Depth:      len(r.stack),
+		StartNs:    now - r.clock,
+		startAlloc: ms.TotalAlloc,
+	})
+	r.stack = append(r.stack, idx)
+	r.spanMu.Unlock()
+	return Span{r: r, idx: idx + 1}
+}
+
+// End completes the span, recording wall time and the allocation delta.
+// Safe to call on the zero Span and idempotent.
+func (s Span) End() {
+	if s.r == nil || s.idx == 0 {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	now := time.Now().UnixNano()
+	r := s.r
+	r.spanMu.Lock()
+	rec := &r.spans[s.idx-1]
+	if !rec.done {
+		rec.done = true
+		rec.WallNs = now - r.clock - rec.StartNs
+		if ms.TotalAlloc >= rec.startAlloc {
+			rec.AllocBytes = ms.TotalAlloc - rec.startAlloc
+		}
+		// Pop this span (and anything left open above it) off the
+		// nesting stack so sibling spans report the right depth.
+		for i := len(r.stack) - 1; i >= 0; i-- {
+			if r.stack[i] == s.idx-1 {
+				r.stack = r.stack[:i]
+				break
+			}
+		}
+	}
+	r.spanMu.Unlock()
+}
+
+// Record returns a copy of the span's record (valid after End). ok is
+// false for the inert zero Span.
+func (s Span) Record() (SpanRecord, bool) {
+	if s.r == nil || s.idx == 0 {
+		return SpanRecord{}, false
+	}
+	s.r.spanMu.Lock()
+	defer s.r.spanMu.Unlock()
+	return s.r.spans[s.idx-1], true
+}
+
+// Spans returns a copy of all collected spans in start order.
+func (r *Registry) Spans() []SpanRecord {
+	r.spanMu.Lock()
+	defer r.spanMu.Unlock()
+	out := make([]SpanRecord, len(r.spans))
+	copy(out, r.spans)
+	return out
+}
+
+// Spans returns the default registry's collected spans in start order.
+func Spans() []SpanRecord { return Default.Spans() }
+
+// WriteTrace renders collected spans flame-ordered (start order, indented
+// by nesting depth) with wall time and allocation deltas.
+func (r *Registry) WriteTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%-12s %-52s %12s %12s\n", "START", "SPAN", "WALL", "ALLOC")
+	for _, sp := range r.Spans() {
+		name := strings.Repeat("  ", sp.Depth) + sp.Name
+		wall := "open"
+		if sp.done {
+			wall = fmtDuration(sp.WallNs)
+		}
+		fmt.Fprintf(bw, "%-12s %-52s %12s %12s\n",
+			fmtDuration(sp.StartNs), name, wall, fmtBytes(sp.AllocBytes))
+	}
+	return bw.Flush()
+}
+
+// WriteTrace renders the default registry's spans.
+func WriteTrace(w io.Writer) error { return Default.WriteTrace(w) }
+
+func fmtDuration(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.3fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}
+
+func fmtBytes(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

@@ -8,6 +8,8 @@ package world
 import (
 	"fmt"
 	"math/rand"
+	"os"
+	"strconv"
 
 	"anycastctx/internal/anycastnet"
 	"anycastctx/internal/atlas"
@@ -16,8 +18,20 @@ import (
 	"anycastctx/internal/dnssim"
 	"anycastctx/internal/geo"
 	"anycastctx/internal/latency"
+	"anycastctx/internal/obs"
 	"anycastctx/internal/topology"
 	"anycastctx/internal/users"
+)
+
+// Observability handles. Build phases are spanned under "world.build";
+// the gauges describe the last world built in this process.
+var (
+	obsBuilds     = obs.NewCounter("world.builds")
+	obsRegions    = obs.NewGauge("world.regions")
+	obsEyeballs   = obs.NewGauge("world.eyeball_ases")
+	obsRecursives = obs.NewGauge("world.recursives")
+	obsLetters    = obs.NewGauge("world.letters")
+	obsProbes     = obs.NewGauge("world.atlas_probes")
 )
 
 // Year selects the DITL scenario.
@@ -68,9 +82,17 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// TestScale returns a configuration small enough for unit tests.
+// TestScale returns a configuration small enough for unit tests. The
+// ANYCASTCTX_TEST_SCALE environment variable overrides the scale (CI uses
+// it to shrink worlds further); values outside (0, 1] are ignored.
 func TestScale(seed int64) Config {
-	return Config{Seed: seed, Scale: 0.12}
+	scale := 0.12
+	if s := os.Getenv("ANYCASTCTX_TEST_SCALE"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 && v <= 1 {
+			scale = v
+		}
+	}
+	return Config{Seed: seed, Scale: scale}
 }
 
 // World is the fully built environment.
@@ -101,23 +123,37 @@ func Build(cfg Config) (*World, error) {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
+	build := obs.StartSpan("world.build")
+	defer build.End()
+	obsBuilds.Inc()
+
+	sp := obs.StartSpan("world.regions")
 	regions := geo.GenerateRegions(geo.PaperRegionCounts, rng)
+	sp.End()
+
+	sp = obs.StartSpan("world.topology")
 	topoCfg := topology.DefaultConfig()
 	topoCfg.Seed = cfg.Seed + 1
 	topoCfg.NumTransit = scaleInt(topoCfg.NumTransit, cfg.Scale, 20)
 	topoCfg.NumEyeball = scaleInt(topoCfg.NumEyeball, cfg.Scale, 200)
 	g, err := topology.New(topoCfg, regions)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("world: topology: %w", err)
 	}
 
+	sp = obs.StartSpan("world.population")
 	model := latency.DefaultModel()
 	pop, err := users.Build(g, users.Config{TotalUsers: cfg.TotalUsers}, rng)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("world: population: %w", err)
 	}
+
+	sp = obs.StartSpan("world.zone_rates")
 	zone := dnssim.NewZone(cfg.NumTLDs, rng)
 	rates := dnssim.ComputeRates(pop, zone, dnssim.RateConfig{}, rng)
+	sp.End()
 
 	var specs []anycastnet.LetterSpec
 	switch cfg.Year {
@@ -128,28 +164,45 @@ func Build(cfg Config) (*World, error) {
 	default:
 		return nil, fmt.Errorf("world: unsupported DITL year %d", cfg.Year)
 	}
+	sp = obs.StartSpan("world.letters")
 	letters, err := anycastnet.BuildLetters(g, specs, rng)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("world: letters: %w", err)
 	}
+
+	sp = obs.StartSpan("world.campaign")
 	camp, err := ditl.Build(g, letters, pop, zone, rates, model, ditl.Config{}, rng)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("world: campaign: %w", err)
 	}
 
+	sp = obs.StartSpan("world.cdn")
 	cdnNet, err := cdn.Build(g, model, cdn.Config{}, rng)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("world: cdn: %w", err)
 	}
 
+	sp = obs.StartSpan("world.user_counts")
 	cdnCounts := users.BuildCDNCounts(pop, users.CDNConfig{}, rng)
 	apnic := users.BuildAPNICCounts(g, pop, rng)
+	sp.End()
 
+	sp = obs.StartSpan("world.atlas")
 	probes := scaleInt(cfg.NumProbes, cfg.Scale, 100)
 	plat, err := atlas.Deploy(g, model, atlas.Config{NumProbes: probes}, rng)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("world: atlas: %w", err)
 	}
+
+	obsRegions.Set(float64(len(regions)))
+	obsEyeballs.Set(float64(len(g.Eyeballs())))
+	obsRecursives.Set(float64(len(pop.Recursives)))
+	obsLetters.Set(float64(len(letters)))
+	obsProbes.Set(float64(probes))
 
 	return &World{
 		Cfg:       cfg,
