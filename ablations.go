@@ -145,6 +145,9 @@ func runAblPeering(w *World, _ *rand.Rand) (Result, error) {
 			return Result{}, err
 		}
 		big := c.Rings[len(c.Rings)-1]
+		// Resolve all routes across cores up front; the loop below then
+		// reads the cache in deterministic eyeball order.
+		big.Deployment.WarmRoutes(g.Eyeballs())
 		var direct, total float64
 		var rtts []stats.WeightedValue
 		for _, e := range g.Eyeballs() {

@@ -10,6 +10,8 @@ package anycastctx
 // computation, amortization), not world construction, which happens once.
 
 import (
+	"os"
+	"strconv"
 	"sync"
 	"testing"
 )
@@ -20,10 +22,22 @@ var (
 	benchWorldErr  error
 )
 
+// benchScale is the world scale benchmarks run at. ANYCASTCTX_TEST_SCALE
+// overrides it (scripts/bench.sh and the CI bench smoke pass it); the
+// default 0.2 keeps committed BENCH_<date>.json baselines comparable.
+func benchScale() float64 {
+	if s := os.Getenv("ANYCASTCTX_TEST_SCALE"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 && v <= 1 {
+			return v
+		}
+	}
+	return 0.2
+}
+
 func getBenchWorld(b *testing.B) *World {
 	b.Helper()
 	benchWorldOnce.Do(func() {
-		benchWorld, benchWorldErr = BuildWorld(Config{Seed: 1, Scale: 0.2})
+		benchWorld, benchWorldErr = BuildWorld(Config{Seed: 1, Scale: benchScale()})
 	})
 	if benchWorldErr != nil {
 		b.Fatal(benchWorldErr)

@@ -7,6 +7,7 @@
 //	experiments -list
 //	experiments -run fig2a
 //	experiments -run all -scale 0.2 -seed 7
+//	experiments -run all -j 0                # all experiments across all CPUs
 //	experiments -run all -report run.json -trace trace.txt -metrics metrics.json
 //	experiments -run fig2a -cpuprofile cpu.pprof -memprofile mem.pprof
 //
@@ -34,6 +35,7 @@ func main() {
 		scale      = flag.Float64("scale", 0.25, "world scale in (0,1]; 1 = paper scale")
 		year       = flag.Int("year", 2018, "DITL scenario year (2018 or 2020)")
 		run        = flag.String("run", "all", "experiment ID to run, or 'all'")
+		jobs       = flag.Int("j", 1, "experiment worker count for -run all (0 = NumCPU; >1 disables per-experiment counter deltas in -report)")
 		list       = flag.Bool("list", false, "list experiments and exit")
 		out        = flag.String("out", "", "directory to also write one .txt file per experiment")
 		traceFile  = flag.String("trace", "", "write a flame-ordered span trace (wall time + allocs per stage)")
@@ -93,7 +95,15 @@ func main() {
 	var results []anycastctx.Result
 	var runErr error
 	if *run == "all" {
-		results, runErr = anycastctx.RunAll(w)
+		workers := *jobs
+		if workers <= 0 {
+			workers = runtime.NumCPU()
+		}
+		if workers > 1 {
+			results, runErr = anycastctx.RunAllParallel(w, workers)
+		} else {
+			results, runErr = anycastctx.RunAll(w)
+		}
 	} else {
 		var res anycastctx.Result
 		res, runErr = anycastctx.RunExperiment(w, *run)

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"anycastctx/internal/obs"
 	"anycastctx/internal/stats"
@@ -70,7 +72,7 @@ func Experiments() []Experiment {
 func RunExperiment(w *World, id string) (Result, error) {
 	for _, e := range registry {
 		if e.ID == id {
-			return runOne(w, e)
+			return runOne(w, e, true)
 		}
 	}
 	known := make([]string, 0, len(registry))
@@ -85,12 +87,21 @@ func RunExperiment(w *World, id string) (Result, error) {
 // collection is enabled it records an "experiment.<id>" span and attaches
 // wall time, allocation, and counter deltas to the result; the experiment
 // itself sees an identical world and rng either way.
-func runOne(w *World, e Experiment) (Result, error) {
+//
+// withDeltas controls whether per-experiment counter deltas are computed
+// from before/after registry snapshots. Deltas are only meaningful when
+// experiments run one at a time: concurrent experiments advance the same
+// global counters, so RunAllParallel passes withDeltas=false rather than
+// attribute one experiment's counts to another.
+func runOne(w *World, e Experiment, withDeltas bool) (Result, error) {
 	rng := rand.New(rand.NewSource(w.Cfg.Seed * 7919))
 	if !obs.Enabled() {
 		return e.Run(w, rng)
 	}
-	before := obs.TakeSnapshot()
+	var before obs.Snapshot
+	if withDeltas {
+		before = obs.TakeSnapshot()
+	}
 	span := obs.StartSpan("experiment." + e.ID)
 	res, err := e.Run(w, rng)
 	span.End()
@@ -99,9 +110,11 @@ func runOne(w *World, e Experiment) (Result, error) {
 	}
 	if rec, ok := span.Record(); ok {
 		res.Stats = &RunStats{
-			WallNs:        rec.WallNs,
-			AllocBytes:    rec.AllocBytes,
-			CounterDeltas: obs.TakeSnapshot().CounterDeltas(before),
+			WallNs:     rec.WallNs,
+			AllocBytes: rec.AllocBytes,
+		}
+		if withDeltas {
+			res.Stats.CounterDeltas = obs.TakeSnapshot().CounterDeltas(before)
 		}
 	}
 	return res, err
@@ -114,7 +127,7 @@ func RunAll(w *World) ([]Result, error) {
 	var out []Result
 	var errs []error
 	for _, e := range registry {
-		res, err := runOne(w, e)
+		res, err := runOne(w, e, true)
 		if err != nil {
 			errs = append(errs, fmt.Errorf("experiment %s: %w", e.ID, err))
 			continue
@@ -124,7 +137,61 @@ func RunAll(w *World) ([]Result, error) {
 	return out, errors.Join(errs...)
 }
 
-// mustCDF panics only on programmer error (callers pass non-empty data).
+// RunAllParallel runs every experiment across a pool of workers. Results
+// come back in the same registry order as RunAll and, because every
+// experiment derives its rng from the world seed and only reads shared
+// world state, each Result's Measured and Output are byte-identical to a
+// serial run (covered by TestRunAllParallelMatchesSerial). Error
+// aggregation matches RunAll: every failure is joined, in registry order.
+//
+// Per-experiment RunStats differ from serial runs in two documented ways:
+// CounterDeltas is omitted (global pipeline counters advance concurrently,
+// so per-experiment attribution would be wrong) and AllocBytes includes
+// allocation by concurrently running experiments.
+//
+// workers <= 1 falls back to the serial RunAll.
+func RunAllParallel(w *World, workers int) ([]Result, error) {
+	if workers <= 1 || len(registry) <= 1 {
+		return RunAll(w)
+	}
+	if workers > len(registry) {
+		workers = len(registry)
+	}
+	type slot struct {
+		res Result
+		err error
+	}
+	slots := make([]slot, len(registry))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(registry) {
+					return
+				}
+				slots[i].res, slots[i].err = runOne(w, registry[i], false)
+			}
+		}()
+	}
+	wg.Wait()
+	var out []Result
+	var errs []error
+	for i, e := range registry {
+		if slots[i].err != nil {
+			errs = append(errs, fmt.Errorf("experiment %s: %w", e.ID, slots[i].err))
+			continue
+		}
+		out = append(out, slots[i].res)
+	}
+	return out, errors.Join(errs...)
+}
+
+// newCDF builds a CDF over weighted observations; it fails only on
+// programmer error (callers pass non-empty data).
 func newCDF(obs []stats.WeightedValue) (*stats.CDF, error) {
 	return stats.NewCDF(obs)
 }

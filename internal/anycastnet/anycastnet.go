@@ -42,9 +42,24 @@ func (d *Deployment) NumGlobalSites() int {
 // NumSites returns the total site count (global + local).
 func (d *Deployment) NumSites() int { return len(d.Sites) }
 
-// Route resolves the catchment for a source AS.
+// Route resolves the catchment for a source AS. Results are memoized in
+// the underlying resolver, so repeated calls are cheap and safe to issue
+// from concurrent goroutines.
 func (d *Deployment) Route(src topology.ASN) (bgp.Route, bool) {
 	return d.resolver.Route(src)
+}
+
+// WarmRoutes pre-fills the deployment's route cache for srcs in parallel.
+// Purely an optimization: subsequent Route calls return byte-identical
+// results whether or not the cache was warmed.
+func (d *Deployment) WarmRoutes(srcs []topology.ASN) {
+	d.resolver.Warm(srcs)
+}
+
+// Catchments resolves routes for every AS in srcs (parallel, memoized),
+// returning only successful resolutions.
+func (d *Deployment) Catchments(srcs []topology.ASN) map[topology.ASN]bgp.Route {
+	return d.resolver.Catchments(srcs)
 }
 
 // ClosestGlobalSite returns the ID and great-circle distance (km) of the
@@ -149,6 +164,7 @@ func BuildLetter(g *topology.Graph, spec LetterSpec, rng *rand.Rand) (*Deploymen
 				sharedHost.Presence = sharedHost.Presence[:0]
 			}
 			sharedHost.Presence = append(sharedHost.Presence, loc)
+			sharedHost.InvalidatePresence()
 			host = sharedHost.ASN
 		} else {
 			h := g.AddHostAS(

@@ -2,6 +2,7 @@ package anycastnet
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 
 	"anycastctx/internal/geo"
@@ -217,4 +218,72 @@ func TestNewDeploymentErrors(t *testing.T) {
 	if _, err := NewDeployment(g, "empty", nil); err == nil {
 		t.Error("empty deployment accepted")
 	}
+}
+
+// TestDeploymentRouteConcurrent exercises Route and Catchments on one
+// shared deployment from many goroutines (run under `go test -race` in
+// CI): the resolver's route cache must fill safely under contention and
+// every caller must see the routes a serial walk computes.
+func TestDeploymentRouteConcurrent(t *testing.T) {
+	g := buildGraph(t)
+	rng := rand.New(rand.NewSource(8))
+	d, err := BuildLetter(g, LetterSpec{Letter: "K", GlobalSites: 25, TotalSites: 26, Openness: 0.3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eyeballs := g.Eyeballs()
+	// Serial reference from an identically built deployment on a fresh but
+	// identically seeded graph (BuildLetter adds host ASes, so reusing g
+	// would shift ASNs; a twin graph + same rng seed reproduces the sites
+	// and routes exactly).
+	ref, err := BuildLetter(buildGraph(t),
+		LetterSpec{Letter: "K", GlobalSites: 25, TotalSites: 26, Openness: 0.3},
+		rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[topology.ASN]int, len(eyeballs))
+	for _, e := range eyeballs {
+		if rt, ok := ref.Route(e); ok {
+			want[e] = rt.SiteID
+		} else {
+			want[e] = -1
+		}
+	}
+
+	var wg sync.WaitGroup
+	for k := 0; k < 12; k++ {
+		wg.Add(1)
+		go func(off int) {
+			defer wg.Done()
+			if off%3 == 0 {
+				// Some goroutines take the batch path.
+				got := d.Catchments(eyeballs)
+				for e, rt := range got {
+					if want[e] != rt.SiteID {
+						t.Errorf("Catchments AS%d → site %d, serial %d", e, rt.SiteID, want[e])
+						return
+					}
+				}
+				return
+			}
+			for i := range eyeballs {
+				e := eyeballs[(i+off*37)%len(eyeballs)]
+				rt, ok := d.Route(e)
+				wantSite := want[e]
+				if !ok {
+					if wantSite != -1 {
+						t.Errorf("AS%d: no route, serial found site %d", e, wantSite)
+						return
+					}
+					continue
+				}
+				if rt.SiteID != wantSite {
+					t.Errorf("AS%d → site %d, serial %d", e, rt.SiteID, wantSite)
+					return
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
 }

@@ -10,8 +10,10 @@ import (
 	"math/rand"
 
 	"anycastctx/internal/anycastnet"
+	"anycastctx/internal/bgp"
 	"anycastctx/internal/geo"
 	"anycastctx/internal/latency"
+	"anycastctx/internal/par"
 	"anycastctx/internal/topology"
 )
 
@@ -127,24 +129,46 @@ type PingResult struct {
 // Ping measures a deployment from every probe, samples pings per probe
 // (the paper uses 3), reporting the per-probe median. Probes without a
 // route are skipped.
+//
+// Route resolution (the expensive, deterministic part) fans out across
+// CPUs into a pre-sized slice; the rng-driven sampling loop then runs
+// serially in probe order, so measurement noise consumes the generator in
+// exactly the order a serial pass would and results are byte-identical.
 func (p *Platform) Ping(d *anycastnet.Deployment, samples int, rng *rand.Rand) []PingResult {
 	if samples <= 0 {
 		samples = 3
 	}
+	routes := p.resolveAll(d)
 	out := make([]PingResult, 0, len(p.Probes))
-	for _, pr := range p.Probes {
-		rt, ok := d.Route(pr.ASN)
-		if !ok {
+	for i, pr := range p.Probes {
+		if !routes[i].ok {
 			continue
 		}
-		base := p.model.BaseRTTMs(pr.ASN, rt)
+		base := p.model.BaseRTTMs(pr.ASN, routes[i].rt)
 		out = append(out, PingResult{
 			Probe:  pr,
 			RTTMs:  p.model.MedianOfSamples(rng, base, samples),
-			SiteID: rt.SiteID,
+			SiteID: routes[i].rt.SiteID,
 		})
 	}
 	return out
+}
+
+// probeRoute is one probe's resolved route (ok false when unreachable).
+type probeRoute struct {
+	rt bgp.Route
+	ok bool
+}
+
+// resolveAll routes every probe toward d across one worker per CPU.
+func (p *Platform) resolveAll(d *anycastnet.Deployment) []probeRoute {
+	routes := make([]probeRoute, len(p.Probes))
+	par.Do(len(p.Probes), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			routes[i].rt, routes[i].ok = d.Route(p.Probes[i].ASN)
+		}
+	})
+	return routes
 }
 
 // TraceResult is one probe's AS-path measurement toward a deployment.
@@ -156,15 +180,24 @@ type TraceResult struct {
 }
 
 // Traceroute measures AS path lengths from every probe, merging sibling
-// ASes into organizations as the paper does with CAIDA's dataset.
+// ASes into organizations as the paper does with CAIDA's dataset. The
+// per-probe work is deterministic, so it fans out across CPUs into a
+// pre-sized slice and compacts in probe order (byte-identical to serial).
 func (p *Platform) Traceroute(d *anycastnet.Deployment) []TraceResult {
-	out := make([]TraceResult, 0, len(p.Probes))
-	for _, pr := range p.Probes {
-		rt, ok := d.Route(pr.ASN)
-		if !ok {
-			continue
+	routes := p.resolveAll(d)
+	lens := make([]int, len(p.Probes))
+	par.Do(len(p.Probes), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if routes[i].ok {
+				lens[i] = p.orgPathLen(p.Probes[i].ASN, routes[i].rt.Via, routes[i].rt.PathLen)
+			}
 		}
-		out = append(out, TraceResult{Probe: pr, PathLen: p.orgPathLen(pr.ASN, rt.Via, rt.PathLen)})
+	})
+	out := make([]TraceResult, 0, len(p.Probes))
+	for i, pr := range p.Probes {
+		if routes[i].ok {
+			out = append(out, TraceResult{Probe: pr, PathLen: lens[i]})
+		}
 	}
 	return out
 }

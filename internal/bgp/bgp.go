@@ -22,16 +22,22 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"anycastctx/internal/geo"
 	"anycastctx/internal/obs"
+	"anycastctx/internal/par"
 	"anycastctx/internal/topology"
 )
 
 // Observability handles. Route outcomes are counted by decision phase:
 // direct (2-AS peering win), provider (shortest AS path via transit), and
-// unreachable (no visible site).
+// unreachable (no visible site). The cache metrics track the per-resolver
+// route memo: routes_resolved and its phase counters advance only on cache
+// misses (the route is computed exactly once per resolver lifetime);
+// route_cache_hits counts calls served from the memo, and
+// route_cache_entries gauges total cached routes across all resolvers.
 var (
 	obsResolvers     = obs.NewCounter("bgp.resolvers_built")
 	obsRoutes        = obs.NewCounter("bgp.routes_resolved")
@@ -42,6 +48,9 @@ var (
 	obsCatchPerAS    = obs.NewHistogram("bgp.catchment_ns_per_as")
 	obsBestPathTies  = obs.NewCounter("bgp.best_path_decisions")
 	obsDeepDecisions = obs.NewCounter("bgp.deep_path_decisions")
+	obsCacheHits     = obs.NewCounter("bgp.route_cache_hits")
+	obsCacheMisses   = obs.NewCounter("bgp.route_cache_misses")
+	obsCacheEntries  = obs.NewGauge("bgp.route_cache_entries")
 )
 
 // Site is one anycast site of a deployment.
@@ -84,15 +93,36 @@ func (r Route) Dist() float64 {
 	return d
 }
 
+// routeCacheShards stripes the route memo so concurrent cache fills from
+// catchment workers contend on different locks (sources hash by ASN).
+const routeCacheShards = 64
+
+// routeCacheShard is one stripe of the per-resolver route memo.
+type routeCacheShard struct {
+	mu sync.RWMutex
+	m  map[topology.ASN]cachedRoute
+}
+
+// cachedRoute is one memoized Route outcome, including the failure case.
+type cachedRoute struct {
+	rt Route
+	ok bool
+}
+
 // Resolver computes routes from source ASes to one anycast deployment. It
-// precomputes per-transit reachability so per-source resolution is cheap.
-// A Resolver is immutable after construction and safe for concurrent use.
+// precomputes per-transit reachability so per-source resolution is cheap,
+// and memoizes each source's route so the BGP decision (and its Waypoints
+// allocation) runs exactly once per resolver lifetime. The topology and
+// site set are immutable after construction; the internal cache is
+// stripe-locked, so a Resolver is safe for concurrent use.
 type Resolver struct {
 	g     *topology.Graph
 	sites []Site
 	// transitDist[p][siteID] = AS hops from transit/tier-1 p to the site's
 	// host (1 = adjacent, 2 = via one intermediate, 3 = via tier-1 mesh).
 	transitDist map[topology.ASN][]uint8
+
+	cache [routeCacheShards]routeCacheShard
 }
 
 // NewResolver prepares catchment computation for the given sites on g.
@@ -112,6 +142,9 @@ func NewResolver(g *topology.Graph, sites []Site) (*Resolver, error) {
 		g:           g,
 		sites:       sites,
 		transitDist: make(map[topology.ASN][]uint8),
+	}
+	for i := range r.cache {
+		r.cache[i].m = make(map[topology.ASN]cachedRoute)
 	}
 	mids := make([]topology.ASN, 0, len(g.Transits())+len(g.Tier1s()))
 	mids = append(mids, g.Transits()...)
@@ -190,8 +223,49 @@ func (r *Resolver) visible(src *topology.AS, s Site) bool {
 }
 
 // Route resolves the catchment decision for source AS src. ok is false if
-// src is unknown or no site is visible.
+// src is unknown or no site is visible. The result is memoized: repeated
+// calls for the same source return the cached Route (including the shared
+// Waypoints slice, which callers must treat as read-only — every caller
+// does, via Route.Dist or direct iteration).
 func (r *Resolver) Route(src topology.ASN) (Route, bool) {
+	sh := &r.cache[uint32(src)%routeCacheShards]
+	sh.mu.RLock()
+	c, hit := sh.m[src]
+	sh.mu.RUnlock()
+	if hit {
+		obsCacheHits.Inc()
+		return c.rt, c.ok
+	}
+	rt, ok := r.resolveRoute(src)
+	sh.mu.Lock()
+	if c, hit = sh.m[src]; hit {
+		// Lost a concurrent fill race; keep the first entry so every
+		// caller shares one Waypoints slice.
+		sh.mu.Unlock()
+		obsCacheHits.Inc()
+		return c.rt, c.ok
+	}
+	sh.m[src] = cachedRoute{rt, ok}
+	sh.mu.Unlock()
+	obsCacheMisses.Inc()
+	obsCacheEntries.Add(1)
+	return rt, ok
+}
+
+// Warm fills the route cache for srcs across one worker per CPU. It is a
+// pure pre-computation: outputs of later Route/Catchments calls are
+// byte-identical whether or not Warm ran.
+func (r *Resolver) Warm(srcs []topology.ASN) {
+	par.Do(len(srcs), func(lo, hi int) {
+		for _, s := range srcs[lo:hi] {
+			r.Route(s)
+		}
+	})
+}
+
+// resolveRoute computes the BGP decision for src (the uncached path; see
+// Route).
+func (r *Resolver) resolveRoute(src topology.ASN) (Route, bool) {
 	S := r.g.AS(src)
 	if S == nil {
 		obsUnreachable.Inc()
@@ -447,7 +521,9 @@ func (r *Resolver) preferredTier1(p topology.ASN) topology.ASN {
 }
 
 // Catchments resolves routes for every AS in srcs, returning only
-// successful resolutions.
+// successful resolutions. Sources are sharded across one worker per CPU
+// into a pre-sized result slice, then merged in input order, so the
+// returned map is identical to a serial pass.
 func (r *Resolver) Catchments(srcs []topology.ASN) map[topology.ASN]Route {
 	var start time.Time
 	if timed := obs.Enabled() && len(srcs) > 0; timed {
@@ -457,10 +533,16 @@ func (r *Resolver) Catchments(srcs []topology.ASN) map[topology.ASN]Route {
 		}()
 	}
 	obsCatchBatches.Inc()
+	resolved := make([]cachedRoute, len(srcs))
+	par.Do(len(srcs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			resolved[i].rt, resolved[i].ok = r.Route(srcs[i])
+		}
+	})
 	out := make(map[topology.ASN]Route, len(srcs))
-	for _, s := range srcs {
-		if rt, ok := r.Route(s); ok {
-			out[s] = rt
+	for i, s := range srcs {
+		if resolved[i].ok {
+			out[s] = resolved[i].rt
 		}
 	}
 	return out

@@ -1,0 +1,126 @@
+package bgp
+
+import (
+	"sync"
+	"testing"
+
+	"anycastctx/internal/topology"
+)
+
+// These tests exist for `go test -race` (CI runs the whole tree under the
+// race detector): they hammer the resolver's route memo from many
+// goroutines so a cache-fill data race cannot land silently.
+
+// TestRouteConcurrentCacheFill resolves every eyeball from many goroutines
+// simultaneously on one shared resolver — maximum contention on a cold
+// cache — and checks every goroutine observes the exact route a serial
+// resolver computes.
+func TestRouteConcurrentCacheFill(t *testing.T) {
+	g := buildWorld(t, 11)
+	sites := deploySites(g, 12, 0.3)
+	shared, err := NewResolver(g, sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := NewResolver(g, sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eyeballs := g.Eyeballs()
+	want := make(map[topology.ASN]Route, len(eyeballs))
+	for _, e := range eyeballs {
+		if rt, ok := serial.Route(e); ok {
+			want[e] = rt
+		}
+	}
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	for k := 0; k < goroutines; k++ {
+		wg.Add(1)
+		go func(off int) {
+			defer wg.Done()
+			// Each goroutine walks the eyeballs from its own offset so
+			// different goroutines race on the same cold entries.
+			for i := range eyeballs {
+				e := eyeballs[(i+off*len(eyeballs)/goroutines)%len(eyeballs)]
+				rt, ok := shared.Route(e)
+				wantRt, wantOK := want[e]
+				if ok != wantOK {
+					t.Errorf("AS%d: concurrent ok=%v, serial ok=%v", e, ok, wantOK)
+					return
+				}
+				if ok && (rt.SiteID != wantRt.SiteID || rt.PathLen != wantRt.PathLen ||
+					rt.Via != wantRt.Via || rt.Direct != wantRt.Direct) {
+					t.Errorf("AS%d: concurrent route %+v != serial %+v", e, rt, wantRt)
+					return
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+}
+
+// TestCatchmentsConcurrent runs overlapping Catchments batches on one
+// shared resolver (each batch itself fans out internally) and checks the
+// merged maps are identical across goroutines and to a serial resolver.
+func TestCatchmentsConcurrent(t *testing.T) {
+	g := buildWorld(t, 12)
+	sites := deploySites(g, 8, 0.25)
+	shared, err := NewResolver(g, sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := NewResolver(g, sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := g.Eyeballs()
+	want := serial.Catchments(srcs)
+
+	const goroutines = 8
+	got := make([]map[topology.ASN]Route, goroutines)
+	var wg sync.WaitGroup
+	for k := 0; k < goroutines; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			got[k] = shared.Catchments(srcs)
+		}(k)
+	}
+	wg.Wait()
+
+	for k := range got {
+		if len(got[k]) != len(want) {
+			t.Fatalf("goroutine %d: %d catchments, serial %d", k, len(got[k]), len(want))
+		}
+		for asn, rt := range got[k] {
+			if wantRt := want[asn]; rt.SiteID != wantRt.SiteID || rt.PathLen != wantRt.PathLen {
+				t.Fatalf("goroutine %d AS%d: %+v != serial %+v", k, asn, rt, wantRt)
+			}
+		}
+	}
+}
+
+// TestWarmDoesNotChangeRoutes checks Warm is a pure pre-computation: a
+// warmed resolver answers exactly like a cold one.
+func TestWarmDoesNotChangeRoutes(t *testing.T) {
+	g := buildWorld(t, 13)
+	sites := deploySites(g, 6, 0.3)
+	warmed, err := NewResolver(g, sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := NewResolver(g, sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmed.Warm(g.Eyeballs())
+	for _, e := range g.Eyeballs() {
+		a, aok := warmed.Route(e)
+		b, bok := cold.Route(e)
+		if aok != bok || a.SiteID != b.SiteID || a.PathLen != b.PathLen || a.Dist() != b.Dist() {
+			t.Fatalf("AS%d: warmed route (%+v, %v) != cold route (%+v, %v)", e, a, aok, b, bok)
+		}
+	}
+}

@@ -15,15 +15,14 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
 	"sort"
-	"sync"
 
 	"anycastctx/internal/anycastnet"
 	"anycastctx/internal/bgp"
 	"anycastctx/internal/geo"
 	"anycastctx/internal/latency"
 	"anycastctx/internal/obs"
+	"anycastctx/internal/par"
 	"anycastctx/internal/topology"
 )
 
@@ -234,40 +233,34 @@ type ServerLogRow struct {
 func (c *CDN) ServerSideLogs(locs []Location, rng *rand.Rand) []ServerLogRow {
 	seed := rng.Int63()
 	grid := make([][]ServerLogRow, len(c.Rings))
-	var wg sync.WaitGroup
 	for ri := range c.Rings {
 		grid[ri] = make([]ServerLogRow, len(locs))
 		ring := c.Rings[ri]
 		ri := ri
-		for _, span := range chunks(len(locs)) {
-			wg.Add(1)
-			go func(lo, hi int) {
-				defer wg.Done()
-				for i := lo; i < hi; i++ {
-					loc := locs[i]
-					rt, ok := ring.Deployment.Route(loc.ASN)
-					if !ok {
-						continue
-					}
-					rowRNG := rand.New(rand.NewSource(pairSeed(seed, ri, int64(loc.ASN))))
-					base := c.model.BaseRTTMs(loc.ASN, rt) + 0.5
-					// Sample counts scale with population; >83% of medians
-					// in the paper rest on 500+ measurements.
-					n := int(math.Min(2000, math.Max(20, loc.Users/5000)))
-					grid[ri][i] = ServerLogRow{
-						Location:    loc,
-						Ring:        ring.Name,
-						FrontEnd:    rt.SiteID,
-						PathLen:     rt.PathLen,
-						Direct:      rt.Direct,
-						MedianRTTMs: c.model.MedianOfSamples(rowRNG, base, 11),
-						Samples:     n,
-					}
+		par.Do(len(locs), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				loc := locs[i]
+				rt, ok := ring.Deployment.Route(loc.ASN)
+				if !ok {
+					continue
 				}
-			}(span[0], span[1])
-		}
+				rowRNG := rand.New(rand.NewSource(pairSeed(seed, ri, int64(loc.ASN))))
+				base := c.model.BaseRTTMs(loc.ASN, rt) + 0.5
+				// Sample counts scale with population; >83% of medians
+				// in the paper rest on 500+ measurements.
+				n := int(math.Min(2000, math.Max(20, loc.Users/5000)))
+				grid[ri][i] = ServerLogRow{
+					Location:    loc,
+					Ring:        ring.Name,
+					FrontEnd:    rt.SiteID,
+					PathLen:     rt.PathLen,
+					Direct:      rt.Direct,
+					MedianRTTMs: c.model.MedianOfSamples(rowRNG, base, 11),
+					Samples:     n,
+				}
+			}
+		})
 	}
-	wg.Wait()
 	rows := make([]ServerLogRow, 0, len(locs)*len(c.Rings))
 	for ri := range grid {
 		for _, r := range grid[ri] {
@@ -279,30 +272,6 @@ func (c *CDN) ServerSideLogs(locs []Location, rng *rand.Rand) []ServerLogRow {
 	}
 	obsLogRows.Add(uint64(len(rows)))
 	return rows
-}
-
-// chunks splits [0, n) into roughly GOMAXPROCS spans.
-func chunks(n int) [][2]int {
-	workers := runtime.GOMAXPROCS(0)
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers == 0 {
-		return nil
-	}
-	size := (n + workers - 1) / workers
-	var out [][2]int
-	for lo := 0; lo < n; lo += size {
-		hi := lo + size
-		if hi > n {
-			hi = n
-		}
-		out = append(out, [2]int{lo, hi})
-	}
-	return out
 }
 
 // pairSeed mixes a base seed with a ring index and AS number.
@@ -330,30 +299,24 @@ type ClientMeasurementRow struct {
 func (c *CDN) ClientMeasurements(locs []Location, rng *rand.Rand) []ClientMeasurementRow {
 	seed := rng.Int63()
 	grid := make([]ClientMeasurementRow, len(locs)*len(c.Rings))
-	var wg sync.WaitGroup
-	for _, span := range chunks(len(locs)) {
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				loc := locs[i]
-				for ri, ring := range c.Rings {
-					rt, ok := ring.Deployment.Route(loc.ASN)
-					if !ok {
-						continue
-					}
-					rowRNG := rand.New(rand.NewSource(pairSeed(seed, ri+100, int64(loc.ASN))))
-					base := c.model.BaseRTTMs(loc.ASN, rt) + 0.5
-					grid[i*len(c.Rings)+ri] = ClientMeasurementRow{
-						Location:    loc,
-						Ring:        ring.Name,
-						MedianRTTMs: c.model.MedianOfSamples(rowRNG, base, 21),
-					}
+	par.Do(len(locs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			loc := locs[i]
+			for ri, ring := range c.Rings {
+				rt, ok := ring.Deployment.Route(loc.ASN)
+				if !ok {
+					continue
+				}
+				rowRNG := rand.New(rand.NewSource(pairSeed(seed, ri+100, int64(loc.ASN))))
+				base := c.model.BaseRTTMs(loc.ASN, rt) + 0.5
+				grid[i*len(c.Rings)+ri] = ClientMeasurementRow{
+					Location:    loc,
+					Ring:        ring.Name,
+					MedianRTTMs: c.model.MedianOfSamples(rowRNG, base, 21),
 				}
 			}
-		}(span[0], span[1])
-	}
-	wg.Wait()
+		}
+	})
 	rows := make([]ClientMeasurementRow, 0, len(grid))
 	for _, r := range grid {
 		if r.Ring != "" {

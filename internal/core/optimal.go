@@ -7,6 +7,7 @@ import (
 	"anycastctx/internal/bgp"
 	"anycastctx/internal/geo"
 	"anycastctx/internal/latency"
+	"anycastctx/internal/par"
 	"anycastctx/internal/stats"
 	"anycastctx/internal/topology"
 )
@@ -49,39 +50,61 @@ type RoutingComparison struct {
 }
 
 // CompareRouting evaluates BGP against the optimal baseline over all
-// eyeball ASes, weighting by user share.
+// eyeball ASes, weighting by user share. Per-source rows are computed
+// across one worker per CPU into a pre-sized slice, then folded serially
+// in eyeball order, so weighted sums and CDF inputs are byte-identical to
+// a serial pass.
 func CompareRouting(g *topology.Graph, d *anycastnet.Deployment, model *latency.Model) (RoutingComparison, error) {
+	eyeballs := g.Eyeballs()
+	type row struct {
+		ok              bool
+		aMs, oMs, gapMs float64
+		w               float64
+		atOpt           bool
+	}
+	rows := make([]row, len(eyeballs))
+	par.Do(len(eyeballs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e := eyeballs[i]
+			as := g.AS(e)
+			if as.UserWeight <= 0 {
+				continue
+			}
+			rt, ok := d.Route(e)
+			if !ok {
+				continue
+			}
+			opt, ok := OptimalRoute(g, d, e)
+			if !ok {
+				continue
+			}
+			// Optimal latency excludes circuity and hop penalties beyond
+			// the minimum 2-AS handoff, keeping only access delay (which
+			// no routing change removes).
+			aMs := model.BaseRTTMs(e, rt)
+			oMs := geo.RTTLowerBoundMs(opt.Dist()) + model.AccessDelayMs(e)
+			gap := aMs - oMs
+			if gap < 0 {
+				gap = 0
+			}
+			rows[i] = row{
+				ok: true, aMs: aMs, oMs: oMs, gapMs: gap,
+				w: as.UserWeight, atOpt: rt.SiteID == opt.SiteID,
+			}
+		}
+	})
 	var actual, optimal, gaps []stats.WeightedValue
 	var atOpt, total float64
-	for _, e := range g.Eyeballs() {
-		as := g.AS(e)
-		if as.UserWeight <= 0 {
+	for _, r := range rows {
+		if !r.ok {
 			continue
 		}
-		rt, ok := d.Route(e)
-		if !ok {
-			continue
-		}
-		opt, ok := OptimalRoute(g, d, e)
-		if !ok {
-			continue
-		}
-		// Optimal latency excludes circuity and hop penalties beyond the
-		// minimum 2-AS handoff, keeping only access delay (which no
-		// routing change removes).
-		aMs := model.BaseRTTMs(e, rt)
-		oMs := geo.RTTLowerBoundMs(opt.Dist()) + model.AccessDelayMs(e)
-		gap := aMs - oMs
-		if gap < 0 {
-			gap = 0
-		}
-		w := as.UserWeight
-		actual = append(actual, stats.WeightedValue{Value: aMs, Weight: w})
-		optimal = append(optimal, stats.WeightedValue{Value: oMs, Weight: w})
-		gaps = append(gaps, stats.WeightedValue{Value: gap, Weight: w})
-		total += w
-		if rt.SiteID == opt.SiteID {
-			atOpt += w
+		actual = append(actual, stats.WeightedValue{Value: r.aMs, Weight: r.w})
+		optimal = append(optimal, stats.WeightedValue{Value: r.oMs, Weight: r.w})
+		gaps = append(gaps, stats.WeightedValue{Value: r.gapMs, Weight: r.w})
+		total += r.w
+		if r.atOpt {
+			atOpt += r.w
 		}
 	}
 	aCDF, err := stats.NewCDF(actual)
@@ -114,29 +137,40 @@ func CompareRouting(g *topology.Graph, d *anycastnet.Deployment, model *latency.
 // against). It returns the user-weighted median RTT of the best of the
 // deployment's sites when used alone.
 func UnicastBaseline(g *topology.Graph, d *anycastnet.Deployment, model *latency.Model) (bestSite int, medianMs float64) {
-	bestSite, medianMs = -1, math.Inf(1)
-	for _, s := range d.Sites {
-		if !s.Global {
-			continue
-		}
-		var obs []stats.WeightedValue
-		for _, e := range g.Eyeballs() {
-			as := g.AS(e)
-			if as.UserWeight <= 0 {
+	// Sites are independent, so each worker evaluates whole sites; the
+	// winner is then picked serially in site order, preserving the serial
+	// tie-break (first site wins on equal medians).
+	medians := make([]float64, len(d.Sites))
+	par.Do(len(d.Sites), func(lo, hi int) {
+		for si := lo; si < hi; si++ {
+			s := d.Sites[si]
+			medians[si] = math.Inf(1)
+			if !s.Global {
 				continue
 			}
-			// Unicast to one site: direct great-circle at best case plus
-			// access delay — generous to unicast, so anycast wins are
-			// conservative.
-			ms := geo.RTTLowerBoundMs(geo.DistanceKm(as.Loc, s.Loc)) + model.AccessDelayMs(e)
-			obs = append(obs, stats.WeightedValue{Value: ms, Weight: as.UserWeight})
+			var obs []stats.WeightedValue
+			for _, e := range g.Eyeballs() {
+				as := g.AS(e)
+				if as.UserWeight <= 0 {
+					continue
+				}
+				// Unicast to one site: direct great-circle at best case
+				// plus access delay — generous to unicast, so anycast
+				// wins are conservative.
+				ms := geo.RTTLowerBoundMs(geo.DistanceKm(as.Loc, s.Loc)) + model.AccessDelayMs(e)
+				obs = append(obs, stats.WeightedValue{Value: ms, Weight: as.UserWeight})
+			}
+			cdf, err := stats.NewCDF(obs)
+			if err != nil {
+				continue
+			}
+			medians[si] = cdf.Median()
 		}
-		cdf, err := stats.NewCDF(obs)
-		if err != nil {
-			continue
-		}
-		if m := cdf.Median(); m < medianMs {
-			bestSite, medianMs = s.ID, m
+	})
+	bestSite, medianMs = -1, math.Inf(1)
+	for si := range d.Sites {
+		if medians[si] < medianMs {
+			bestSite, medianMs = d.Sites[si].ID, medians[si]
 		}
 	}
 	return bestSite, medianMs

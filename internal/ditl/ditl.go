@@ -172,26 +172,21 @@ func Build(g *topology.Graph, letters []*anycastnet.Deployment, pop *users.Popul
 		c.LetterNames = append(c.LetterNames, l.Name)
 	}
 
-	// Route cache per (letter, ASN): recursives in one AS share routes.
-	type routeKey struct {
-		letter int
-		asn    topology.ASN
-	}
-	routeCache := map[routeKey]struct {
-		rt bgp.Route
-		ok bool
-	}{}
-	routeFor := func(li int, asn topology.ASN) (bgp.Route, bool) {
-		k := routeKey{li, asn}
-		if v, ok := routeCache[k]; ok {
-			return v.rt, v.ok
+	// Pre-warm every letter's route cache across all CPUs: recursives in
+	// one AS share routes, and each (letter, AS) route is computed exactly
+	// once in the resolver's memo. The rng-driven assembly loop below then
+	// runs serially against warm caches, so its outputs (and rng draws)
+	// are byte-identical to a fully serial build.
+	srcs := make([]topology.ASN, 0, len(pop.Recursives))
+	seenSrc := make(map[topology.ASN]bool, len(pop.Recursives))
+	for ri := range pop.Recursives {
+		if asn := pop.Recursives[ri].ASN; !seenSrc[asn] {
+			seenSrc[asn] = true
+			srcs = append(srcs, asn)
 		}
-		rt, ok := letters[li].Route(asn)
-		routeCache[k] = struct {
-			rt bgp.Route
-			ok bool
-		}{rt, ok}
-		return rt, ok
+	}
+	for _, l := range letters {
+		l.WarmRoutes(srcs)
 	}
 
 	c.PerLetter = make([][]Assignment, len(letters))
@@ -204,7 +199,7 @@ func Build(g *topology.Graph, letters []*anycastnet.Deployment, pop *users.Popul
 		rtts := make([]float64, len(letters))
 		for li := range letters {
 			a := &c.PerLetter[li][ri]
-			rt, ok := routeFor(li, rec.ASN)
+			rt, ok := letters[li].Route(rec.ASN)
 			if !ok {
 				rtts[li] = math.Inf(1)
 				continue

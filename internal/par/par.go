@@ -1,0 +1,45 @@
+// Package par provides the chunked fan-out primitive the hot analysis
+// loops share: split a dense index range across roughly one worker per
+// CPU, run a closure on each contiguous span, and wait. Callers write
+// results into pre-sized slices indexed by the original position, so
+// downstream aggregation happens in deterministic input order and output
+// bytes never depend on goroutine scheduling.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Do runs fn over [0, n) split into contiguous [lo, hi) spans, one per
+// worker, and returns when every span is done. With one usable CPU (or
+// n <= 1) it calls fn(0, n) on the caller's goroutine, so the serial path
+// has zero synchronization overhead. fn must not panic across spans it
+// does not own; each invocation sees a disjoint range.
+func Do(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	size := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

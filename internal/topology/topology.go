@@ -15,6 +15,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 
 	"anycastctx/internal/geo"
 )
@@ -76,19 +77,56 @@ type AS struct {
 	// UserWeight is the share of the world's Internet users behind this AS
 	// (eyeballs only; 0 elsewhere). Sums to 1 over all eyeballs.
 	UserWeight float64
+
+	// pidx caches the presence points' unit vectors for NearestPresence.
+	// Built lazily (racing builders store identical values, so the atomic
+	// swap is safe); InvalidatePresence must be called after mutating
+	// Presence.
+	pidx atomic.Pointer[presenceIndex]
 }
 
+// presenceIndex is the unit-vector form of AS.Presence, in the same order.
+type presenceIndex struct {
+	x, y, z []float64
+}
+
+func (a *AS) presenceIndex() *presenceIndex {
+	if idx := a.pidx.Load(); idx != nil {
+		return idx
+	}
+	n := len(a.Presence)
+	idx := &presenceIndex{x: make([]float64, n), y: make([]float64, n), z: make([]float64, n)}
+	for i, p := range a.Presence {
+		idx.x[i], idx.y[i], idx.z[i] = geo.UnitVec(p)
+	}
+	a.pidx.Store(idx)
+	return idx
+}
+
+// InvalidatePresence drops the cached presence index; callers that mutate
+// Presence after construction (deployment builders sharing a host AS)
+// must call it before the next NearestPresence.
+func (a *AS) InvalidatePresence() { a.pidx.Store(nil) }
+
 // NearestPresence returns the AS presence point closest to c and its
-// distance in km.
+// distance in km. The scan compares precomputed unit-vector dot products
+// (monotone in great-circle distance, first-wins on ties like the direct
+// haversine scan) and prices only the winning point, which keeps this hot
+// path — every BGP route resolution calls it per candidate AS — free of
+// per-point trigonometry.
 func (a *AS) NearestPresence(c geo.Coord) (geo.Coord, float64) {
-	best := a.Presence[0]
-	bestD := geo.DistanceKm(c, best)
-	for _, p := range a.Presence[1:] {
-		if d := geo.DistanceKm(c, p); d < bestD {
-			best, bestD = p, d
+	if len(a.Presence) == 1 {
+		return a.Presence[0], geo.DistanceKm(c, a.Presence[0])
+	}
+	idx := a.presenceIndex()
+	cx, cy, cz := geo.UnitVec(c)
+	best, bestDot := 0, idx.x[0]*cx+idx.y[0]*cy+idx.z[0]*cz
+	for i := 1; i < len(a.Presence); i++ {
+		if dot := idx.x[i]*cx + idx.y[i]*cy + idx.z[i]*cz; dot > bestDot {
+			best, bestDot = i, dot
 		}
 	}
-	return best, bestD
+	return a.Presence[best], geo.DistanceKm(c, a.Presence[best])
 }
 
 // Config controls graph generation.

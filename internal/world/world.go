@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"os"
 	"strconv"
+	"sync"
 
 	"anycastctx/internal/anycastnet"
 	"anycastctx/internal/atlas"
@@ -112,7 +113,8 @@ type World struct {
 	Atlas     *atlas.Platform
 	Locations []cdn.Location
 
-	join *ditl.Join
+	joinOnce sync.Once
+	join     *ditl.Join
 }
 
 // Build constructs the world deterministically from cfg.
@@ -233,10 +235,13 @@ func scaleInt(v int, scale float64, floor int) int {
 	return s
 }
 
-// Join returns the /24-level DITL∩CDN join (computed lazily and cached).
+// Join returns the /24-level DITL∩CDN join, computed lazily and cached.
+// The once-guard makes the lazy fill safe when experiments run
+// concurrently (RunAllParallel); the join itself is deterministic, so
+// which caller computes it never affects results.
 func (w *World) Join() *ditl.Join {
-	if w.join == nil {
+	w.joinOnce.Do(func() {
 		w.join = w.Campaign.JoinCDN(w.CDNCounts, false)
-	}
+	})
 	return w.join
 }

@@ -1,0 +1,75 @@
+package anycastctx
+
+import (
+	"testing"
+)
+
+// TestRunAllParallelMatchesSerial is the determinism regression test for
+// the concurrent runner and the route cache: a serial RunAll on one world
+// and a RunAllParallel on a second identically-seeded world — with every
+// letter's route cache pre-warmed so cached and freshly computed routes
+// both appear — must produce byte-identical results.
+func TestRunAllParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a second world")
+	}
+	serial, err := RunAll(testWorld(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := BuildWorld(TestScaleConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm every letter's route cache up front: parallel experiments must
+	// agree with serial ones whether they compute routes or read them back.
+	srcs := w2.Graph.Eyeballs()
+	for _, d := range w2.Letters {
+		d.WarmRoutes(srcs)
+	}
+	par, err := RunAllParallel(w2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(par) != len(serial) {
+		t.Fatalf("parallel returned %d results, serial %d", len(par), len(serial))
+	}
+	for i := range serial {
+		s, p := serial[i], par[i]
+		if p.ID != s.ID {
+			t.Fatalf("result %d: parallel ID %q, serial %q (order must match registry)", i, p.ID, s.ID)
+		}
+		if p.Measured != s.Measured {
+			t.Errorf("%s: Measured differs\nserial:   %s\nparallel: %s", s.ID, s.Measured, p.Measured)
+		}
+		if p.Output != s.Output {
+			t.Errorf("%s: Output differs (serial %d bytes, parallel %d bytes)",
+				s.ID, len(s.Output), len(p.Output))
+		}
+	}
+}
+
+// TestRunAllParallelFallsBackSerial checks the workers<=1 path delegates
+// to RunAll (including its counter-delta behavior) rather than spinning a
+// one-goroutine pool.
+func TestRunAllParallelFallsBackSerial(t *testing.T) {
+	w := testWorld(t)
+	one, err := RunAllParallel(w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := RunAll(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != len(all) {
+		t.Fatalf("workers=1 returned %d results, RunAll %d", len(one), len(all))
+	}
+	for i := range all {
+		if one[i].ID != all[i].ID || one[i].Output != all[i].Output {
+			t.Fatalf("%s: workers=1 output differs from RunAll", all[i].ID)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Benchmark-trajectory harness: runs the root-package benchmark suite
+# (one benchmark per paper artifact) with -benchmem and writes a
+# machine-readable BENCH_<date>.json so future PRs can diff ns/op and
+# allocs/op per figure against the committed baseline.
+#
+# Usage:
+#   scripts/bench.sh                         # full suite, count=3, scale 0.2
+#   BENCH_PATTERN='Fig5a|Fig7a' scripts/bench.sh
+#   ANYCASTCTX_TEST_SCALE=0.05 BENCH_COUNT=1 scripts/bench.sh
+#
+# Environment:
+#   ANYCASTCTX_TEST_SCALE  world scale the bench world is built at (default 0.2)
+#   BENCH_COUNT            -count repetitions (default 3)
+#   BENCH_PATTERN          -bench regex (default '.': every benchmark)
+#   BENCH_OUT              output path (default BENCH_<date>.json in repo root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${ANYCASTCTX_TEST_SCALE:-0.2}"
+COUNT="${BENCH_COUNT:-3}"
+PATTERN="${BENCH_PATTERN:-.}"
+OUT="${BENCH_OUT:-BENCH_$(date +%F).json}"
+
+TXT="$(mktemp)"
+trap 'rm -f "$TXT"' EXIT
+
+ANYCASTCTX_TEST_SCALE="$SCALE" \
+	go test -run '^$' -bench "$PATTERN" -benchmem -count "$COUNT" . | tee "$TXT"
+
+python3 scripts/benchjson.py "$TXT" "$SCALE" "$COUNT" > "$OUT"
+echo "wrote $OUT"

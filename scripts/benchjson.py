@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Convert `go test -bench` output into the BENCH_<date>.json trajectory
+format written by scripts/bench.sh.
+
+Usage: benchjson.py <bench-output.txt> <scale> <count>
+
+Output schema (one file per recorded run, committed so later PRs can diff):
+
+{
+  "date": "YYYY-MM-DD",
+  "scale": 0.2,
+  "count": 3,
+  "benchmarks": {
+    "Fig5aCDNGeoInflation": {
+      "ns_per_op": [...],        # one entry per -count repetition
+      "bytes_per_op": [...],
+      "allocs_per_op": [...],
+      "output_bytes": [...]      # rendered experiment output size (ReportMetric)
+    },
+    ...
+  }
+}
+"""
+import datetime
+import json
+import re
+import sys
+
+
+def main() -> None:
+    if len(sys.argv) != 4:
+        sys.exit(__doc__)
+    path, scale, count = sys.argv[1], float(sys.argv[2]), int(sys.argv[3])
+
+    line_re = re.compile(r"^Benchmark(\S+?)(?:-\d+)?\s+\d+\s+(.*)$")
+    metric_re = re.compile(r"([\d.e+]+)\s+(\S+)")
+    keymap = {
+        "ns/op": "ns_per_op",
+        "B/op": "bytes_per_op",
+        "allocs/op": "allocs_per_op",
+        "output_bytes": "output_bytes",
+    }
+
+    benchmarks: dict[str, dict[str, list[float]]] = {}
+    with open(path) as f:
+        for line in f:
+            m = line_re.match(line.strip())
+            if not m:
+                continue
+            name, rest = m.group(1), m.group(2)
+            entry = benchmarks.setdefault(name, {})
+            for value, unit in metric_re.findall(rest):
+                key = keymap.get(unit)
+                if key:
+                    entry.setdefault(key, []).append(float(value))
+
+    if not benchmarks:
+        sys.exit(f"benchjson: no benchmark lines found in {path}")
+
+    json.dump(
+        {
+            "date": datetime.date.today().isoformat(),
+            "scale": scale,
+            "count": count,
+            "benchmarks": benchmarks,
+        },
+        sys.stdout,
+        indent=2,
+        sort_keys=True,
+    )
+    print()
+
+
+if __name__ == "__main__":
+    main()
