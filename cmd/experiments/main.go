@@ -10,6 +10,7 @@
 //	experiments -run all -j 0                # all experiments across all CPUs
 //	experiments -run all -report run.json -trace trace.txt -metrics metrics.json
 //	experiments -run fig2a -cpuprofile cpu.pprof -memprofile mem.pprof
+//	experiments -run robust1 -faults 0.01     # 1% seeded fault injection
 //
 // The observability flags never change experiment output: instrumented
 // runs are byte-identical to uninstrumented runs.
@@ -26,6 +27,7 @@ import (
 	"time"
 
 	"anycastctx"
+	"anycastctx/internal/faults"
 	"anycastctx/internal/obs"
 )
 
@@ -35,6 +37,7 @@ func main() {
 		scale      = flag.Float64("scale", 0.25, "world scale in (0,1]; 1 = paper scale")
 		year       = flag.Int("year", 2018, "DITL scenario year (2018 or 2020)")
 		run        = flag.String("run", "all", "experiment ID to run, or 'all'")
+		faultRate  = flag.Float64("faults", 0, "fault-injection rate in [0,1): corrupt captures, drop telemetry rows, withdraw sites (0 = off)")
 		jobs       = flag.Int("j", 1, "experiment worker count for -run all (0 = NumCPU; >1 disables per-experiment counter deltas in -report)")
 		list       = flag.Bool("list", false, "list experiments and exit")
 		out        = flag.String("out", "", "directory to also write one .txt file per experiment")
@@ -73,6 +76,13 @@ func main() {
 	}
 
 	cfg := anycastctx.Config{Seed: *seed, Scale: *scale}
+	if *faultRate < 0 || *faultRate >= 1 {
+		fmt.Fprintf(os.Stderr, "-faults %v out of [0, 1)\n", *faultRate)
+		os.Exit(2)
+	}
+	if *faultRate > 0 {
+		cfg.Faults = faults.Uniform(*seed, *faultRate)
+	}
 	switch *year {
 	case 2018:
 		cfg.Year = anycastctx.DITL2018

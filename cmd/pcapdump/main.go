@@ -44,6 +44,10 @@ func main() {
 		fmt.Printf("PTR queries:  %d\n", s.PTRQueries)
 		fmt.Printf("source /24s:  %d\n", len(s.Sources))
 		fmt.Printf("capture span: %s\n", s.FirstToLast)
+		if s.Skipped()+s.DroppedRecords > 0 || s.SkippedBytes > 0 {
+			fmt.Printf("degraded:     %d of %d records skipped (%d truncated, %d malformed packet, %d malformed DNS, %d unreadable), %d bytes resynced past\n",
+				s.Skipped()+s.DroppedRecords, s.RecordsRead+s.DroppedRecords, s.TruncatedRecords, s.MalformedPackets, s.MalformedDNS, s.DroppedRecords, s.SkippedBytes)
+		}
 		type src struct {
 			key string
 			n   int

@@ -30,7 +30,7 @@ func TestExperimentRegistryComplete(t *testing.T) {
 		"fig6a", "fig6b", "fig7a", "fig7b", "fig8", "fig9", "fig10", "fig11",
 		"fig12", "fig13", "fig14", "tab1", "tab23", "tab4", "tab5", "appc", "local",
 		"abl-size", "abl-peering", "abl-routing", "abl-tau", "abl-localroot",
-		"affinity", "growth", "apps", "continents",
+		"affinity", "growth", "apps", "continents", "robust1",
 	}
 	got := map[string]bool{}
 	for _, e := range Experiments() {

@@ -19,6 +19,7 @@ import (
 
 	"anycastctx/internal/anycastnet"
 	"anycastctx/internal/bgp"
+	"anycastctx/internal/faults"
 	"anycastctx/internal/geo"
 	"anycastctx/internal/latency"
 	"anycastctx/internal/obs"
@@ -35,6 +36,12 @@ var (
 	obsLogRows    = obs.NewCounter("cdn.server_log_rows")
 	obsClientRows = obs.NewCounter("cdn.client_measurement_rows")
 	obsLogRTTs    = obs.NewHistogram("cdn.server_log_rtt_ms")
+
+	// Telemetry rows lost to the fault policy, per plane. The rest of
+	// each plane is unaffected: row noise is hash-derived per row, so a
+	// dropped neighbor never shifts a surviving row's value.
+	obsLogRowsLost    = obs.NewCounter("cdn.server_log_rows_dropped")
+	obsClientRowsLost = obs.NewCounter("cdn.client_rows_dropped")
 )
 
 // RingSpec names one ring and its front-end count.
@@ -101,6 +108,10 @@ type CDN struct {
 	// Rings are ordered smallest to largest; larger rings contain all
 	// smaller rings' front-ends.
 	Rings []*Ring
+	// Faults drops individual telemetry rows from both measurement
+	// planes. The zero value drops nothing; decisions are hash-per-row,
+	// so surviving rows are byte-identical to a fault-free run.
+	Faults faults.Policy
 
 	g     *topology.Graph
 	model *latency.Model
@@ -244,6 +255,10 @@ func (c *CDN) ServerSideLogs(locs []Location, rng *rand.Rand) []ServerLogRow {
 				if !ok {
 					continue
 				}
+				if c.Faults.DropServerLogRow(ri, int64(loc.ASN)) {
+					obsLogRowsLost.Inc()
+					continue
+				}
 				rowRNG := rand.New(rand.NewSource(pairSeed(seed, ri, int64(loc.ASN))))
 				base := c.model.BaseRTTMs(loc.ASN, rt) + 0.5
 				// Sample counts scale with population; >83% of medians
@@ -305,6 +320,10 @@ func (c *CDN) ClientMeasurements(locs []Location, rng *rand.Rand) []ClientMeasur
 			for ri, ring := range c.Rings {
 				rt, ok := ring.Deployment.Route(loc.ASN)
 				if !ok {
+					continue
+				}
+				if c.Faults.DropClientRow(ri, int64(loc.ASN)) {
+					obsClientRowsLost.Inc()
 					continue
 				}
 				rowRNG := rand.New(rand.NewSource(pairSeed(seed, ri+100, int64(loc.ASN))))

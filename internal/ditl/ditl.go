@@ -13,6 +13,7 @@ import (
 	"anycastctx/internal/anycastnet"
 	"anycastctx/internal/bgp"
 	"anycastctx/internal/dnssim"
+	"anycastctx/internal/faults"
 	"anycastctx/internal/ipaddr"
 	"anycastctx/internal/latency"
 	"anycastctx/internal/obs"
@@ -35,6 +36,14 @@ var (
 	obsFilterPrivate   = obs.NewGauge("ditl.filter_private_per_day")
 	obsFilterV6        = obs.NewGauge("ditl.filter_v6_per_day")
 	obsFilterRetained  = obs.NewGauge("ditl.filter_retained_per_day")
+
+	// Capture degradation funnel: faults the pipeline absorbed instead of
+	// aborting on (emission side: packets lost to a withdrawn site;
+	// analysis side: records the summarizer read but had to skip).
+	obsPcapWithdrawn   = obs.NewCounter("ditl.capture_packets_withdrawn")
+	obsSumTruncated    = obs.NewCounter("ditl.capture_truncated_skipped")
+	obsSumMalformedPkt = obs.NewCounter("ditl.capture_malformed_packets")
+	obsSumMalformedDNS = obs.NewCounter("ditl.capture_malformed_dns")
 )
 
 // SiteShare is one site's share of a recursive's queries to a letter.
@@ -138,6 +147,9 @@ type Campaign struct {
 	Rates       []dnssim.Rates
 	Model       *latency.Model
 	Cfg         Config
+	// Faults is the fault-injection policy for capture emission (site
+	// withdrawal mid-run). The zero value injects nothing.
+	Faults faults.Policy
 
 	// PerLetter[letterIdx][recIdx] is the assignment matrix.
 	PerLetter [][]Assignment

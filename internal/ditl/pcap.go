@@ -36,6 +36,14 @@ func (c *Campaign) EmitSiteCapture(w io.Writer, li, siteID, maxPackets int, rng 
 	if err != nil {
 		return 0, err
 	}
+	// Site withdrawal (Tangled-style mid-run failure): when the fault
+	// policy withdraws this site, packets timestamped after the cut-off
+	// never reach the capture. The rng draw sequence is unchanged, so
+	// everything before the cut-off stays byte-identical.
+	var cutoff time.Time
+	if frac, withdrawn := c.Faults.SiteWithdrawCut(li, siteID); withdrawn {
+		cutoff = captureStart.Add(time.Duration(frac * float64(48*time.Hour)))
+	}
 	dst := LetterAnycastAddr(li)
 	var server *dnssim.RootServer
 	if c.Zone != nil {
@@ -66,13 +74,17 @@ func (c *Campaign) EmitSiteCapture(w io.Writer, li, siteID, maxPackets int, rng 
 		}
 	}
 	if len(contribs) == 0 {
-		return 0, pw.Flush()
+		return 0, pw.Close()
 	}
 
 	obsPcapCaptures.Inc()
 	written := 0
 	emit := func(ts time.Time, pkt []byte) error {
 		if written >= maxPackets {
+			return nil
+		}
+		if !cutoff.IsZero() && ts.After(cutoff) {
+			obsPcapWithdrawn.Inc()
 			return nil
 		}
 		if err := pw.WritePacket(ts, pkt); err != nil {
@@ -196,7 +208,7 @@ func (c *Campaign) EmitSiteCapture(w io.Writer, li, siteID, maxPackets int, rng 
 			}
 		}
 	}
-	return written, pw.Flush()
+	return written, pw.Close()
 }
 
 // sampleQuery draws a query type/name matching the recursive's traffic mix.
@@ -232,7 +244,9 @@ func randomProbeName(rng *rand.Rand) string {
 	return string(b)
 }
 
-// CaptureSummary aggregates a read-back capture.
+// CaptureSummary aggregates a read-back capture. The degradation-funnel
+// fields are all zero for a clean capture; for damaged input they account
+// for every record the summarizer read but could not use.
 type CaptureSummary struct {
 	Packets     int
 	UDPQueries  int
@@ -242,19 +256,65 @@ type CaptureSummary struct {
 	PTRQueries  int
 	Sources     map[ipaddr.Slash24Key]int
 	FirstToLast time.Duration
+
+	// RecordsRead counts every record the pcap reader returned,
+	// including ones skipped below; Packets counts only records that
+	// decoded fully into the summary.
+	RecordsRead int
+	// TruncatedRecords were stored incomplete (included < original).
+	TruncatedRecords int
+	// MalformedPackets failed IPv4/transport decoding.
+	MalformedPackets int
+	// MalformedDNS carried a payload dnswire could not parse.
+	MalformedDNS int
+	// DroppedRecords and SkippedBytes are reader-level recovery events
+	// (bad framing, resyncs, mid-record EOF).
+	DroppedRecords int
+	SkippedBytes   int
+}
+
+// Skipped returns the number of read records the summary excluded.
+func (s *CaptureSummary) Skipped() int {
+	return s.TruncatedRecords + s.MalformedPackets + s.MalformedDNS
 }
 
 // SummarizeCapture decodes a pcap stream (as written by EmitSiteCapture)
 // back into aggregate counts — the first stage of the analysis pipeline,
-// exercising the same decode path a DITL consumer would.
+// exercising the same decode path a DITL consumer would. Like that
+// consumer (which discards ~64% of raw DITL input as junk, §2.1), it
+// degrades gracefully: truncated records, undecodable packets, and
+// malformed DNS payloads are skipped and counted — in the summary and in
+// the ditl.capture_* obs counters — never fatal. Only an unreadable pcap
+// file header returns an error.
 func SummarizeCapture(r io.Reader) (*CaptureSummary, error) {
 	pr, err := pcapio.NewReader(r)
 	if err != nil {
 		return nil, err
 	}
+	pr.SetLenient(true)
 	s := &CaptureSummary{Sources: make(map[ipaddr.Slash24Key]int)}
 	var first, last time.Time
 	err = pr.ForEach(func(rec pcapio.Record) error {
+		s.RecordsRead++
+		if rec.Truncated {
+			s.TruncatedRecords++
+			obsSumTruncated.Inc()
+			return nil
+		}
+		pkt, err := pcapio.DecodePacket(rec.Data)
+		if err != nil {
+			s.MalformedPackets++
+			obsSumMalformedPkt.Inc()
+			return nil
+		}
+		var msg *dnswire.Message
+		if payload := pkt.Payload(); len(payload) > 0 {
+			if msg, err = dnswire.Decode(payload); err != nil {
+				s.MalformedDNS++
+				obsSumMalformedDNS.Inc()
+				return nil
+			}
+		}
 		s.Packets++
 		if first.IsZero() || rec.Time.Before(first) {
 			first = rec.Time
@@ -262,21 +322,11 @@ func SummarizeCapture(r io.Reader) (*CaptureSummary, error) {
 		if rec.Time.After(last) {
 			last = rec.Time
 		}
-		pkt, err := pcapio.DecodePacket(rec.Data)
-		if err != nil {
-			return fmt.Errorf("packet %d: %w", s.Packets, err)
-		}
-		ip := pkt.IPv4()
 		if pkt.TCP() != nil {
 			s.TCPPackets++
 		}
-		payload := pkt.Payload()
-		if len(payload) == 0 {
+		if msg == nil {
 			return nil
-		}
-		msg, err := dnswire.Decode(payload)
-		if err != nil {
-			return fmt.Errorf("packet %d DNS: %w", s.Packets, err)
 		}
 		if msg.Header.Response {
 			s.Responses++
@@ -288,7 +338,7 @@ func SummarizeCapture(r io.Reader) (*CaptureSummary, error) {
 		if pkt.UDP() != nil {
 			s.UDPQueries++
 		}
-		s.Sources[ipaddr.Key24(ip.Src)]++
+		s.Sources[ipaddr.Key24(pkt.IPv4().Src)]++
 		if len(msg.Questions) > 0 && msg.Questions[0].Type == dnswire.TypePTR {
 			s.PTRQueries++
 		}
@@ -297,6 +347,9 @@ func SummarizeCapture(r io.Reader) (*CaptureSummary, error) {
 	if err != nil {
 		return nil, err
 	}
+	st := pr.Stats()
+	s.DroppedRecords = st.Dropped
+	s.SkippedBytes = st.BytesSkipped
 	if !first.IsZero() {
 		s.FirstToLast = last.Sub(first)
 	}

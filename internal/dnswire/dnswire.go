@@ -11,6 +11,15 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+
+	"anycastctx/internal/obs"
+)
+
+// Decode-path observability: the analysis pipeline treats malformed
+// messages as skip-and-count events, so the funnel must be visible.
+var (
+	obsDecoded      = obs.NewCounter("dnswire.messages_decoded")
+	obsDecodeErrors = obs.NewCounter("dnswire.decode_errors")
 )
 
 // Type is a DNS RR/query type.
@@ -146,6 +155,15 @@ func AppendName(b []byte, name string, table map[string]int) ([]byte, error) {
 	if name == "" {
 		return append(b, 0), nil
 	}
+	// Enforce the 255-octet limit on the uncompressed form up front
+	// (uncompressed wire length = len(name)+2). Checking only at the end
+	// of the label loop let a pointer-compressed encoding of an oversized
+	// name slip out — wire bytes the decoder then rejects with
+	// ErrNameTooLong, an encode/decode asymmetry the round-trip fuzzer
+	// caught.
+	if len(name)+2 > maxNameLen {
+		return nil, ErrNameTooLong
+	}
 	labels := strings.Split(name, ".")
 	for i := range labels {
 		suffix := strings.Join(labels[i:], ".")
@@ -167,9 +185,6 @@ func AppendName(b []byte, name string, table map[string]int) ([]byte, error) {
 		}
 		b = append(b, byte(len(l)))
 		b = append(b, l...)
-	}
-	if len(name)+2 > maxNameLen {
-		return nil, ErrNameTooLong
 	}
 	return append(b, 0), nil
 }
@@ -292,6 +307,14 @@ func headerFromFlags(id, f uint16) Header {
 
 // Encode serializes the message with name compression.
 func (m *Message) Encode() ([]byte, error) {
+	// The header stores section counts in 16 bits; larger sections would
+	// silently truncate the count while every record is still written,
+	// producing wire bytes whose counts disagree with their contents.
+	for _, n := range []int{len(m.Questions), len(m.Answers), len(m.Authority), len(m.Additional)} {
+		if n > 0xFFFF {
+			return nil, fmt.Errorf("dnswire: section of %d entries exceeds 16-bit count", n)
+		}
+	}
 	b := make([]byte, 0, 64)
 	b = appendU16(b, m.Header.ID)
 	b = appendU16(b, m.Header.flags())
@@ -329,6 +352,31 @@ func (m *Message) Encode() ([]byte, error) {
 
 // Decode parses a wire-format DNS message.
 func Decode(b []byte) (*Message, error) {
+	m, err := decodeMessage(b)
+	if err != nil {
+		obsDecodeErrors.Inc()
+		return nil, err
+	}
+	obsDecoded.Inc()
+	return m, nil
+}
+
+// DecodePartial parses as much of a wire-format DNS message as is intact,
+// returning both the partial message and the first error encountered —
+// the graceful-degradation entry point: a response whose trailing records
+// are damaged still yields its header and the sections that parsed. The
+// message is nil only when even the 12-byte header is unreadable.
+func DecodePartial(b []byte) (*Message, error) {
+	m, err := decodeMessage(b)
+	if err != nil {
+		obsDecodeErrors.Inc()
+	} else {
+		obsDecoded.Inc()
+	}
+	return m, err
+}
+
+func decodeMessage(b []byte) (*Message, error) {
 	if len(b) < 12 {
 		return nil, ErrTruncatedMessage
 	}
@@ -344,63 +392,76 @@ func Decode(b []byte) (*Message, error) {
 	for i := 0; i < int(qd); i++ {
 		name, next, err := decodeName(b, off)
 		if err != nil {
-			return nil, err
+			return m, err
 		}
 		off = next
 		t, err := readU16(b, off)
 		if err != nil {
-			return nil, err
+			return m, err
 		}
 		c, err := readU16(b, off+2)
 		if err != nil {
-			return nil, err
+			return m, err
 		}
 		off += 4
 		m.Questions = append(m.Questions, Question{Name: name, Type: Type(t), Class: Class(c)})
 	}
 	var err error
 	if m.Answers, off, err = decodeRRs(b, off, int(an)); err != nil {
-		return nil, err
+		return m, err
 	}
 	if m.Authority, off, err = decodeRRs(b, off, int(ns)); err != nil {
-		return nil, err
+		return m, err
 	}
 	if m.Additional, off, err = decodeRRs(b, off, int(ar)); err != nil {
-		return nil, err
+		return m, err
 	}
 	return m, nil
 }
 
+// decodeRRs parses n resource records starting at off. On error it
+// returns the records decoded so far (for DecodePartial) along with the
+// error; Decode discards them.
 func decodeRRs(b []byte, off, n int) ([]RR, int, error) {
 	if n == 0 {
 		return nil, off, nil
 	}
-	rrs := make([]RR, 0, n)
+	// Cap the pre-allocation by what the remaining bytes could possibly
+	// hold (≥11 bytes per record: 1-byte name, type, class, TTL, rdlen).
+	// A 20-byte message claiming 65535 records per section otherwise
+	// forced ~4 MB of allocation before the first truncation error — an
+	// amplification the decode fuzzer flagged. The claimed count is still
+	// parsed in full; a lying count runs out of bytes and errors below.
+	capHint := n
+	if max := (len(b)-off)/11 + 1; capHint > max {
+		capHint = max
+	}
+	rrs := make([]RR, 0, capHint)
 	for i := 0; i < n; i++ {
 		name, next, err := decodeName(b, off)
 		if err != nil {
-			return nil, 0, err
+			return rrs, 0, err
 		}
 		off = next
 		t, err := readU16(b, off)
 		if err != nil {
-			return nil, 0, err
+			return rrs, 0, err
 		}
 		c, err := readU16(b, off+2)
 		if err != nil {
-			return nil, 0, err
+			return rrs, 0, err
 		}
 		ttl, err := readU32(b, off+4)
 		if err != nil {
-			return nil, 0, err
+			return rrs, 0, err
 		}
 		rdlen, err := readU16(b, off+8)
 		if err != nil {
-			return nil, 0, err
+			return rrs, 0, err
 		}
 		off += 10
 		if off+int(rdlen) > len(b) {
-			return nil, 0, ErrTruncatedMessage
+			return rrs, 0, ErrTruncatedMessage
 		}
 		rd := make([]byte, rdlen)
 		copy(rd, b[off:off+int(rdlen)])

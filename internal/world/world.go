@@ -17,6 +17,7 @@ import (
 	"anycastctx/internal/cdn"
 	"anycastctx/internal/ditl"
 	"anycastctx/internal/dnssim"
+	"anycastctx/internal/faults"
 	"anycastctx/internal/geo"
 	"anycastctx/internal/latency"
 	"anycastctx/internal/obs"
@@ -59,6 +60,11 @@ type Config struct {
 	NumTLDs int
 	// NumProbes sizes the Atlas platform (default 1000, scaled).
 	NumProbes int
+	// Faults is the fault-injection policy threaded into the capture
+	// campaign (site withdrawal) and CDN telemetry planes (row drops).
+	// The zero value injects nothing and leaves every output
+	// byte-identical to a fault-free build.
+	Faults faults.Policy
 }
 
 func (c Config) withDefaults() Config {
@@ -179,6 +185,7 @@ func Build(cfg Config) (*World, error) {
 	if err != nil {
 		return nil, fmt.Errorf("world: campaign: %w", err)
 	}
+	camp.Faults = cfg.Faults
 
 	sp = obs.StartSpan("world.cdn")
 	cdnNet, err := cdn.Build(g, model, cdn.Config{}, rng)
@@ -186,6 +193,7 @@ func Build(cfg Config) (*World, error) {
 	if err != nil {
 		return nil, fmt.Errorf("world: cdn: %w", err)
 	}
+	cdnNet.Faults = cfg.Faults
 
 	sp = obs.StartSpan("world.user_counts")
 	cdnCounts := users.BuildCDNCounts(pop, users.CDNConfig{}, rng)
