@@ -10,10 +10,11 @@ package anycastctx
 // computation, amortization), not world construction, which happens once.
 
 import (
-	"os"
-	"strconv"
 	"sync"
 	"testing"
+
+	"anycastctx/internal/obs"
+	"anycastctx/internal/world"
 )
 
 var (
@@ -26,12 +27,7 @@ var (
 // overrides it (scripts/bench.sh and the CI bench smoke pass it); the
 // default 0.2 keeps committed BENCH_<date>.json baselines comparable.
 func benchScale() float64 {
-	if s := os.Getenv("ANYCASTCTX_TEST_SCALE"); s != "" {
-		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 && v <= 1 {
-			return v
-		}
-	}
-	return 0.2
+	return world.ScaleFromEnv(0.2)
 }
 
 func getBenchWorld(b *testing.B) *World {
@@ -60,6 +56,9 @@ func benchExperiment(b *testing.B, id string) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(len(res.Output)), "output_bytes")
+	if rss := obs.PeakRSSBytes(); rss > 0 {
+		b.ReportMetric(float64(rss), "peak_rss_bytes")
+	}
 	if testing.Verbose() {
 		b.Logf("%s measured: %s", id, res.Measured)
 	}
@@ -98,6 +97,10 @@ func BenchmarkWorldBuild(b *testing.B) {
 		if _, err := BuildWorld(TestScaleConfig(int64(i + 1))); err != nil {
 			b.Fatal(err)
 		}
+	}
+	b.StopTimer()
+	if rss := obs.PeakRSSBytes(); rss > 0 {
+		b.ReportMetric(float64(rss), "peak_rss_bytes")
 	}
 }
 

@@ -65,12 +65,12 @@ func main() {
 			load := map[int]float64{}
 			var total float64
 			for ri := range w.Pop.Recursives {
-				a := w.Campaign.PerLetter[li][ri]
+				a := w.Campaign.At(li, ri)
 				if !a.Reachable {
 					continue
 				}
 				u := w.Pop.Recursives[ri].Users
-				for _, s := range a.Sites {
+				for _, s := range a.Sites() {
 					load[s.SiteID] += u * s.Frac
 				}
 				total += u
@@ -134,7 +134,7 @@ func dumpDatasets(w *anycastctx.World, dir string) error {
 		var rows []byte
 		rows = append(rows, "slash24,asn,site,path_len,base_rtt_ms,tcp_median_ms,letter_weight\n"...)
 		for ri := range w.Pop.Recursives {
-			a := w.Campaign.PerLetter[li][ri]
+			a := w.Campaign.At(li, ri)
 			if !a.Reachable {
 				continue
 			}

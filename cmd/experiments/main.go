@@ -105,10 +105,7 @@ func main() {
 	var results []anycastctx.Result
 	var runErr error
 	if *run == "all" {
-		workers := *jobs
-		if workers <= 0 {
-			workers = runtime.NumCPU()
-		}
+		workers := resolveWorkers(*jobs)
 		if workers > 1 {
 			results, runErr = anycastctx.RunAllParallel(w, workers)
 		} else {
@@ -187,6 +184,15 @@ func main() {
 	}
 }
 
+// resolveWorkers maps the -j flag to a worker count: non-positive means
+// "use every CPU".
+func resolveWorkers(jobs int) int {
+	if jobs <= 0 {
+		return runtime.NumCPU()
+	}
+	return jobs
+}
+
 // runReport is the machine-readable record of one experiments run, meant
 // for tracking the performance trajectory across changes.
 type runReport struct {
@@ -196,6 +202,12 @@ type runReport struct {
 	WallMs      float64   `json:"wall_ms"`
 	WorldBuild  stageStat `json:"world_build"`
 	Experiments []expStat `json:"experiments"`
+	// PeakHeapBytes is the largest live heap the obs layer sampled during
+	// the run; PeakRSSBytes is the OS-reported high-water resident set
+	// (VmHWM), 0 where unavailable. Together they track whether a change
+	// moved the run's memory ceiling.
+	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
+	PeakRSSBytes  uint64 `json:"peak_rss_bytes,omitempty"`
 	// Metrics is the end-of-run snapshot of every registered pipeline
 	// metric (world, bgp, dnssim, ditl, cdn, ...).
 	Metrics  obs.Snapshot `json:"metrics"`
@@ -218,12 +230,15 @@ type expStat struct {
 
 func buildReport(cfg anycastctx.Config, year int, results []anycastctx.Result,
 	runErr error, buildSpan obs.Span, elapsed time.Duration) runReport {
+	obs.SampleHeap() // fold the final live heap into the peak
 	rep := runReport{
-		Seed:    cfg.Seed,
-		Scale:   cfg.Scale,
-		Year:    year,
-		WallMs:  float64(elapsed.Nanoseconds()) / 1e6,
-		Metrics: obs.TakeSnapshot(),
+		Seed:          cfg.Seed,
+		Scale:         cfg.Scale,
+		Year:          year,
+		WallMs:        float64(elapsed.Nanoseconds()) / 1e6,
+		PeakHeapBytes: obs.PeakHeapBytes(),
+		PeakRSSBytes:  obs.PeakRSSBytes(),
+		Metrics:       obs.TakeSnapshot(),
 	}
 	if rec, ok := buildSpan.Record(); ok {
 		rep.WorldBuild = stageStat{WallMs: float64(rec.WallNs) / 1e6, AllocBytes: rec.AllocBytes}

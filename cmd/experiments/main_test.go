@@ -1,0 +1,70 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"anycastctx"
+	"anycastctx/internal/obs"
+)
+
+func TestResolveWorkers(t *testing.T) {
+	ncpu := runtime.NumCPU()
+	cases := []struct {
+		jobs, want int
+	}{
+		{jobs: 0, want: ncpu},
+		{jobs: -3, want: ncpu},
+		{jobs: 1, want: 1},
+		{jobs: 4, want: 4},
+	}
+	for _, c := range cases {
+		if got := resolveWorkers(c.jobs); got != c.want {
+			t.Errorf("resolveWorkers(%d) = %d, want %d", c.jobs, got, c.want)
+		}
+	}
+}
+
+// TestReportRoundTripsHeapFields writes a report through the same JSON
+// path main uses and checks the memory-ceiling fields survive the trip.
+func TestReportRoundTripsHeapFields(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	obs.SampleHeap()
+
+	results := []anycastctx.Result{{ID: "figX", Title: "t", Measured: "m"}}
+	rep := buildReport(anycastctx.Config{Seed: 3, Scale: 0.01}, 2018, results, nil, obs.Span{}, 5*time.Millisecond)
+	if rep.PeakHeapBytes == 0 {
+		t.Fatal("PeakHeapBytes not populated after SampleHeap")
+	}
+	if runtime.GOOS == "linux" && rep.PeakRSSBytes == 0 {
+		t.Fatal("PeakRSSBytes empty on linux")
+	}
+	if rep.PeakRSSBytes < rep.PeakHeapBytes {
+		t.Errorf("peak RSS %d < peak heap %d", rep.PeakRSSBytes, rep.PeakHeapBytes)
+	}
+
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := writeJSON(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	var back runReport
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.PeakHeapBytes != rep.PeakHeapBytes || back.PeakRSSBytes != rep.PeakRSSBytes {
+		t.Errorf("heap fields did not round-trip: got %d/%d, want %d/%d",
+			back.PeakHeapBytes, back.PeakRSSBytes, rep.PeakHeapBytes, rep.PeakRSSBytes)
+	}
+	if back.Seed != 3 || len(back.Experiments) != 1 || back.Experiments[0].ID != "figX" {
+		t.Errorf("report body did not round-trip: %+v", back)
+	}
+}

@@ -95,11 +95,11 @@ func busiestLetterSite(w *World) (li, site int) {
 	for l := range w.Campaign.Letters {
 		load := map[int]float64{}
 		for ri := range w.Pop.Recursives {
-			a := w.Campaign.PerLetter[l][ri]
+			a := w.Campaign.At(l, ri)
 			if !a.Reachable {
 				continue
 			}
-			for _, s := range a.Sites {
+			for _, s := range a.Sites() {
 				load[s.SiteID] += w.Rates[ri].RootTotalPerDay() * a.LetterWeight * s.Frac
 			}
 		}

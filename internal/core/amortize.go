@@ -92,9 +92,9 @@ func QueriesPerUserAPNIC(c *ditl.Campaign, apnic *users.APNICCounts, class Query
 // fraction of its queries that do NOT reach its most popular site
 // (Fig 10's x-axis), unweighted over /24s.
 func FavoriteSiteFractions(c *ditl.Campaign, li int) []stats.WeightedValue {
-	out := make([]stats.WeightedValue, 0, len(c.PerLetter[li]))
+	out := make([]stats.WeightedValue, 0, c.NumRecursives())
 	for ri := range c.Pop.Recursives {
-		a := c.PerLetter[li][ri]
+		a := c.At(li, ri)
 		if !a.Reachable {
 			continue
 		}

@@ -24,12 +24,12 @@ func GeoInflationLetter(c *ditl.Campaign, li int, j *ditl.Join) []stats.Weighted
 	letter := c.Letters[li]
 	out := make([]stats.WeightedValue, 0, len(j.Rows))
 	for _, row := range j.Rows {
-		a := c.PerLetter[li][row.RecIdx]
+		a := c.At(li, row.RecIdx)
 		if !a.Reachable {
 			continue
 		}
 		rec := &c.Pop.Recursives[row.RecIdx]
-		gi := geoInflationMs(rec.Loc, a, letter)
+		gi := geoInflationMs(rec.Loc, &a, letter)
 		if gi < 0 {
 			gi = 0
 		}
@@ -39,9 +39,9 @@ func GeoInflationLetter(c *ditl.Campaign, li int, j *ditl.Join) []stats.Weighted
 }
 
 // geoInflationMs evaluates Eq. 1's bracket for one assignment.
-func geoInflationMs(loc geo.Coord, a ditl.Assignment, letter *anycastnet.Deployment) float64 {
+func geoInflationMs(loc geo.Coord, a *ditl.Assignment, letter *anycastnet.Deployment) float64 {
 	var mean float64
-	for _, s := range a.Sites {
+	for _, s := range a.Sites() {
 		mean += s.Frac * geo.DistanceKm(loc, letter.Sites[s.SiteID].Loc)
 	}
 	_, minD := letter.ClosestGlobalSite(loc)
@@ -57,11 +57,11 @@ func GeoInflationAllRoots(c *ditl.Campaign, j *ditl.Join) []stats.WeightedValue 
 		rec := &c.Pop.Recursives[row.RecIdx]
 		var mean, wsum float64
 		for li := range c.Letters {
-			a := c.PerLetter[li][row.RecIdx]
+			a := c.At(li, row.RecIdx)
 			if !a.Reachable || a.LetterWeight <= 0 {
 				continue
 			}
-			gi := geoInflationMs(rec.Loc, a, c.Letters[li])
+			gi := geoInflationMs(rec.Loc, &a, c.Letters[li])
 			if gi < 0 {
 				gi = 0
 			}
@@ -84,12 +84,12 @@ func LatencyInflationLetter(c *ditl.Campaign, li int, j *ditl.Join) []stats.Weig
 	letter := c.Letters[li]
 	out := make([]stats.WeightedValue, 0, len(j.Rows))
 	for _, row := range j.Rows {
-		a := c.PerLetter[li][row.RecIdx]
+		a := c.At(li, row.RecIdx)
 		if !a.Reachable || math.IsNaN(a.TCPMedianRTTMs) {
 			continue
 		}
 		rec := &c.Pop.Recursives[row.RecIdx]
-		v := latencyInflationMs(rec.Loc, a, letter)
+		v := latencyInflationMs(rec.Loc, &a, letter)
 		if v < 0 {
 			v = 0
 		}
@@ -98,11 +98,11 @@ func LatencyInflationLetter(c *ditl.Campaign, li int, j *ditl.Join) []stats.Weig
 	return out
 }
 
-func latencyInflationMs(loc geo.Coord, a ditl.Assignment, letter *anycastnet.Deployment) float64 {
+func latencyInflationMs(loc geo.Coord, a *ditl.Assignment, letter *anycastnet.Deployment) float64 {
 	// Measured latency per site: the favorite carries the TCP median; the
 	// occasional secondary is approximated by the deterministic base RTT.
 	var mean float64
-	for i, s := range a.Sites {
+	for i, s := range a.Sites() {
 		lat := a.TCPMedianRTTMs
 		if i > 0 {
 			lat = a.BaseRTTMs
@@ -124,11 +124,11 @@ func LatencyInflationAllRoots(c *ditl.Campaign, j *ditl.Join, usable map[string]
 			if usable != nil && !usable[c.LetterNames[li]] {
 				continue
 			}
-			a := c.PerLetter[li][row.RecIdx]
+			a := c.At(li, row.RecIdx)
 			if !a.Reachable || math.IsNaN(a.TCPMedianRTTMs) || a.LetterWeight <= 0 {
 				continue
 			}
-			v := latencyInflationMs(rec.Loc, a, c.Letters[li])
+			v := latencyInflationMs(rec.Loc, &a, c.Letters[li])
 			if v < 0 {
 				v = 0
 			}

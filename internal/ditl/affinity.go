@@ -36,12 +36,12 @@ func (c *Campaign) Affinity(li int, flapProbPerHour float64, hours int, rng *ran
 	var nRecs, stable int
 	var affinitySum float64
 	for ri := range c.Pop.Recursives {
-		a := c.PerLetter[li][ri]
+		a := c.At(li, ri)
 		if !a.Reachable {
 			continue
 		}
 		nRecs++
-		if len(a.Sites) < 2 {
+		if a.NumSites() < 2 {
 			// No alternate path exists: perfectly stable.
 			stable++
 			affinitySum += 1

@@ -52,17 +52,14 @@ type SiteShare struct {
 	Frac   float64
 }
 
-// Assignment captures everything the analysis needs about one
-// ⟨recursive /24, letter⟩ pair.
+// Assignment is the analysis view of one ⟨recursive /24, letter⟩ pair,
+// materialized on demand by Campaign.At from the compact column store. It
+// is a value: cheap to copy, never aliases campaign memory.
 type Assignment struct {
 	// Reachable is false when the letter has no route from this AS.
 	Reachable bool
 	// Route is the BGP outcome for the recursive's AS.
 	Route bgp.Route
-	// Sites lists the sites this /24's queries actually reach with their
-	// shares (usually one; occasionally two due to intermediate-AS load
-	// balancing, Appendix B.2).
-	Sites []SiteShare
 	// BaseRTTMs is the deterministic RTT to the favorite site.
 	BaseRTTMs float64
 	// TCPMedianRTTMs is the measured median over TCP handshakes to the
@@ -71,12 +68,25 @@ type Assignment struct {
 	// LetterWeight is the share of the recursive's valid root queries sent
 	// to this letter (sRTT preference, §3).
 	LetterWeight float64
+
+	nSites uint8
+	sites  [2]SiteShare
 }
 
+// Sites lists the sites this /24's queries actually reach with their
+// shares (usually one; occasionally two due to intermediate-AS load
+// balancing, Appendix B.2). The returned slice aliases a, not the
+// campaign.
+func (a *Assignment) Sites() []SiteShare { return a.sites[:a.nSites] }
+
+// NumSites returns how many sites the /24's queries reach (0 when
+// unreachable, else 1 or 2).
+func (a *Assignment) NumSites() int { return int(a.nSites) }
+
 // FavoriteFrac returns the largest site share (Eq. 3's favorite-site mass).
-func (a Assignment) FavoriteFrac() float64 {
+func (a *Assignment) FavoriteFrac() float64 {
 	best := 0.0
-	for _, s := range a.Sites {
+	for _, s := range a.sites[:a.nSites] {
 		if s.Frac > best {
 			best = s.Frac
 		}
@@ -138,7 +148,21 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Sentinels for the compact assignment store's uint32 index columns.
+const (
+	noRoute   = ^uint32(0) // routeIdx: letter unreachable from this AS
+	noAltSite = ^uint32(0) // altSite: all queries go to the favorite site
+)
+
 // Campaign is the assembled measurement campaign.
+//
+// The assignment matrix is stored as struct-of-arrays rather than
+// [][]Assignment: recursives in one AS share a BGP route and a base RTT,
+// so per-cell storage is a uint32 into a per-⟨letter, AS⟩ table plus the
+// few floats that really vary per cell. At scale 1 this cuts the hot
+// structure from ~150 B to ~32 B per ⟨/24, letter⟩ cell and removes two
+// heap objects (the Sites slice and the per-letter row) per cell.
+// Campaign.At materializes the classic Assignment view on demand.
 type Campaign struct {
 	Letters     []*anycastnet.Deployment
 	LetterNames []string
@@ -151,14 +175,71 @@ type Campaign struct {
 	// withdrawal mid-run). The zero value injects nothing.
 	Faults faults.Policy
 
-	// PerLetter[letterIdx][recIdx] is the assignment matrix.
-	PerLetter [][]Assignment
-	// EgressIPs[recIdx] are the /24's DITL query-source addresses.
-	EgressIPs [][]ipaddr.Addr
+	numRecs int
+
+	// Assignment columns, indexed li*numRecs+ri. routeIdx points into the
+	// routes/routeRTT tables (noRoute = unreachable); altSite/altFrac
+	// describe the occasional secondary site (noAltSite = single-site,
+	// favorite share reconstructed as 1-altFrac).
+	routeIdx     []uint32
+	altSite      []uint32
+	altFrac      []float64
+	tcpMedian    []float64
+	letterWeight []float64
+
+	// routes/routeRTT are deduplicated per ⟨letter, AS⟩: every recursive
+	// in an AS shares one entry per letter. BaseRTTMs is a pure function
+	// of (AS, route), so it dedups on the same key.
+	routes   []bgp.Route
+	routeRTT []float64
+
+	// Egress addresses for all recursives, flattened: recursive ri owns
+	// egressFlat[egressOff[ri]:egressOff[ri+1]].
+	egressFlat []ipaddr.Addr
+	egressOff  []uint32
+
 	// JunkSources are junk-only source addresses (one per junk /24).
 	JunkSources []ipaddr.Addr
 	// JunkQueriesPerDay is the junk volume from non-recursive sources.
 	JunkQueriesPerDay float64
+}
+
+// NumRecursives returns the number of recursive /24s in the campaign.
+func (c *Campaign) NumRecursives() int { return c.numRecs }
+
+// At materializes the assignment for letter li and recursive ri.
+func (c *Campaign) At(li, ri int) Assignment {
+	k := li*c.numRecs + ri
+	a := Assignment{
+		TCPMedianRTTMs: c.tcpMedian[k],
+		LetterWeight:   c.letterWeight[k],
+	}
+	rix := c.routeIdx[k]
+	if rix == noRoute {
+		return a
+	}
+	a.Reachable = true
+	a.Route = c.routes[rix]
+	a.BaseRTTMs = c.routeRTT[rix]
+	if alt := c.altSite[k]; alt != noAltSite {
+		share := c.altFrac[k]
+		a.sites = [2]SiteShare{
+			{SiteID: a.Route.SiteID, Frac: 1 - share},
+			{SiteID: int(alt), Frac: share},
+		}
+		a.nSites = 2
+	} else {
+		a.sites[0] = SiteShare{SiteID: a.Route.SiteID, Frac: 1}
+		a.nSites = 1
+	}
+	return a
+}
+
+// Egress returns recursive ri's DITL query-source addresses (empty for
+// forwarders, which never appear in DITL). The slice aliases campaign
+// storage; callers must not modify it.
+func (c *Campaign) Egress(ri int) []ipaddr.Addr {
+	return c.egressFlat[c.egressOff[ri]:c.egressOff[ri+1]]
 }
 
 // Build assembles the campaign. rates must parallel pop.Recursives; zone
@@ -201,41 +282,68 @@ func Build(g *topology.Graph, letters []*anycastnet.Deployment, pop *users.Popul
 		l.WarmRoutes(srcs)
 	}
 
-	c.PerLetter = make([][]Assignment, len(letters))
+	n := len(pop.Recursives)
+	nl := len(letters)
+	c.numRecs = n
+	c.routeIdx = make([]uint32, nl*n)
+	c.altSite = make([]uint32, nl*n)
+	c.altFrac = make([]float64, nl*n)
+	c.tcpMedian = make([]float64, nl*n)
+	c.letterWeight = make([]float64, nl*n)
+
+	// The egress count per recursive depends only on rates, so the flat
+	// store can be sized exactly up front instead of append-grown.
+	c.egressOff = make([]uint32, n+1)
+	totalEgress := 0
+	for ri := range rates {
+		totalEgress += numEgress(rates[ri])
+	}
+	c.egressFlat = make([]ipaddr.Addr, 0, totalEgress)
+
+	// routeIx dedups ⟨letter, AS⟩ route lookups into c.routes/c.routeRTT.
+	routeIx := make([]map[topology.ASN]uint32, nl)
 	for li := range letters {
-		c.PerLetter[li] = make([]Assignment, len(pop.Recursives))
+		routeIx[li] = make(map[topology.ASN]uint32)
 	}
 
+	rtts := make([]float64, nl)
+	weights := make([]float64, nl)
 	for ri := range pop.Recursives {
 		rec := &pop.Recursives[ri]
-		rtts := make([]float64, len(letters))
 		for li := range letters {
-			a := &c.PerLetter[li][ri]
+			k := li*n + ri
+			c.routeIdx[k] = noRoute
+			c.altSite[k] = noAltSite
 			rt, ok := letters[li].Route(rec.ASN)
 			if !ok {
 				rtts[li] = math.Inf(1)
 				continue
 			}
-			a.Reachable = true
 			obsAssignReachable.Inc()
-			a.Route = rt
-			a.BaseRTTMs = model.BaseRTTMs(rec.ASN, rt)
-			rtts[li] = a.BaseRTTMs
+			rix, seen := routeIx[li][rec.ASN]
+			if !seen {
+				rix = uint32(len(c.routes))
+				c.routes = append(c.routes, rt)
+				c.routeRTT = append(c.routeRTT, model.BaseRTTMs(rec.ASN, rt))
+				routeIx[li][rec.ASN] = rix
+			}
+			c.routeIdx[k] = rix
+			rtts[li] = c.routeRTT[rix]
 
 			// Site shares: favorite plus an occasional secondary.
-			a.Sites = []SiteShare{{SiteID: rt.SiteID, Frac: 1}}
 			if rng.Float64() < cfg.SecondarySiteProb {
 				if alt, ok := alternateSite(letters[li], rt.SiteID); ok {
-					share := rng.Float64() * cfg.SecondaryShareMax
-					a.Sites[0].Frac = 1 - share
-					a.Sites = append(a.Sites, SiteShare{SiteID: alt, Frac: share})
+					c.altSite[k] = uint32(alt)
+					c.altFrac[k] = rng.Float64() * cfg.SecondaryShareMax
 				}
 			}
 		}
 
 		// Letter preference: softmax over per-recursive jittered RTTs.
-		weights := make([]float64, len(letters))
 		var sum float64
+		for li := range weights {
+			weights[li] = 0
+		}
 		for li := range letters {
 			if math.IsInf(rtts[li], 1) {
 				continue
@@ -249,43 +357,34 @@ func Build(g *topology.Graph, letters []*anycastnet.Deployment, pop *users.Popul
 		}
 		if sum > 0 {
 			for li := range letters {
-				c.PerLetter[li][ri].LetterWeight = weights[li] / sum
+				c.letterWeight[li*n+ri] = weights[li] / sum
 			}
 		}
 
 		// TCP medians where volume suffices.
 		for li := range letters {
-			a := &c.PerLetter[li][ri]
-			a.TCPMedianRTTMs = math.NaN()
-			if !a.Reachable {
+			k := li*n + ri
+			c.tcpMedian[k] = math.NaN()
+			if c.routeIdx[k] == noRoute {
 				continue
 			}
-			tcpVol := rates[ri].RootValidPerDay * a.LetterWeight * rates[ri].TCPShare
+			tcpVol := rates[ri].RootValidPerDay * c.letterWeight[k] * rates[ri].TCPShare
 			if tcpVol >= cfg.MinTCPSamples {
-				a.TCPMedianRTTMs = model.MedianOfSamples(rng, a.BaseRTTMs+0.5, 11)
+				c.tcpMedian[k] = model.MedianOfSamples(rng, c.routeRTT[c.routeIdx[k]]+0.5, 11)
 			}
 		}
 
 		// Egress IPs: high offsets in the /24, with a small chance of
 		// reusing the CDN-observable resolver IPs. Forwarders never appear
 		// as DITL sources.
-		if rates[ri].RootTotalPerDay() < 0.5 {
-			c.EgressIPs = append(c.EgressIPs, nil)
-			continue
-		}
-		nEgress := 1 + int(math.Log10(1+rates[ri].RootTotalPerDay()))
-		if nEgress > 8 {
-			nEgress = 8
-		}
-		ips := make([]ipaddr.Addr, 0, nEgress)
-		for k := 0; k < nEgress; k++ {
+		for k := 0; k < numEgress(rates[ri]); k++ {
 			if rng.Float64() < cfg.EgressOverlapProb && k < len(rec.IPs) {
-				ips = append(ips, rec.IPs[k])
+				c.egressFlat = append(c.egressFlat, rec.IPs[k])
 			} else {
-				ips = append(ips, rec.Key.Prefix().Nth(uint64(100+k)))
+				c.egressFlat = append(c.egressFlat, rec.Key.Prefix().Nth(uint64(100+k)))
 			}
 		}
-		c.EgressIPs = append(c.EgressIPs, ips)
+		c.egressOff[ri+1] = uint32(len(c.egressFlat))
 	}
 
 	// Junk-only sources.
@@ -302,6 +401,19 @@ func Build(g *topology.Graph, letters []*anycastnet.Deployment, pop *users.Popul
 	obsAssignments.Add(uint64(len(letters) * len(pop.Recursives)))
 	obsJunk24s.Add(uint64(len(c.JunkSources)))
 	return c, nil
+}
+
+// numEgress returns how many DITL egress addresses a recursive exposes:
+// zero for forwarders, else growing with log volume, capped at 8.
+func numEgress(r dnssim.Rates) int {
+	if r.RootTotalPerDay() < 0.5 {
+		return 0
+	}
+	n := 1 + int(math.Log10(1+r.RootTotalPerDay()))
+	if n > 8 {
+		n = 8
+	}
+	return n
 }
 
 // alternateSite picks the next global site after siteID, if any.

@@ -24,7 +24,7 @@ type fixture struct {
 	cdn     *users.CDNCounts
 }
 
-func buildFixture(t *testing.T) *fixture {
+func buildFixture(t testing.TB) *fixture {
 	t.Helper()
 	regions := geo.GenerateRegions(geo.PaperRegionCounts, rand.New(rand.NewSource(42)))
 	g, err := topology.New(topology.Config{Seed: 4, NumTier1: 6, NumTransit: 40, NumEyeball: 400}, regions)
@@ -69,18 +69,16 @@ func TestBuildValidation(t *testing.T) {
 func TestCampaignAssignments(t *testing.T) {
 	f := buildFixture(t)
 	c := f.camp
-	if len(c.PerLetter) != 3 {
-		t.Fatalf("letters = %d", len(c.PerLetter))
+	if len(c.Letters) != 3 {
+		t.Fatalf("letters = %d", len(c.Letters))
 	}
-	for li := range c.PerLetter {
-		if len(c.PerLetter[li]) != len(f.pop.Recursives) {
-			t.Fatalf("letter %d assignments = %d", li, len(c.PerLetter[li]))
-		}
+	if c.NumRecursives() != len(f.pop.Recursives) {
+		t.Fatalf("recursives = %d, want %d", c.NumRecursives(), len(f.pop.Recursives))
 	}
 	for ri := range f.pop.Recursives {
 		var wsum float64
-		for li := range c.PerLetter {
-			a := c.PerLetter[li][ri]
+		for li := range c.Letters {
+			a := c.At(li, ri)
 			wsum += a.LetterWeight
 			if !a.Reachable {
 				continue
@@ -89,7 +87,7 @@ func TestCampaignAssignments(t *testing.T) {
 				t.Fatalf("rec %d letter %d RTT %v", ri, li, a.BaseRTTMs)
 			}
 			var fsum float64
-			for _, s := range a.Sites {
+			for _, s := range a.Sites() {
 				if s.SiteID < 0 || s.SiteID >= len(f.letters[li].Sites) {
 					t.Fatalf("site ID %d out of range", s.SiteID)
 				}
@@ -106,8 +104,15 @@ func TestCampaignAssignments(t *testing.T) {
 			t.Fatalf("letter weights sum to %v for rec %d", wsum, ri)
 		}
 	}
-	if len(c.EgressIPs) != len(f.pop.Recursives) {
-		t.Fatal("egress IPs not per-recursive")
+	var anyEgress bool
+	for ri := range f.pop.Recursives {
+		if len(c.Egress(ri)) > 0 {
+			anyEgress = true
+			break
+		}
+	}
+	if !anyEgress {
+		t.Fatal("no egress IPs")
 	}
 	if len(c.JunkSources) == 0 || c.JunkQueriesPerDay <= 0 {
 		t.Error("no junk sources")
@@ -122,15 +127,15 @@ func TestLetterPreferenceFavorsLowLatency(t *testing.T) {
 	agree, total := 0, 0
 	for ri := range f.pop.Recursives {
 		bestRTT, bestW := -1, -1
-		for li := range c.PerLetter {
-			a := c.PerLetter[li][ri]
+		for li := range c.Letters {
+			a := c.At(li, ri)
 			if !a.Reachable {
 				continue
 			}
-			if bestRTT == -1 || a.BaseRTTMs < c.PerLetter[bestRTT][ri].BaseRTTMs {
+			if bestRTT == -1 || a.BaseRTTMs < c.At(bestRTT, ri).BaseRTTMs {
 				bestRTT = li
 			}
-			if bestW == -1 || a.LetterWeight > c.PerLetter[bestW][ri].LetterWeight {
+			if bestW == -1 || a.LetterWeight > c.At(bestW, ri).LetterWeight {
 				bestW = li
 			}
 		}
@@ -150,15 +155,15 @@ func TestLetterPreferenceFavorsLowLatency(t *testing.T) {
 func TestMostSlash24sSingleSite(t *testing.T) {
 	// Fig 10: for every letter, >80% of /24s send all queries to one site.
 	f := buildFixture(t)
-	for li := range f.camp.PerLetter {
+	for li := range f.camp.Letters {
 		single, total := 0, 0
 		for ri := range f.pop.Recursives {
-			a := f.camp.PerLetter[li][ri]
+			a := f.camp.At(li, ri)
 			if !a.Reachable {
 				continue
 			}
 			total++
-			if len(a.Sites) == 1 {
+			if a.NumSites() == 1 {
 				single++
 			}
 		}
@@ -173,7 +178,7 @@ func TestTCPMediansPartialCoverage(t *testing.T) {
 	// Some recursives (big ones) have TCP medians; small ones do not.
 	var with, without int
 	for ri := range f.pop.Recursives {
-		a := f.camp.PerLetter[2][ri] // biggest letter
+		a := f.camp.At(2, ri) // biggest letter
 		if !a.Reachable {
 			continue
 		}

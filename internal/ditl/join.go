@@ -3,6 +3,7 @@ package ditl
 import (
 	"anycastctx/internal/ipaddr"
 	"anycastctx/internal/obs"
+	"anycastctx/internal/par"
 	"anycastctx/internal/topology"
 	"anycastctx/internal/users"
 )
@@ -52,58 +53,105 @@ func (j *Join) TotalQueries() float64 {
 	return s
 }
 
+// joinRow evaluates the join predicate for one recursive: the joined row
+// and whether it is retained. It reads the CDN maps read-only and draws no
+// randomness, so it is safe to call from parallel workers.
+func (c *Campaign) joinRow(cdn *users.CDNCounts, byIP bool, ri int) (JoinedRow, bool) {
+	rec := &c.Pop.Recursives[ri]
+	vol := c.Rates[ri].RootValidPerDay
+	if c.Rates[ri].RootTotalPerDay() < 0.5 {
+		return JoinedRow{}, false // invisible in DITL (forwarder)
+	}
+	if byIP {
+		// Only volume from egress IPs Microsoft observed, joined with
+		// users on exactly those IPs.
+		egress := c.Egress(ri)
+		if len(egress) == 0 {
+			return JoinedRow{}, false
+		}
+		matched := 0
+		var matchedUsers float64
+		for _, ip := range egress {
+			if u, ok := cdn.ByIP[ip]; ok {
+				matched++
+				matchedUsers += u
+			}
+		}
+		if matched == 0 || matchedUsers <= 0 {
+			return JoinedRow{}, false
+		}
+		return JoinedRow{
+			RecIdx:        ri,
+			Key:           rec.Key,
+			QueriesPerDay: vol * float64(matched) / float64(len(egress)),
+			Users:         matchedUsers,
+		}, true
+	}
+	u, ok := cdn.By24[rec.Key]
+	if !ok || u <= 0 {
+		return JoinedRow{}, false
+	}
+	return JoinedRow{
+		RecIdx:        ri,
+		Key:           rec.Key,
+		QueriesPerDay: vol,
+		Users:         u,
+	}, true
+}
+
 // JoinCDN joins valid query volumes with CDN user counts at the /24 level
 // (§2.1's DITL∩CDN), or at exact-IP granularity when byIP is set (the
 // Appendix B.2 sensitivity analysis, Fig 9).
+//
+// It streams: a parallel marking pass over the recursives, a prefix sum,
+// and a parallel fill into an exactly-sized row slice, preserving input
+// order. Unlike an append loop this never over-allocates (append growth
+// can strand almost 2x the final size) and does no per-row float
+// arithmetic outside joinRow, so the output is byte-identical to the
+// serial join (joinCDNSerial stays behind as the test oracle).
 func (c *Campaign) JoinCDN(cdn *users.CDNCounts, byIP bool) *Join {
 	j := &Join{ByIP: byIP}
-	for ri := range c.Pop.Recursives {
-		rec := &c.Pop.Recursives[ri]
-		vol := c.Rates[ri].RootValidPerDay
-		if c.Rates[ri].RootTotalPerDay() < 0.5 {
-			continue // invisible in DITL (forwarder)
+	n := c.numRecs
+	include := make([]bool, n)
+	par.Do(n, func(lo, hi int) {
+		for ri := lo; ri < hi; ri++ {
+			_, ok := c.joinRow(cdn, byIP, ri)
+			include[ri] = ok
 		}
-		if byIP {
-			// Only volume from egress IPs Microsoft observed, joined with
-			// users on exactly those IPs.
-			egress := c.EgressIPs[ri]
-			if len(egress) == 0 {
-				continue
-			}
-			matched := 0
-			var matchedUsers float64
-			for _, ip := range egress {
-				if u, ok := cdn.ByIP[ip]; ok {
-					matched++
-					matchedUsers += u
-				}
-			}
-			if matched == 0 || matchedUsers <= 0 {
-				continue
-			}
-			j.Rows = append(j.Rows, JoinedRow{
-				RecIdx:        ri,
-				Key:           rec.Key,
-				QueriesPerDay: vol * float64(matched) / float64(len(egress)),
-				Users:         matchedUsers,
-			})
-			continue
+	})
+	offs := make([]uint32, n+1)
+	for ri, ok := range include {
+		offs[ri+1] = offs[ri]
+		if ok {
+			offs[ri+1]++
 		}
-		u, ok := cdn.By24[rec.Key]
-		if !ok || u <= 0 {
-			continue
-		}
-		j.Rows = append(j.Rows, JoinedRow{
-			RecIdx:        ri,
-			Key:           rec.Key,
-			QueriesPerDay: vol,
-			Users:         u,
-		})
 	}
+	rows := make([]JoinedRow, offs[n])
+	par.Do(n, func(lo, hi int) {
+		for ri := lo; ri < hi; ri++ {
+			if include[ri] {
+				rows[offs[ri]], _ = c.joinRow(cdn, byIP, ri)
+			}
+		}
+	})
+	j.Rows = rows
 	obsJoins.Inc()
 	obsJoinRows.Add(uint64(len(j.Rows)))
 	for _, row := range j.Rows {
 		obsJoinRowUsers.Observe(row.Users)
+	}
+	return j
+}
+
+// joinCDNSerial is the single-pass reference implementation of JoinCDN,
+// kept as the oracle the streaming version is tested byte-identical
+// against. It does not touch the obs counters.
+func (c *Campaign) joinCDNSerial(cdn *users.CDNCounts, byIP bool) *Join {
+	j := &Join{ByIP: byIP}
+	for ri := range c.Pop.Recursives {
+		if row, ok := c.joinRow(cdn, byIP, ri); ok {
+			j.Rows = append(j.Rows, row)
+		}
 	}
 	return j
 }
@@ -141,7 +189,8 @@ func (c *Campaign) Overlap(cdn *users.CDNCounts, byIP bool) OverlapStats {
 		matchedSources := 0
 		var vol, matchedVol float64
 		matchedIPs := map[ipaddr.Addr]bool{}
-		for ri, egress := range c.EgressIPs {
+		for ri := 0; ri < c.numRecs; ri++ {
+			egress := c.Egress(ri)
 			ditlSources += len(egress)
 			v := c.Rates[ri].RootValidPerDay
 			vol += v
@@ -179,15 +228,15 @@ func (c *Campaign) Overlap(cdn *users.CDNCounts, byIP bool) OverlapStats {
 		return st
 	}
 
-	// /24-level join.
-	junk24 := map[ipaddr.Slash24Key]bool{}
-	for _, ip := range c.JunkSources {
-		junk24[ipaddr.Key24(ip)] = true
-	}
-	ditl24 := len(junk24)
+	// /24-level join. Junk sources sit in distinct /24 blocks by
+	// construction (AllocSlash24s hands out disjoint prefixes), so their
+	// /24 count needs no dedup map; and each recursive owns a distinct
+	// /24 key, so matched CDN users can accumulate inline instead of via
+	// a matched-key set replayed over the whole CDN map.
+	ditl24 := len(c.JunkSources)
 	matched24 := 0
 	var vol, matchedVol float64
-	matchedKeys := map[ipaddr.Slash24Key]bool{}
+	var cdnMatchedUsers float64
 	for ri := range c.Pop.Recursives {
 		rec := &c.Pop.Recursives[ri]
 		if c.Rates[ri].RootTotalPerDay() < 0.5 {
@@ -196,18 +245,15 @@ func (c *Campaign) Overlap(cdn *users.CDNCounts, byIP bool) OverlapStats {
 		ditl24++
 		v := c.Rates[ri].RootValidPerDay
 		vol += v
-		if _, ok := cdn.By24[rec.Key]; ok {
+		if u, ok := cdn.By24[rec.Key]; ok {
 			matched24++
 			matchedVol += v
-			matchedKeys[rec.Key] = true
-		}
-	}
-	var cdnUsers, cdnMatchedUsers float64
-	for k, u := range cdn.By24 {
-		cdnUsers += u
-		if matchedKeys[k] {
 			cdnMatchedUsers += u
 		}
+	}
+	var cdnUsers float64
+	for _, u := range cdn.By24 {
+		cdnUsers += u
 	}
 	if ditl24 > 0 {
 		st.DITLRecursives = float64(matched24) / float64(ditl24)

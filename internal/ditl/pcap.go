@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sync"
 	"time"
 
 	"anycastctx/internal/dnssim"
@@ -11,6 +12,19 @@ import (
 	"anycastctx/internal/ipaddr"
 	"anycastctx/internal/pcapio"
 )
+
+// emitScratch is the pair of encode buffers one EmitSiteCapture call
+// cycles through: every DNS message and packet is serialized into the
+// same storage, copied out by the pcap writer, then overwritten. Pooled
+// because the experiment runner emits captures from parallel workers.
+type emitScratch struct {
+	dns []byte
+	pkt []byte
+}
+
+var emitScratchPool = sync.Pool{New: func() any {
+	return &emitScratch{dns: make([]byte, 0, 512), pkt: make([]byte, 0, 2048)}
+}}
 
 // LetterAnycastAddr returns the anycast service address used by letter li
 // in emitted captures (stable, outside the simulator's allocation pool).
@@ -58,11 +72,11 @@ func (c *Campaign) EmitSiteCapture(w io.Writer, li, siteID, maxPackets int, rng 
 	var contribs []contrib
 	var totalVol float64
 	for ri := range c.Pop.Recursives {
-		a := c.PerLetter[li][ri]
+		a := c.At(li, ri)
 		if !a.Reachable {
 			continue
 		}
-		for _, s := range a.Sites {
+		for _, s := range a.Sites() {
 			if s.SiteID != siteID {
 				continue
 			}
@@ -76,6 +90,8 @@ func (c *Campaign) EmitSiteCapture(w io.Writer, li, siteID, maxPackets int, rng 
 	if len(contribs) == 0 {
 		return 0, pw.Close()
 	}
+	scr := emitScratchPool.Get().(*emitScratch)
+	defer emitScratchPool.Put(scr)
 
 	obsPcapCaptures.Inc()
 	written := 0
@@ -101,15 +117,17 @@ func (c *Campaign) EmitSiteCapture(w io.Writer, li, siteID, maxPackets int, rng 
 		src := c.JunkSources[rng.Intn(len(c.JunkSources))]
 		ts := captureStart.Add(time.Duration(rng.Int63n(48 * int64(time.Hour))))
 		q := dnswire.NewQuery(uint16(rng.Intn(65536)), randomProbeName(rng), dnswire.TypeA)
-		qb, err := q.Encode()
+		qb, err := q.EncodeInto(scr.dns)
 		if err != nil {
 			return written, err
 		}
-		pkt, err := pcapio.SerializeUDP(&pcapio.IPv4{Src: src, Dst: dst, ID: uint16(rng.Intn(65536))},
+		scr.dns = qb
+		pkt, err := pcapio.SerializeUDPInto(scr.pkt, &pcapio.IPv4{Src: src, Dst: dst, ID: uint16(rng.Intn(65536))},
 			&pcapio.UDP{SrcPort: uint16(1024 + rng.Intn(60000)), DstPort: 53}, qb)
 		if err != nil {
 			return written, err
 		}
+		scr.pkt = pkt
 		if err := emit(ts, pkt); err != nil {
 			return written, err
 		}
@@ -125,7 +143,8 @@ func (c *Campaign) EmitSiteCapture(w io.Writer, li, siteID, maxPackets int, rng 
 			n = 1
 		}
 		rates := c.Rates[cb.recIdx]
-		egress := c.EgressIPs[cb.recIdx]
+		egress := c.Egress(cb.recIdx)
+		rtt := time.Duration(c.At(li, cb.recIdx).BaseRTTMs * float64(time.Millisecond))
 		for k := 0; k < n && written < maxPackets; k++ {
 			src := egress[rng.Intn(len(egress))]
 			ts := captureStart.Add(time.Duration(rng.Int63n(48 * int64(time.Hour))))
@@ -135,56 +154,66 @@ func (c *Campaign) EmitSiteCapture(w io.Writer, li, siteID, maxPackets int, rng 
 			if rng.Float64() < 0.8 {
 				q.SetEDNS(4096, rng.Float64() < 0.5)
 			}
-			qb, err := q.Encode()
+			qb, err := q.EncodeInto(scr.dns)
 			if err != nil {
 				return written, err
 			}
+			scr.dns = qb
 			srcPort := uint16(1024 + rng.Intn(60000))
 
 			if rng.Float64() < rates.TCPShare {
-				// TCP handshake: SYN in, SYN-ACK out, ACK+query in.
+				// TCP handshake: SYN in, SYN-ACK out, ACK+query in. Each
+				// packet is emitted (copied into the pcap writer) before
+				// the next reuses the scratch buffer; emission draws no
+				// randomness, so the rng sequence matches the old
+				// build-all-then-emit order.
 				seq := rng.Uint32()
-				syn, err := pcapio.SerializeTCP(&pcapio.IPv4{Src: src, Dst: dst},
+				syn, err := pcapio.SerializeTCPInto(scr.pkt, &pcapio.IPv4{Src: src, Dst: dst},
 					&pcapio.TCP{SrcPort: srcPort, DstPort: 53, Seq: seq, Flags: pcapio.FlagSYN}, nil)
 				if err != nil {
 					return written, err
 				}
-				synack, err := pcapio.SerializeTCP(&pcapio.IPv4{Src: dst, Dst: src},
+				scr.pkt = syn
+				if err := emit(ts, syn); err != nil {
+					return written, err
+				}
+				synack, err := pcapio.SerializeTCPInto(scr.pkt, &pcapio.IPv4{Src: dst, Dst: src},
 					&pcapio.TCP{SrcPort: 53, DstPort: srcPort, Seq: rng.Uint32(), Ack: seq + 1,
 						Flags: pcapio.FlagSYN | pcapio.FlagACK}, nil)
 				if err != nil {
 					return written, err
 				}
-				dataPkt, err := pcapio.SerializeTCP(&pcapio.IPv4{Src: src, Dst: dst},
+				scr.pkt = synack
+				if err := emit(ts.Add(time.Microsecond), synack); err != nil {
+					return written, err
+				}
+				dataPkt, err := pcapio.SerializeTCPInto(scr.pkt, &pcapio.IPv4{Src: src, Dst: dst},
 					&pcapio.TCP{SrcPort: srcPort, DstPort: 53, Seq: seq + 1, Ack: 1,
 						Flags: pcapio.FlagACK | pcapio.FlagPSH}, qb)
 				if err != nil {
 					return written, err
 				}
-				rtt := time.Duration(c.PerLetter[li][cb.recIdx].BaseRTTMs * float64(time.Millisecond))
-				if err := emit(ts, syn); err != nil {
-					return written, err
-				}
-				if err := emit(ts.Add(time.Microsecond), synack); err != nil {
-					return written, err
-				}
+				scr.pkt = dataPkt
 				if err := emit(ts.Add(rtt), dataPkt); err != nil {
 					return written, err
 				}
 				continue
 			}
 
-			pkt, err := pcapio.SerializeUDP(&pcapio.IPv4{Src: src, Dst: dst, ID: uint16(k)},
+			pkt, err := pcapio.SerializeUDPInto(scr.pkt, &pcapio.IPv4{Src: src, Dst: dst, ID: uint16(k)},
 				&pcapio.UDP{SrcPort: srcPort, DstPort: 53}, qb)
 			if err != nil {
 				return written, err
 			}
+			scr.pkt = pkt
 			if err := emit(ts, pkt); err != nil {
 				return written, err
 			}
 			// Response packet (server-side captures see both directions).
 			// With a zone attached, the authoritative server produces real
 			// referrals/NXDOMAINs; otherwise synthesize a plain response.
+			// The query wire bytes are dead once the query packet is
+			// emitted, so the response reuses both scratch buffers.
 			var resp *dnswire.Message
 			if server != nil {
 				resp = server.Respond(q)
@@ -194,15 +223,17 @@ func (c *Campaign) EmitSiteCapture(w io.Writer, li, siteID, maxPackets int, rng 
 					resp.Header.RCode = dnswire.RCodeNXDomain
 				}
 			}
-			rb, err := resp.Encode()
+			rb, err := resp.EncodeInto(scr.dns)
 			if err != nil {
 				return written, err
 			}
-			rpkt, err := pcapio.SerializeUDP(&pcapio.IPv4{Src: dst, Dst: src, ID: uint16(k)},
+			scr.dns = rb
+			rpkt, err := pcapio.SerializeUDPInto(scr.pkt, &pcapio.IPv4{Src: dst, Dst: src, ID: uint16(k)},
 				&pcapio.UDP{SrcPort: 53, DstPort: srcPort}, rb)
 			if err != nil {
 				return written, err
 			}
+			scr.pkt = rpkt
 			if err := emit(ts.Add(50*time.Microsecond), rpkt); err != nil {
 				return written, err
 			}

@@ -16,11 +16,17 @@ type RootServer struct {
 	// letter identifies which letter this server instance belongs to
 	// (cosmetic: appears in the SOA MNAME).
 	letter string
+	// soa is the SOA rdata for negative responses, built once: it depends
+	// only on the letter, and NXDOMAINs dominate capture traffic, so
+	// rebuilding it per response was a measurable allocation source.
+	soa []byte
 }
 
 // NewRootServer creates an authoritative server over zone.
 func NewRootServer(zone *Zone, letter string) *RootServer {
-	return &RootServer{zone: zone, letter: letter}
+	s := &RootServer{zone: zone, letter: letter}
+	s.soa = s.soaRData()
+	return s
 }
 
 // soaRData builds a minimal SOA record body for negative responses.
@@ -71,7 +77,7 @@ func (s *RootServer) Respond(q *dnswire.Message) *dnswire.Message {
 			Type:  dnswire.TypeSOA,
 			Class: dnswire.ClassIN,
 			TTL:   86400,
-			RData: s.soaRData(),
+			RData: s.soa,
 		}}
 		return m
 	}

@@ -307,6 +307,16 @@ func headerFromFlags(id, f uint16) Header {
 
 // Encode serializes the message with name compression.
 func (m *Message) Encode() ([]byte, error) {
+	return m.EncodeInto(nil)
+}
+
+// EncodeInto encodes the message into buf's storage (ignoring its
+// contents), growing only when capacity runs out — hot emitters reuse one
+// buffer across messages. The encoding must start at offset 0 of the
+// returned slice because name-compression pointers are message-relative,
+// which is why this is an "into" and not an "append" API. The returned
+// slice may alias buf.
+func (m *Message) EncodeInto(buf []byte) ([]byte, error) {
 	// The header stores section counts in 16 bits; larger sections would
 	// silently truncate the count while every record is still written,
 	// producing wire bytes whose counts disagree with their contents.
@@ -315,7 +325,10 @@ func (m *Message) Encode() ([]byte, error) {
 			return nil, fmt.Errorf("dnswire: section of %d entries exceeds 16-bit count", n)
 		}
 	}
-	b := make([]byte, 0, 64)
+	b := buf[:0]
+	if cap(b) < 64 {
+		b = make([]byte, 0, 64)
+	}
 	b = appendU16(b, m.Header.ID)
 	b = appendU16(b, m.Header.flags())
 	b = appendU16(b, uint16(len(m.Questions)))

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"runtime"
+	"strconv"
+)
+
+// Heap-accounting gauges: the live heap and OS-mapped heap as of the last
+// SampleHeap call. Peak tracking is per-registry (PeakHeapBytes) so it
+// survives gauge overwrites and is cleared by Reset.
+var (
+	obsHeapLive = NewGauge("obs.heap_live_bytes")
+	obsHeapSys  = NewGauge("obs.heap_sys_bytes")
+)
+
+// noteHeap folds a HeapAlloc reading into the registry's running peak.
+func (r *Registry) noteHeap(heapAlloc uint64) {
+	for {
+		old := r.peakHeap.Load()
+		if heapAlloc <= old || r.peakHeap.CompareAndSwap(old, heapAlloc) {
+			return
+		}
+	}
+}
+
+// PeakHeapBytes returns the largest live-heap size (runtime HeapAlloc)
+// observed at any span boundary or SampleHeap call since the registry was
+// created or Reset. Zero when nothing was sampled.
+func (r *Registry) PeakHeapBytes() uint64 { return r.peakHeap.Load() }
+
+// PeakHeapBytes returns the default registry's observed live-heap peak.
+func PeakHeapBytes() uint64 { return Default.PeakHeapBytes() }
+
+// SampleHeap reads the runtime memory statistics once, updates the
+// obs.heap_* gauges, and folds the reading into the default registry's
+// peak. Cheap enough to call between pipeline stages; never called
+// implicitly on the metric hot path.
+func SampleHeap() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	obsHeapLive.Set(float64(ms.HeapAlloc))
+	obsHeapSys.Set(float64(ms.HeapSys))
+	Default.noteHeap(ms.HeapAlloc)
+}
+
+// PeakRSSBytes returns the process's high-water resident set size from
+// /proc/self/status (VmHWM), or 0 where that interface does not exist
+// (non-Linux systems). The kernel's view complements PeakHeapBytes: it
+// includes stacks, the Go runtime, and heap fragmentation.
+func PeakRSSBytes() uint64 {
+	b, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range bytes.Split(b, []byte("\n")) {
+		if !bytes.HasPrefix(line, []byte("VmHWM:")) {
+			continue
+		}
+		f := bytes.Fields(line[len("VmHWM:"):])
+		if len(f) == 0 {
+			return 0
+		}
+		kb, err := strconv.ParseUint(string(f[0]), 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb * 1024
+	}
+	return 0
+}

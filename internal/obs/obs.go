@@ -43,6 +43,10 @@ type Registry struct {
 	spans  []SpanRecord
 	stack  []int
 	clock  int64 // virtual-free monotonic origin (set on first span)
+
+	// peakHeap is the largest HeapAlloc observed at a span boundary or
+	// explicit SampleHeap call (see mem.go).
+	peakHeap atomic.Uint64
 }
 
 // Default is the process-wide registry the package-level functions use.
@@ -247,10 +251,12 @@ func (h *Histogram) Min() float64 { return math.Float64frombits(h.minBits.Load()
 func (h *Histogram) Max() float64 { return math.Float64frombits(h.maxBits.Load()) }
 
 // Quantile estimates the q-quantile (q in [0,1]) from the bucket bounds,
-// clamped to the exact observed [Min, Max]. Returns NaN when empty.
+// clamped to the exact observed [Min, Max]. Returns NaN when empty or when
+// q is NaN (a NaN q would otherwise slip through both range clamps and
+// turn into a platform-dependent bucket target).
 func (h *Histogram) Quantile(q float64) float64 {
 	n := h.count.Load()
-	if n == 0 {
+	if n == 0 || math.IsNaN(q) {
 		return math.NaN()
 	}
 	if q < 0 {
@@ -303,6 +309,7 @@ func (r *Registry) Reset() {
 	r.stack = nil
 	r.clock = 0
 	r.spanMu.Unlock()
+	r.peakHeap.Store(0)
 }
 
 // HistStats is a histogram summary for snapshots.
@@ -350,11 +357,14 @@ func (r *Registry) Snapshot() Snapshot {
 }
 
 // CounterDeltas returns the counters that advanced since prev, by name.
+// A counter that went backwards (the registry was Reset between the two
+// snapshots) is skipped rather than wrapped: uint64 subtraction would
+// otherwise report a near-2^64 delta for a counter that merely restarted.
 func (s Snapshot) CounterDeltas(prev Snapshot) map[string]uint64 {
 	out := make(map[string]uint64)
 	for name, v := range s.Counters {
-		if d := v - prev.Counters[name]; d > 0 {
-			out[name] = d
+		if p := prev.Counters[name]; v >= p && v-p > 0 {
+			out[name] = v - p
 		}
 	}
 	return out

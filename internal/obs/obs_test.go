@@ -294,3 +294,100 @@ func TestWriteTrace(t *testing.T) {
 		t.Errorf("trace missing flame-ordered spans:\n%s", out)
 	}
 }
+
+func TestCounterDeltasSkipResetCounters(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("d.count")
+	c.Add(100)
+	before := r.Snapshot()
+	r.Reset()
+	c.Add(3) // restarted counter: 3 < 100
+	after := r.Snapshot()
+	d := after.CounterDeltas(before)
+	if _, ok := d["d.count"]; ok {
+		t.Errorf("delta for reset counter reported: %v (uint64 wrap)", d)
+	}
+	// A counter that advanced past its pre-reset value still reports.
+	c.Add(200)
+	d = r.Snapshot().CounterDeltas(before)
+	if d["d.count"] != 103 {
+		t.Errorf("post-reset advance delta = %v, want 103", d["d.count"])
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("q.hist")
+	for _, v := range []float64{1, 2, 4, 8} {
+		h.Observe(v)
+	}
+	cases := []struct {
+		name string
+		q    float64
+		want float64 // NaN means "want NaN"
+	}{
+		{"nan", math.NaN(), math.NaN()},
+		{"zero", 0, 2},        // first observation's bucket bound (≤2× rule)
+		{"one", 1, 8},         // clamped to observed max
+		{"negative", -3, 2},   // clamps to q=0
+		{"above one", 2.5, 8}, // clamps to q=1
+	}
+	for _, tc := range cases {
+		got := h.Quantile(tc.q)
+		if math.IsNaN(tc.want) {
+			if !math.IsNaN(got) {
+				t.Errorf("Quantile(%s) = %v, want NaN", tc.name, got)
+			}
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("Quantile(%s) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	// NaN on an empty histogram too, regardless of q.
+	he := r.NewHistogram("q.empty")
+	if !math.IsNaN(he.Quantile(math.NaN())) || !math.IsNaN(he.Quantile(0.5)) {
+		t.Error("empty histogram quantiles not NaN")
+	}
+}
+
+func TestHeapAccounting(t *testing.T) {
+	r := NewRegistry()
+	if r.PeakHeapBytes() != 0 {
+		t.Errorf("fresh registry peak heap = %d, want 0", r.PeakHeapBytes())
+	}
+	r.Enable()
+	sp := r.StartSpan("alloc.stage")
+	sink := make([]byte, 1<<22)
+	sp.End()
+	if r.PeakHeapBytes() == 0 {
+		t.Error("span boundaries did not record a heap peak")
+	}
+	rec, ok := sp.Record()
+	if !ok {
+		t.Fatal("no span record")
+	}
+	if rec.HeapDeltaBytes < 1<<21 {
+		t.Errorf("heap delta = %d, want >= %d (4 MiB retained)", rec.HeapDeltaBytes, 1<<21)
+	}
+	_ = sink[0]
+	r.Reset()
+	if r.PeakHeapBytes() != 0 {
+		t.Errorf("peak heap after Reset = %d, want 0", r.PeakHeapBytes())
+	}
+}
+
+func TestSampleHeapAndPeakRSS(t *testing.T) {
+	SampleHeap()
+	snap := TakeSnapshot()
+	if snap.Gauges["obs.heap_live_bytes"] <= 0 || snap.Gauges["obs.heap_sys_bytes"] <= 0 {
+		t.Errorf("heap gauges not set: %v", snap.Gauges)
+	}
+	if PeakHeapBytes() == 0 {
+		t.Error("default registry has no heap peak after SampleHeap")
+	}
+	// PeakRSSBytes is best-effort: non-zero on Linux, 0 elsewhere.
+	if rss := PeakRSSBytes(); rss != 0 && rss < 1<<20 {
+		t.Errorf("peak RSS %d implausibly small", rss)
+	}
+}

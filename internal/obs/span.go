@@ -23,8 +23,13 @@ type SpanRecord struct {
 	// AllocBytes is the runtime.MemStats.TotalAlloc delta across the
 	// span: bytes allocated by this stage (and any concurrent work).
 	AllocBytes uint64
+	// HeapDeltaBytes is the live-heap (HeapAlloc) change across the span.
+	// Unlike AllocBytes it nets out garbage collected inside the span, so
+	// it can be negative (a stage that frees more than it retains).
+	HeapDeltaBytes int64
 
 	startAlloc uint64
+	startHeap  uint64
 	done       bool
 }
 
@@ -47,6 +52,7 @@ func (r *Registry) StartSpan(name string) Span {
 	}
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
+	r.noteHeap(ms.HeapAlloc)
 	now := time.Now().UnixNano()
 	r.spanMu.Lock()
 	if r.clock == 0 {
@@ -58,6 +64,7 @@ func (r *Registry) StartSpan(name string) Span {
 		Depth:      len(r.stack),
 		StartNs:    now - r.clock,
 		startAlloc: ms.TotalAlloc,
+		startHeap:  ms.HeapAlloc,
 	})
 	r.stack = append(r.stack, idx)
 	r.spanMu.Unlock()
@@ -74,6 +81,7 @@ func (s Span) End() {
 	runtime.ReadMemStats(&ms)
 	now := time.Now().UnixNano()
 	r := s.r
+	r.noteHeap(ms.HeapAlloc)
 	r.spanMu.Lock()
 	rec := &r.spans[s.idx-1]
 	if !rec.done {
@@ -82,6 +90,7 @@ func (s Span) End() {
 		if ms.TotalAlloc >= rec.startAlloc {
 			rec.AllocBytes = ms.TotalAlloc - rec.startAlloc
 		}
+		rec.HeapDeltaBytes = int64(ms.HeapAlloc) - int64(rec.startHeap)
 		// Pop this span (and anything left open above it) off the
 		// nesting stack so sibling spans report the right depth.
 		for i := len(r.stack) - 1; i >= 0; i-- {
@@ -121,15 +130,15 @@ func Spans() []SpanRecord { return Default.Spans() }
 // by nesting depth) with wall time and allocation deltas.
 func (r *Registry) WriteTrace(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "%-12s %-52s %12s %12s\n", "START", "SPAN", "WALL", "ALLOC")
+	fmt.Fprintf(bw, "%-12s %-52s %12s %12s %12s\n", "START", "SPAN", "WALL", "ALLOC", "HEAPΔ")
 	for _, sp := range r.Spans() {
 		name := strings.Repeat("  ", sp.Depth) + sp.Name
 		wall := "open"
 		if sp.done {
 			wall = fmtDuration(sp.WallNs)
 		}
-		fmt.Fprintf(bw, "%-12s %-52s %12s %12s\n",
-			fmtDuration(sp.StartNs), name, wall, fmtBytes(sp.AllocBytes))
+		fmt.Fprintf(bw, "%-12s %-52s %12s %12s %12s\n",
+			fmtDuration(sp.StartNs), name, wall, fmtBytes(sp.AllocBytes), fmtHeapDelta(sp.HeapDeltaBytes))
 	}
 	return bw.Flush()
 }
@@ -148,6 +157,13 @@ func fmtDuration(ns int64) string {
 	default:
 		return fmt.Sprintf("%dns", ns)
 	}
+}
+
+func fmtHeapDelta(d int64) string {
+	if d < 0 {
+		return "-" + fmtBytes(uint64(-d))
+	}
+	return fmtBytes(uint64(d))
 }
 
 func fmtBytes(b uint64) string {

@@ -7,15 +7,42 @@
 package par
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 )
 
+// WorkerPanic is re-panicked on the caller's goroutine when a worker
+// panics: it names the index range the failing worker owned and carries
+// the worker's stack, so the failure is debuggable instead of an
+// unrelated-stack process abort from a detached goroutine.
+type WorkerPanic struct {
+	Lo, Hi int // the failing worker's [lo, hi) span
+	Value  any // the original panic value
+	Stack  []byte
+}
+
+func (p *WorkerPanic) Error() string {
+	return fmt.Sprintf("par: worker for [%d,%d) panicked: %v\n%s", p.Lo, p.Hi, p.Value, p.Stack)
+}
+
+// Unwrap exposes the original panic value when it was an error.
+func (p *WorkerPanic) Unwrap() error {
+	if err, ok := p.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
 // Do runs fn over [0, n) split into contiguous [lo, hi) spans, one per
 // worker, and returns when every span is done. With one usable CPU (or
 // n <= 1) it calls fn(0, n) on the caller's goroutine, so the serial path
-// has zero synchronization overhead. fn must not panic across spans it
-// does not own; each invocation sees a disjoint range.
+// has zero synchronization overhead.
+//
+// A panic in fn does not kill the process from a detached goroutine:
+// workers recover, every span still runs to completion (or its own
+// panic), and the first panic in span order is re-raised on the caller's
+// goroutine as a *WorkerPanic annotating the failing [lo, hi) range.
 func Do(n int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -25,21 +52,34 @@ func Do(n int, fn func(lo, hi int)) {
 		workers = n
 	}
 	if workers <= 1 {
-		fn(0, n)
+		fn(0, n) // serial path: a panic already unwinds the caller's stack
 		return
 	}
 	size := (n + workers - 1) / workers
+	nSpans := (n + size - 1) / size
+	panics := make([]*WorkerPanic, nSpans)
 	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += size {
+	for lo, span := 0, 0; lo < n; lo, span = lo+size, span+1 {
 		hi := lo + size
 		if hi > n {
 			hi = n
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(lo, hi, span int) {
 			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					buf := make([]byte, 64<<10)
+					panics[span] = &WorkerPanic{Lo: lo, Hi: hi, Value: v, Stack: buf[:runtime.Stack(buf, false)]}
+				}
+			}()
 			fn(lo, hi)
-		}(lo, hi)
+		}(lo, hi, span)
 	}
 	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
 }

@@ -1,0 +1,83 @@
+package par
+
+import (
+	"errors"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoCoversRangeDisjointly(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100, 1023} {
+		hits := make([]int32, n)
+		Do(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestDoPanicAnnotatedWithRange(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		// The serial path panics directly on the caller's goroutine, which
+		// is already debuggable; the recovery machinery is parallel-only.
+		t.Skip("needs >= 2 procs to exercise worker goroutines")
+	}
+	sentinel := errors.New("boom at 512")
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("worker panic not re-raised on caller goroutine")
+		}
+		wp, ok := v.(*WorkerPanic)
+		if !ok {
+			t.Fatalf("recovered %T, want *WorkerPanic", v)
+		}
+		if !(wp.Lo <= 512 && 512 < wp.Hi) {
+			t.Errorf("annotated range [%d,%d) does not contain the failing index 512", wp.Lo, wp.Hi)
+		}
+		if !errors.Is(wp, sentinel) {
+			t.Error("WorkerPanic does not unwrap to the original error")
+		}
+		if !strings.Contains(wp.Error(), "boom at 512") || !strings.Contains(wp.Error(), "goroutine") {
+			t.Errorf("panic message missing value or stack:\n%s", wp.Error())
+		}
+	}()
+	Do(1024, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if i == 512 {
+				panic(sentinel)
+			}
+		}
+	})
+}
+
+func TestDoPanicDoesNotAbortSiblings(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("needs >= 2 procs to exercise worker goroutines")
+	}
+	var visited atomic.Int64
+	func() {
+		defer func() { recover() }()
+		Do(1000, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				visited.Add(1)
+			}
+			if lo == 0 {
+				panic("first span dies")
+			}
+		})
+	}()
+	// Every index was still processed: one span's panic never cancels the
+	// others, it only surfaces after the barrier.
+	if visited.Load() != 1000 {
+		t.Errorf("visited %d of 1000 indices", visited.Load())
+	}
+}

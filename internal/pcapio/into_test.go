@@ -1,0 +1,144 @@
+package pcapio
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+	"time"
+
+	"anycastctx/internal/ipaddr"
+)
+
+// The *Into serializers reuse caller buffers on the hot capture-emission
+// path. Checksums sum over reserved header bytes, so any stale content
+// surviving reuse would corrupt output; these tests byte-compare reused
+// buffers against fresh allocations.
+
+func TestSerializeIntoMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	// Dirty scratch buffer, deliberately larger than any packet below and
+	// filled with junk so reuse without zeroing would show.
+	scratch := make([]byte, 4096)
+	for i := range scratch {
+		scratch[i] = 0xAA
+	}
+	for trial := 0; trial < 200; trial++ {
+		payload := make([]byte, rng.Intn(300))
+		for i := range payload {
+			payload[i] = byte(rng.Int())
+		}
+		ip := &IPv4{
+			Src: ipaddr.Addr(rng.Uint32()),
+			Dst: ipaddr.Addr(rng.Uint32()),
+			ID:  uint16(rng.Int()),
+			TTL: uint8(1 + rng.Intn(255)),
+		}
+		if trial%2 == 0 {
+			udp := &UDP{SrcPort: uint16(rng.Int()), DstPort: 53}
+			fresh, err := SerializeUDP(ip, udp, payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reused, err := SerializeUDPInto(scratch, ip, udp, payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(fresh, reused) {
+				t.Fatalf("trial %d: UDP reuse differs from fresh", trial)
+			}
+			scratch = reused
+		} else {
+			tcp := &TCP{
+				SrcPort: uint16(rng.Int()), DstPort: 53,
+				Seq: rng.Uint32(), Ack: rng.Uint32(),
+				Flags: uint8(rng.Intn(32)),
+			}
+			fresh, err := SerializeTCP(ip, tcp, payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reused, err := SerializeTCPInto(scratch, ip, tcp, payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(fresh, reused) {
+				t.Fatalf("trial %d: TCP reuse differs from fresh", trial)
+			}
+			scratch = reused
+		}
+	}
+}
+
+func TestSerializeIntoGrowsSmallBuffer(t *testing.T) {
+	ip := &IPv4{Src: 0x01020304, Dst: 0x05060708}
+	payload := bytes.Repeat([]byte{0x42}, 100)
+	small := make([]byte, 0, 8)
+	got, err := SerializeUDPInto(small, ip, &UDP{SrcPort: 1000, DstPort: 53}, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := SerializeUDP(ip, &UDP{SrcPort: 1000, DstPort: 53}, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("undersized buffer path differs from fresh")
+	}
+}
+
+// TestWriterPooledReuse drives several Writer lifecycles (the bufio layer
+// is pooled across them) and checks each file round-trips independently.
+func TestWriterPooledReuse(t *testing.T) {
+	for round := 0; round < 4; round++ {
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkt, err := SerializeUDP(&IPv4{Src: 1, Dst: 2}, &UDP{SrcPort: uint16(round + 1), DstPort: 53}, []byte{byte(round)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := time.Unix(1600000000+int64(round), 0).UTC()
+		if err := w.WritePacket(ts, pkt); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(rec.Data, pkt) || !rec.Time.Equal(ts) {
+			t.Fatalf("round %d: packet did not round-trip through pooled writer", round)
+		}
+		if _, err := r.Next(); err != io.EOF {
+			t.Fatalf("round %d: want EOF, got %v", round, err)
+		}
+	}
+}
+
+// TestWriterCloseIdempotent: Close after Close must not double-return the
+// pooled bufio writer (which would corrupt a concurrent Writer).
+func TestWriterCloseIdempotent(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WritePacket(time.Unix(1600000000, 0), []byte{1, 2, 3}); err == nil {
+		t.Fatal("WritePacket after Close succeeded")
+	}
+}

@@ -182,14 +182,37 @@ func pseudoHeaderSum(src, dst ipaddr.Addr, proto uint8, length int) uint32 {
 	return sum
 }
 
+// serializeBuf returns a zeroed length-total slice, reusing buf's storage
+// when its capacity suffices. Zeroing matters: the header writers below
+// leave reserved fields (TOS, fragment, checksum-before-fill) untouched
+// and the checksums sum over them, so stale bytes would corrupt output.
+func serializeBuf(buf []byte, total int) []byte {
+	var b []byte
+	if cap(buf) >= total {
+		b = buf[:total]
+		clear(b)
+	} else {
+		b = make([]byte, total)
+	}
+	return b
+}
+
 // SerializeUDP builds a full IPv4+UDP packet with valid checksums.
 func SerializeUDP(ip *IPv4, udp *UDP, payload []byte) ([]byte, error) {
+	return SerializeUDPInto(nil, ip, udp, payload)
+}
+
+// SerializeUDPInto is SerializeUDP writing into buf's storage (ignoring
+// its contents) when capacity allows, so hot emitters can reuse one
+// buffer per packet instead of allocating. The returned slice may alias
+// buf.
+func SerializeUDPInto(buf []byte, ip *IPv4, udp *UDP, payload []byte) ([]byte, error) {
 	udpLen := 8 + len(payload)
 	total := 20 + udpLen
 	if total > 0xFFFF {
 		return nil, fmt.Errorf("pcapio: packet too large (%d bytes)", total)
 	}
-	b := make([]byte, total)
+	b := serializeBuf(buf, total)
 	writeIPv4Header(b, ip, ProtoUDP, total)
 
 	u := b[20:]
@@ -208,12 +231,18 @@ func SerializeUDP(ip *IPv4, udp *UDP, payload []byte) ([]byte, error) {
 // SerializeTCP builds a full IPv4+TCP packet (20-byte TCP header, no
 // options) with valid checksums.
 func SerializeTCP(ip *IPv4, tcp *TCP, payload []byte) ([]byte, error) {
+	return SerializeTCPInto(nil, ip, tcp, payload)
+}
+
+// SerializeTCPInto is SerializeTCP writing into buf's storage (ignoring
+// its contents) when capacity allows. The returned slice may alias buf.
+func SerializeTCPInto(buf []byte, ip *IPv4, tcp *TCP, payload []byte) ([]byte, error) {
 	tcpLen := 20 + len(payload)
 	total := 20 + tcpLen
 	if total > 0xFFFF {
 		return nil, fmt.Errorf("pcapio: packet too large (%d bytes)", total)
 	}
-	b := make([]byte, total)
+	b := serializeBuf(buf, total)
 	writeIPv4Header(b, ip, ProtoTCP, total)
 
 	s := b[20:]

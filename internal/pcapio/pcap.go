@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 	"time"
 
 	"anycastctx/internal/obs"
@@ -46,9 +47,16 @@ type Writer struct {
 	closed bool
 }
 
+// bufwPool recycles the 64 KiB bufio buffers between captures: the
+// experiment runner opens one Writer per emitted site capture, and with
+// -j parallelism those buffers otherwise accumulate as per-capture
+// garbage.
+var bufwPool = sync.Pool{New: func() any { return bufio.NewWriterSize(io.Discard, 1<<16) }}
+
 // NewWriter writes the pcap global header to w and returns a Writer.
 func NewWriter(w io.Writer) (*Writer, error) {
-	bw := bufio.NewWriterSize(w, 1<<16)
+	bw := bufwPool.Get().(*bufio.Writer)
+	bw.Reset(w)
 	var hdr [fileHeaderLen]byte
 	binary.LittleEndian.PutUint32(hdr[0:], magicMicros)
 	binary.LittleEndian.PutUint16(hdr[4:], versionMajor)
@@ -57,6 +65,8 @@ func NewWriter(w io.Writer) (*Writer, error) {
 	binary.LittleEndian.PutUint32(hdr[16:], maxSnapLen)
 	binary.LittleEndian.PutUint32(hdr[20:], linkTypeRaw)
 	if _, err := bw.Write(hdr[:]); err != nil {
+		bw.Reset(io.Discard)
+		bufwPool.Put(bw)
 		return nil, fmt.Errorf("pcapio: writing file header: %w", err)
 	}
 	return &Writer{w: bw}, nil
@@ -98,15 +108,19 @@ func (w *Writer) Flush() error {
 	return w.w.Flush()
 }
 
-// Close flushes buffered data and marks the writer unusable. Closing an
-// already-closed writer is a no-op; it does not close the underlying
-// io.Writer.
+// Close flushes buffered data and marks the writer unusable, returning
+// its buffer to the pool. Closing an already-closed writer is a no-op; it
+// does not close the underlying io.Writer.
 func (w *Writer) Close() error {
 	if w.closed {
 		return nil
 	}
 	w.closed = true
-	return w.w.Flush()
+	err := w.w.Flush()
+	w.w.Reset(io.Discard) // drop the reference to the caller's writer
+	bufwPool.Put(w.w)
+	w.w = nil
+	return err
 }
 
 // Record is one captured packet.

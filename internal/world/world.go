@@ -89,17 +89,37 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// scaleWarnOnce gates the one-time warning for an unusable
+// ANYCASTCTX_TEST_SCALE value, so a bad CI variable is visible without
+// spamming every world build.
+var scaleWarnOnce sync.Once
+
+// ScaleFromEnv returns def, overridden by the ANYCASTCTX_TEST_SCALE
+// environment variable when it parses to a value in (0, 1]. It is the one
+// home of that parsing rule (tests, benchmarks, and CI all shrink worlds
+// through it). An unparseable or out-of-range value falls back to def and
+// warns once on stderr instead of being silently ignored.
+func ScaleFromEnv(def float64) float64 {
+	s := os.Getenv("ANYCASTCTX_TEST_SCALE")
+	if s == "" {
+		return def
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v <= 0 || v > 1 {
+		scaleWarnOnce.Do(func() {
+			fmt.Fprintf(os.Stderr,
+				"world: ignoring ANYCASTCTX_TEST_SCALE=%q (want a number in (0, 1]); using %g\n", s, def)
+		})
+		return def
+	}
+	return v
+}
+
 // TestScale returns a configuration small enough for unit tests. The
 // ANYCASTCTX_TEST_SCALE environment variable overrides the scale (CI uses
-// it to shrink worlds further); values outside (0, 1] are ignored.
+// it to shrink worlds further); see ScaleFromEnv.
 func TestScale(seed int64) Config {
-	scale := 0.12
-	if s := os.Getenv("ANYCASTCTX_TEST_SCALE"); s != "" {
-		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 && v <= 1 {
-			scale = v
-		}
-	}
-	return Config{Seed: seed, Scale: scale}
+	return Config{Seed: seed, Scale: ScaleFromEnv(0.12)}
 }
 
 // World is the fully built environment.

@@ -98,12 +98,37 @@ func TestDeterministicBuild(t *testing.T) {
 			t.Fatal("recursive keys differ")
 		}
 	}
-	for li := range w1.Campaign.PerLetter {
-		for ri := range w1.Campaign.PerLetter[li] {
-			a, b := w1.Campaign.PerLetter[li][ri], w2.Campaign.PerLetter[li][ri]
+	for li := range w1.Campaign.Letters {
+		for ri := 0; ri < w1.Campaign.NumRecursives(); ri++ {
+			a, b := w1.Campaign.At(li, ri), w2.Campaign.At(li, ri)
 			if a.Reachable != b.Reachable || a.BaseRTTMs != b.BaseRTTMs || a.LetterWeight != b.LetterWeight {
 				t.Fatalf("assignment differs at letter %d rec %d", li, ri)
 			}
 		}
+	}
+}
+
+func TestScaleFromEnv(t *testing.T) {
+	cases := []struct {
+		env  string
+		want float64
+	}{
+		{"", 0.3},       // unset: default
+		{"0.05", 0.05},  // valid override
+		{"1", 1},        // boundary included
+		{"0", 0.3},      // out of range: ignored with a warning
+		{"1.5", 0.3},    // out of range
+		{"-2", 0.3},     // out of range
+		{"banana", 0.3}, // unparseable
+	}
+	for _, tc := range cases {
+		t.Setenv("ANYCASTCTX_TEST_SCALE", tc.env)
+		if got := ScaleFromEnv(0.3); got != tc.want {
+			t.Errorf("ScaleFromEnv(0.3) with env %q = %v, want %v", tc.env, got, tc.want)
+		}
+	}
+	t.Setenv("ANYCASTCTX_TEST_SCALE", "0.07")
+	if cfg := TestScale(5); cfg.Scale != 0.07 || cfg.Seed != 5 {
+		t.Errorf("TestScale(5) = %+v, want scale 0.07 seed 5", cfg)
 	}
 }

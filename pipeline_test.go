@@ -26,11 +26,11 @@ func TestCapturePipelineEndToEnd(t *testing.T) {
 	}
 	load := map[int]float64{}
 	for ri := range w.Pop.Recursives {
-		a := w.Campaign.PerLetter[li][ri]
+		a := w.Campaign.At(li, ri)
 		if !a.Reachable {
 			continue
 		}
-		for _, s := range a.Sites {
+		for _, s := range a.Sites() {
 			load[s.SiteID] += w.Rates[ri].RootTotalPerDay() * a.LetterWeight * s.Frac
 		}
 	}
@@ -82,9 +82,9 @@ func TestCapturePipelineEndToEnd(t *testing.T) {
 				break
 			}
 		}
-		a := w.Campaign.PerLetter[li][ri]
+		a := w.Campaign.At(li, ri)
 		found := false
-		for _, s := range a.Sites {
+		for _, s := range a.Sites() {
 			if s.SiteID == busiest {
 				found = true
 			}

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Benchmark-trajectory harness: runs the root-package benchmark suite
 # (one benchmark per paper artifact) with -benchmem and writes a
-# machine-readable BENCH_<date>.json so future PRs can diff ns/op and
-# allocs/op per figure against the committed baseline.
+# machine-readable BENCH_<date>.json so future PRs can diff ns/op,
+# allocs/op, and peak-RSS per figure against the committed baseline.
 #
 # Usage:
 #   scripts/bench.sh                         # full suite, count=3, scale 0.2

@@ -15,7 +15,8 @@ Output schema (one file per recorded run, committed so later PRs can diff):
       "ns_per_op": [...],        # one entry per -count repetition
       "bytes_per_op": [...],
       "allocs_per_op": [...],
-      "output_bytes": [...]      # rendered experiment output size (ReportMetric)
+      "output_bytes": [...],     # rendered experiment output size (ReportMetric)
+      "peak_rss_bytes": [...]    # process VmHWM sampled after the run (linux)
     },
     ...
   }
@@ -39,6 +40,8 @@ def main() -> None:
         "B/op": "bytes_per_op",
         "allocs/op": "allocs_per_op",
         "output_bytes": "output_bytes",
+        "peak_rss_bytes": "peak_rss_bytes",
+        "retained_bytes": "retained_bytes",
     }
 
     benchmarks: dict[str, dict[str, list[float]]] = {}
