@@ -7,6 +7,7 @@ package anycastctx
 // the shared world stays immutable and experiment order never matters.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -79,7 +80,7 @@ func ablGraph(w *World, offset int64) (*topology.Graph, *rand.Rand, error) {
 	return g, rng, err
 }
 
-func runAblSize(w *World, _ *rand.Rand) (Result, error) {
+func runAblSize(ctx context.Context, w *World, _ *rand.Rand) (Result, error) {
 	g, rng, err := ablGraph(w, 1)
 	if err != nil {
 		return Result{}, err
@@ -125,7 +126,7 @@ func runAblSize(w *World, _ *rand.Rand) (Result, error) {
 	}, nil
 }
 
-func runAblPeering(w *World, _ *rand.Rand) (Result, error) {
+func runAblPeering(ctx context.Context, w *World, _ *rand.Rand) (Result, error) {
 	model := latency.DefaultModel()
 	t := report.Table{
 		Title:   "Ablation: CDN peering breadth vs direct-path share and inflation",
@@ -140,14 +141,14 @@ func runAblPeering(w *World, _ *rand.Rand) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		c, err := cdn.Build(g, model, cdn.Config{PeerBase: base}, rng)
+		c, err := cdn.Build(ctx, g, model, cdn.Config{PeerBase: base}, rng)
 		if err != nil {
 			return Result{}, err
 		}
 		big := c.Rings[len(c.Rings)-1]
 		// Resolve all routes across cores up front; the loop below then
 		// reads the cache in deterministic eyeball order.
-		big.Deployment.WarmRoutes(g.Eyeballs())
+		big.Deployment.WarmRoutesCtx(ctx, g.Eyeballs())
 		var direct, total float64
 		var rtts []stats.WeightedValue
 		for _, e := range g.Eyeballs() {
@@ -163,7 +164,7 @@ func runAblPeering(w *World, _ *rand.Rand) (Result, error) {
 			rtts = append(rtts, stats.WeightedValue{Value: model.BaseRTTMs(e, rt), Weight: wgt})
 		}
 		locs := cdn.Locations(g, 1e9)
-		logs := c.ServerSideLogs(locs, rng)
+		logs := c.ServerSideLogsCtx(ctx, locs, rng)
 		giObs := core.CDNGeoInflation(logs, big)
 		cdf, err := stats.NewCDF(rtts)
 		if err != nil {
@@ -189,7 +190,7 @@ func runAblPeering(w *World, _ *rand.Rand) (Result, error) {
 	}, nil
 }
 
-func runAblRouting(w *World, _ *rand.Rand) (Result, error) {
+func runAblRouting(ctx context.Context, w *World, _ *rand.Rand) (Result, error) {
 	g, rng, err := ablGraph(w, 20)
 	if err != nil {
 		return Result{}, err
@@ -231,7 +232,7 @@ func runAblRouting(w *World, _ *rand.Rand) (Result, error) {
 	}, nil
 }
 
-func runAblTau(w *World, _ *rand.Rand) (Result, error) {
+func runAblTau(ctx context.Context, w *World, _ *rand.Rand) (Result, error) {
 	g, rng, err := ablGraph(w, 30)
 	if err != nil {
 		return Result{}, err
@@ -253,12 +254,12 @@ func runAblTau(w *World, _ *rand.Rand) (Result, error) {
 	}
 	var sharp, flat float64
 	for i, tau := range []float64{5, 25, 120, 100000} {
-		camp, err := ditl.Build(g, letters, pop, zone, rates, model, ditl.Config{TauMs: tau}, rng)
+		camp, err := ditl.Build(ctx, g, letters, pop, zone, rates, model, ditl.Config{TauMs: tau}, rng)
 		if err != nil {
 			return Result{}, err
 		}
 		cdnCounts := users.BuildCDNCounts(pop, users.CDNConfig{}, rand.New(rand.NewSource(w.Cfg.Seed+int64(i))))
-		j := camp.JoinCDN(cdnCounts, false)
+		j := camp.JoinCDNCtx(ctx, cdnCounts, false)
 		cdf, err := stats.NewCDF(core.GeoInflationAllRoots(camp, j))
 		if err != nil {
 			return Result{}, err
@@ -284,7 +285,7 @@ func runAblTau(w *World, _ *rand.Rand) (Result, error) {
 	}, nil
 }
 
-func runAblLocalRoot(w *World, rng *rand.Rand) (Result, error) {
+func runAblLocalRoot(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
 	zone := w.Zone
 	run := func(localRoot bool, seed int64) (dnssim.Counters, error) {
 		r, err := dnssim.NewResolver(zone,
@@ -296,7 +297,7 @@ func runAblLocalRoot(w *World, rng *rand.Rand) (Result, error) {
 			return dnssim.Counters{}, err
 		}
 		client := dnssim.NewClient(zone, dnssim.ClientConfig{Users: 150}, rand.New(rand.NewSource(seed+1)))
-		client.Run(r, 2, nil)
+		client.RunCtx(ctx, r, 2, nil)
 		return r.Counters(), nil
 	}
 	normal, err := run(false, w.Cfg.Seed*17)

@@ -18,6 +18,8 @@
 package anycastctx
 
 import (
+	"context"
+
 	"anycastctx/internal/world"
 )
 
@@ -37,7 +39,14 @@ const (
 // BuildWorld constructs the simulated measurement environment. Equal
 // configurations produce byte-identical worlds.
 func BuildWorld(cfg Config) (*World, error) {
-	return world.Build(cfg)
+	return world.Build(context.Background(), cfg)
+}
+
+// BuildWorldCtx is BuildWorld with the caller's span context: when tracing
+// is enabled the "world.build" phase tree is parented under the caller's
+// span. The built world is byte-identical to BuildWorld's.
+func BuildWorldCtx(ctx context.Context, cfg Config) (*World, error) {
+	return world.Build(ctx, cfg)
 }
 
 // TestScaleConfig returns a configuration small enough for fast tests and

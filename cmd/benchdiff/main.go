@@ -1,0 +1,312 @@
+// Command benchdiff converts `go test -bench` output into the repo's
+// BENCH_<date>.json trajectory format and diffs two such files as a CI
+// regression gate, replacing the Python helper (scripts/benchjson.py) so
+// the bench pipeline needs only the Go toolchain.
+//
+// Usage:
+//
+//	benchdiff -convert bench.txt -scale 0.2 -count 3 > BENCH_2026-08-09.json
+//	benchdiff old.json new.json
+//	benchdiff -max-ns 15 -max-bytes 10 old.json new.json
+//
+// Diff mode prints a markdown delta table (per-benchmark means) and exits
+// 1 when any gated metric — ns/op, B/op, peak RSS, retained bytes —
+// regresses past its threshold, 0 otherwise, 2 on usage errors. New and
+// removed benchmarks are reported but never fail the gate.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// benchFile is the BENCH_<date>.json schema: per-benchmark metric arrays,
+// one entry per -count repetition.
+type benchFile struct {
+	Date       string                          `json:"date"`
+	Scale      float64                         `json:"scale"`
+	Count      int                             `json:"count"`
+	Benchmarks map[string]map[string][]float64 `json:"benchmarks"`
+}
+
+// gates lists the metrics the diff gate enforces, in table order, with the
+// flag that sets each threshold.
+var gates = []struct {
+	key   string // metric key in benchFile
+	label string // table column header
+	flag  string
+}{
+	{key: "ns_per_op", label: "ns/op", flag: "max-ns"},
+	{key: "bytes_per_op", label: "B/op", flag: "max-bytes"},
+	{key: "peak_rss_bytes", label: "peak RSS", flag: "max-rss"},
+	{key: "retained_bytes", label: "retained", flag: "max-retained"},
+}
+
+func main() {
+	var (
+		convert  = flag.String("convert", "", "convert this `go test -bench` output file to BENCH json on stdout")
+		scale    = flag.Float64("scale", 0, "world scale to record (convert mode)")
+		count    = flag.Int("count", 0, "-count repetitions to record (convert mode)")
+		date     = flag.String("date", "", "date to record, YYYY-MM-DD (convert mode; default today)")
+		maxNs    = flag.Float64("max-ns", 20, "max ns/op regression percent before failing")
+		maxBytes = flag.Float64("max-bytes", 20, "max B/op regression percent before failing")
+		maxRSS   = flag.Float64("max-rss", 30, "max peak-RSS regression percent before failing")
+		maxRet   = flag.Float64("max-retained", 30, "max retained-bytes regression percent before failing")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: benchdiff [flags] old.json new.json\n       benchdiff -convert bench.txt -scale S -count N\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *convert != "" {
+		if err := runConvert(os.Stdout, *convert, *scale, *count, *date); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		return
+	}
+
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldFile, err := loadBenchFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newFile, err := loadBenchFile(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	thresholds := map[string]float64{
+		"ns_per_op":      *maxNs,
+		"bytes_per_op":   *maxBytes,
+		"peak_rss_bytes": *maxRSS,
+		"retained_bytes": *maxRet,
+	}
+	rows := diff(oldFile, newFile, thresholds)
+	writeTable(os.Stdout, oldFile, newFile, rows)
+	for _, r := range rows {
+		if len(r.regressions) > 0 {
+			os.Exit(1)
+		}
+	}
+}
+
+// benchLine matches one `go test -bench` result line; the first capture is
+// the benchmark name without the -GOMAXPROCS suffix, the second the metric
+// list after the iteration count.
+var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+// benchMetric matches one "value unit" pair in a result line's tail.
+var benchMetric = regexp.MustCompile(`([\d.e+]+)\s+(\S+)`)
+
+// metricKeys maps `go test -bench` units to schema keys; unknown units
+// (like MB/s) are dropped.
+var metricKeys = map[string]string{
+	"ns/op":          "ns_per_op",
+	"B/op":           "bytes_per_op",
+	"allocs/op":      "allocs_per_op",
+	"output_bytes":   "output_bytes",
+	"peak_rss_bytes": "peak_rss_bytes",
+	"retained_bytes": "retained_bytes",
+}
+
+// parseBenchOutput extracts per-benchmark metric arrays from `go test
+// -bench` text, preserving one entry per repetition in input order.
+func parseBenchOutput(r io.Reader) (map[string]map[string][]float64, error) {
+	out := map[string]map[string][]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		name, rest := m[1], m[2]
+		entry := out[name]
+		if entry == nil {
+			entry = map[string][]float64{}
+			out[name] = entry
+		}
+		for _, pair := range benchMetric.FindAllStringSubmatch(rest, -1) {
+			key, ok := metricKeys[pair[2]]
+			if !ok {
+				continue
+			}
+			v, err := strconv.ParseFloat(pair[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %q: %w", sc.Text(), err)
+			}
+			entry[key] = append(entry[key], v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// runConvert implements -convert: bench text in, BENCH json out.
+func runConvert(w io.Writer, path string, scale float64, count int, date string) error {
+	if scale <= 0 || count <= 0 {
+		return fmt.Errorf("convert mode needs -scale > 0 and -count > 0")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	benchmarks, err := parseBenchOutput(f)
+	if err != nil {
+		return err
+	}
+	if len(benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found in %s", path)
+	}
+	if date == "" {
+		date = time.Now().Format("2006-01-02")
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(benchFile{Date: date, Scale: scale, Count: count, Benchmarks: benchmarks})
+}
+
+func loadBenchFile(path string) (benchFile, error) {
+	var bf benchFile
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return bf, err
+	}
+	if err := json.Unmarshal(b, &bf); err != nil {
+		return bf, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(bf.Benchmarks) == 0 {
+		return bf, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return bf, nil
+}
+
+// diffRow is one benchmark's comparison: per-gated-metric percent deltas
+// plus which of them regressed past threshold. added/removed mark
+// benchmarks present in only one file.
+type diffRow struct {
+	name        string
+	added       bool
+	removed     bool
+	deltas      map[string]float64 // metric key -> percent change, NaN when not comparable
+	regressions []string           // gated metric labels past threshold
+}
+
+func mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, v := range vs {
+		s += v
+	}
+	return s / float64(len(vs))
+}
+
+// pctChange returns the percent change from old to new; NaN when either
+// side is missing or old is zero.
+func pctChange(oldVs, newVs []float64) float64 {
+	o, n := mean(oldVs), mean(newVs)
+	if math.IsNaN(o) || math.IsNaN(n) || o == 0 {
+		return math.NaN()
+	}
+	return (n - o) / o * 100
+}
+
+// diff compares every benchmark in either file, gating shared benchmarks
+// against thresholds (percent regression per metric).
+func diff(oldFile, newFile benchFile, thresholds map[string]float64) []diffRow {
+	names := map[string]bool{}
+	for n := range oldFile.Benchmarks {
+		names[n] = true
+	}
+	for n := range newFile.Benchmarks {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	var rows []diffRow
+	for _, name := range sorted {
+		o, inOld := oldFile.Benchmarks[name]
+		n, inNew := newFile.Benchmarks[name]
+		row := diffRow{name: name, added: !inOld, removed: !inNew, deltas: map[string]float64{}}
+		for _, g := range gates {
+			if !inOld || !inNew {
+				row.deltas[g.key] = math.NaN()
+				continue
+			}
+			pct := pctChange(o[g.key], n[g.key])
+			row.deltas[g.key] = pct
+			if !math.IsNaN(pct) && pct > thresholds[g.key] {
+				row.regressions = append(row.regressions, g.label)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// writeTable renders the markdown delta table and a one-line verdict.
+func writeTable(w io.Writer, oldFile, newFile benchFile, rows []diffRow) {
+	fmt.Fprintf(w, "Benchmark delta: %s (scale %g, count %d) -> %s (scale %g, count %d)\n\n",
+		oldFile.Date, oldFile.Scale, oldFile.Count, newFile.Date, newFile.Scale, newFile.Count)
+	if oldFile.Scale != newFile.Scale {
+		fmt.Fprintf(w, "WARNING: scales differ; deltas compare different world sizes\n\n")
+	}
+	fmt.Fprintf(w, "| benchmark | ns/op | B/op | peak RSS | retained | status |\n")
+	fmt.Fprintf(w, "|---|---:|---:|---:|---:|---|\n")
+	regressed := 0
+	for _, r := range rows {
+		status := "ok"
+		switch {
+		case r.added:
+			status = "added"
+		case r.removed:
+			status = "removed"
+		case len(r.regressions) > 0:
+			status = "REGRESSION: " + strings.Join(r.regressions, ", ")
+			regressed++
+		}
+		fmt.Fprintf(w, "| %s | %s | %s | %s | %s | %s |\n", r.name,
+			fmtPct(r.deltas["ns_per_op"]), fmtPct(r.deltas["bytes_per_op"]),
+			fmtPct(r.deltas["peak_rss_bytes"]), fmtPct(r.deltas["retained_bytes"]), status)
+	}
+	fmt.Fprintln(w)
+	if regressed > 0 {
+		fmt.Fprintf(w, "FAIL: %d benchmark(s) regressed past thresholds\n", regressed)
+	} else {
+		fmt.Fprintf(w, "PASS: no benchmark regressed past thresholds\n")
+	}
+}
+
+// fmtPct renders a percent delta cell; "-" when not comparable.
+func fmtPct(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%+.1f%%", v)
+}

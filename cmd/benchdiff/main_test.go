@@ -1,0 +1,175 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: anycastctx
+cpu: whatever
+BenchmarkFig2aGeoInflation-8   	       2	 512000000 ns/op	 42000000 B/op	  120000 allocs/op	     950 output_bytes	 98000000 peak_rss_bytes
+BenchmarkFig2aGeoInflation-8   	       2	 518000000 ns/op	 42100000 B/op	  120001 allocs/op	     950 output_bytes	 98000000 peak_rss_bytes
+BenchmarkWorldBuild-8          	       1	1000000000 ns/op	500000000 B/op	 3000000 allocs/op	310000000 peak_rss_bytes	120000000 retained_bytes
+PASS
+ok  	anycastctx	12.3s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	got, err := parseBenchOutput(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %v", len(got), got)
+	}
+	fig := got["Fig2aGeoInflation"]
+	if fig == nil {
+		t.Fatal("Fig2aGeoInflation missing (GOMAXPROCS suffix not stripped?)")
+	}
+	if want := []float64{512000000, 518000000}; len(fig["ns_per_op"]) != 2 ||
+		fig["ns_per_op"][0] != want[0] || fig["ns_per_op"][1] != want[1] {
+		t.Errorf("ns_per_op = %v, want %v", fig["ns_per_op"], want)
+	}
+	if fig["output_bytes"][0] != 950 {
+		t.Errorf("output_bytes = %v", fig["output_bytes"])
+	}
+	wb := got["WorldBuild"]
+	if wb["retained_bytes"][0] != 120000000 {
+		t.Errorf("retained_bytes = %v", wb["retained_bytes"])
+	}
+}
+
+func TestConvertRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	txt := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(txt, []byte(sampleBenchOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := runConvert(&buf, txt, 0.2, 2, "2026-08-09"); err != nil {
+		t.Fatal(err)
+	}
+	var bf benchFile
+	if err := json.Unmarshal(buf.Bytes(), &bf); err != nil {
+		t.Fatal(err)
+	}
+	if bf.Date != "2026-08-09" || bf.Scale != 0.2 || bf.Count != 2 {
+		t.Errorf("header = %+v", bf)
+	}
+	if len(bf.Benchmarks) != 2 {
+		t.Errorf("benchmarks = %v", bf.Benchmarks)
+	}
+}
+
+func TestConvertRejectsEmptyAndBadArgs(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.txt")
+	if err := os.WriteFile(empty, []byte("no benchmarks here\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runConvert(&bytes.Buffer{}, empty, 0.2, 1, ""); err == nil {
+		t.Error("convert of benchless file succeeded")
+	}
+	if err := runConvert(&bytes.Buffer{}, empty, 0, 1, ""); err == nil {
+		t.Error("convert with zero scale succeeded")
+	}
+}
+
+func bf(benches map[string]map[string][]float64) benchFile {
+	return benchFile{Date: "2026-01-01", Scale: 0.2, Count: 1, Benchmarks: benches}
+}
+
+func TestDiffFlagsRegressionsPastThreshold(t *testing.T) {
+	old := bf(map[string]map[string][]float64{
+		"A": {"ns_per_op": {100}, "bytes_per_op": {1000}, "peak_rss_bytes": {1e6}},
+		"B": {"ns_per_op": {100}, "bytes_per_op": {1000}},
+		"C": {"ns_per_op": {100}},
+	})
+	niu := bf(map[string]map[string][]float64{
+		"A": {"ns_per_op": {150}, "bytes_per_op": {1010}, "peak_rss_bytes": {1e6}}, // ns +50%
+		"B": {"ns_per_op": {105}, "bytes_per_op": {990}},                           // within
+		"D": {"ns_per_op": {1}},                                                    // added
+	})
+	thresholds := map[string]float64{"ns_per_op": 20, "bytes_per_op": 20, "peak_rss_bytes": 30, "retained_bytes": 30}
+	rows := diff(old, niu, thresholds)
+	byName := map[string]diffRow{}
+	for _, r := range rows {
+		byName[r.name] = r
+	}
+	if len(byName["A"].regressions) != 1 || byName["A"].regressions[0] != "ns/op" {
+		t.Errorf("A regressions = %v, want [ns/op]", byName["A"].regressions)
+	}
+	if len(byName["B"].regressions) != 0 {
+		t.Errorf("B regressions = %v, want none", byName["B"].regressions)
+	}
+	if !byName["C"].removed || !byName["D"].added {
+		t.Errorf("C removed=%v D added=%v", byName["C"].removed, byName["D"].added)
+	}
+	if len(byName["C"].regressions) != 0 || len(byName["D"].regressions) != 0 {
+		t.Error("added/removed benchmarks must not gate")
+	}
+	// Missing metric on both sides: not comparable, no gate.
+	if !math.IsNaN(byName["A"].deltas["retained_bytes"]) {
+		t.Errorf("retained delta = %v, want NaN", byName["A"].deltas["retained_bytes"])
+	}
+	// Added/removed rows have no comparable deltas; they must render as
+	// "-" cells, not "+0.0%".
+	if !math.IsNaN(byName["C"].deltas["ns_per_op"]) || !math.IsNaN(byName["D"].deltas["ns_per_op"]) {
+		t.Errorf("added/removed ns/op deltas = %v, %v, want NaN",
+			byName["C"].deltas["ns_per_op"], byName["D"].deltas["ns_per_op"])
+	}
+
+	var tbl bytes.Buffer
+	writeTable(&tbl, old, niu, rows)
+	out := tbl.String()
+	for _, want := range []string{"| A |", "+50.0%", "REGRESSION: ns/op", "added", "removed", "FAIL: 1 benchmark"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDiffPassesWithinThresholds(t *testing.T) {
+	old := bf(map[string]map[string][]float64{"A": {"ns_per_op": {100, 110}}})
+	niu := bf(map[string]map[string][]float64{"A": {"ns_per_op": {108, 112}}})
+	rows := diff(old, niu, map[string]float64{"ns_per_op": 20})
+	if len(rows[0].regressions) != 0 {
+		t.Errorf("regressions = %v", rows[0].regressions)
+	}
+	var tbl bytes.Buffer
+	writeTable(&tbl, old, niu, rows)
+	if !strings.Contains(tbl.String(), "PASS: no benchmark regressed") {
+		t.Errorf("table:\n%s", tbl.String())
+	}
+}
+
+// TestDiffCommittedBaselines is the acceptance check: diffing the two
+// committed BENCH files produces a table and exits clean through the same
+// code path main uses.
+func TestDiffCommittedBaselines(t *testing.T) {
+	old, err := loadBenchFile("../../BENCH_2026-08-06.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	niu, err := loadBenchFile("../../BENCH_2026-08-06_compact.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	thresholds := map[string]float64{"ns_per_op": 1e9, "bytes_per_op": 1e9, "peak_rss_bytes": 1e9, "retained_bytes": 1e9}
+	rows := diff(old, niu, thresholds)
+	if len(rows) < 30 {
+		t.Errorf("only %d rows from committed baselines", len(rows))
+	}
+	var tbl bytes.Buffer
+	writeTable(&tbl, old, niu, rows)
+	if !strings.Contains(tbl.String(), "| WorldBuild |") {
+		t.Errorf("table missing WorldBuild row:\n%.500s", tbl.String())
+	}
+}

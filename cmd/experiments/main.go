@@ -9,6 +9,8 @@
 //	experiments -run all -scale 0.2 -seed 7
 //	experiments -run all -j 0                # all experiments across all CPUs
 //	experiments -run all -report run.json -trace trace.txt -metrics metrics.json
+//	experiments -run all -trace-chrome trace.json   # open in Perfetto / chrome://tracing
+//	experiments -run all -serve :9090 -v            # live /metrics, /progress, /debug/pprof
 //	experiments -run fig2a -cpuprofile cpu.pprof -memprofile mem.pprof
 //	experiments -run robust1 -faults 0.01     # 1% seeded fault injection
 //
@@ -17,9 +19,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -42,8 +47,11 @@ func main() {
 		list       = flag.Bool("list", false, "list experiments and exit")
 		out        = flag.String("out", "", "directory to also write one .txt file per experiment")
 		traceFile  = flag.String("trace", "", "write a flame-ordered span trace (wall time + allocs per stage)")
+		chromeFile = flag.String("trace-chrome", "", "write a Chrome trace-event JSON (load in Perfetto or chrome://tracing)")
 		metrics    = flag.String("metrics", "", "write a JSON snapshot of every pipeline metric")
 		report     = flag.String("report", "", "write a machine-readable JSON run report")
+		serve      = flag.String("serve", "", "serve /metrics (OpenMetrics), /progress (JSON), and /debug/pprof on this address (e.g. :9090) for the duration of the run")
+		verbose    = flag.Bool("v", false, "log one line per experiment completion to stderr")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile")
 		memprofile = flag.String("memprofile", "", "write a heap profile")
 	)
@@ -68,9 +76,9 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	// Span collection drives the trace and the report's per-experiment
+	// Span collection drives the traces and the report's per-experiment
 	// stats; metric counters are always live.
-	observing := *traceFile != "" || *metrics != "" || *report != ""
+	observing := *traceFile != "" || *chromeFile != "" || *metrics != "" || *report != ""
 	if observing {
 		obs.Enable()
 	}
@@ -93,10 +101,50 @@ func main() {
 		os.Exit(2)
 	}
 
+	// The progress hook feeds both -v logging and the -serve /progress
+	// resource; it observes runs without touching their output.
+	var ids []string
+	for _, e := range anycastctx.Experiments() {
+		if *run == "all" || e.ID == *run {
+			ids = append(ids, e.ID)
+		}
+	}
+	tracker := newProgressTracker(ids)
+	if *verbose || *serve != "" {
+		v := *verbose
+		anycastctx.SetProgressHook(func(ev anycastctx.ProgressEvent) {
+			tracker.observe(ev)
+			if v && ev.Done {
+				status := "ok"
+				if ev.Err != nil {
+					status = "FAIL"
+				}
+				fmt.Fprintf(os.Stderr, "%-8s %s  %8.1fms  %4d rows\n",
+					ev.ID, status, float64(ev.WallNs)/1e6, ev.Rows)
+			}
+		})
+	}
+
+	if *serve != "" {
+		mux := obs.NewServeMux(obs.Default)
+		mux.HandleFunc("/progress", tracker.handler())
+		ln, err := net.Listen("tcp", *serve)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "serving observability on http://%s (/metrics, /progress, /debug/pprof)\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+			}
+		}()
+	}
+
 	runStart := time.Now()
 	fmt.Fprintf(os.Stderr, "building world (seed %d, scale %.2f, year %d)...\n", *seed, *scale, *year)
-	buildSpan := obs.StartSpan("run.build_world")
-	w, err := anycastctx.BuildWorld(cfg)
+	ctx := context.Background()
+	buildCtx, buildSpan := obs.StartSpanCtx(ctx, "run.build_world")
+	w, err := anycastctx.BuildWorldCtx(buildCtx, cfg)
 	buildSpan.End()
 	if err != nil {
 		fatal(err)
@@ -107,13 +155,13 @@ func main() {
 	if *run == "all" {
 		workers := resolveWorkers(*jobs)
 		if workers > 1 {
-			results, runErr = anycastctx.RunAllParallel(w, workers)
+			results, runErr = anycastctx.RunAllParallelCtx(ctx, w, workers)
 		} else {
-			results, runErr = anycastctx.RunAll(w)
+			results, runErr = anycastctx.RunAllCtx(ctx, w)
 		}
 	} else {
 		var res anycastctx.Result
-		res, runErr = anycastctx.RunExperiment(w, *run)
+		res, runErr = anycastctx.RunExperimentCtx(ctx, w, *run)
 		if runErr == nil {
 			results = append(results, res)
 		}
@@ -153,13 +201,25 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *chromeFile != "" {
+		f, err := os.Create(*chromeFile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := obs.WriteChromeTrace(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
 	if *metrics != "" {
 		if err := writeJSON(*metrics, obs.TakeSnapshot()); err != nil {
 			fatal(err)
 		}
 	}
 	if *report != "" {
-		rep := buildReport(cfg, *year, results, runErr, buildSpan, time.Since(runStart))
+		rep := buildReport(cfg, *year, *faultRate, results, runErr, buildSpan, time.Since(runStart))
 		if err := writeJSON(*report, rep); err != nil {
 			fatal(err)
 		}
@@ -196,9 +256,16 @@ func resolveWorkers(jobs int) int {
 // runReport is the machine-readable record of one experiments run, meant
 // for tracking the performance trajectory across changes.
 type runReport struct {
-	Seed        int64     `json:"seed"`
-	Scale       float64   `json:"scale"`
-	Year        int       `json:"year"`
+	Seed  int64   `json:"seed"`
+	Scale float64 `json:"scale"`
+	Year  int     `json:"year"`
+	// Run provenance: which source revision, how many scheduler threads,
+	// the fault-injection rate, and a fingerprint of the exact world
+	// configuration — enough to decide whether two reports are comparable.
+	GitSHA      string    `json:"git_sha,omitempty"`
+	GoMaxProcs  int       `json:"gomaxprocs"`
+	FaultRate   float64   `json:"fault_rate"`
+	ConfigHash  string    `json:"config_hash"`
 	WallMs      float64   `json:"wall_ms"`
 	WorldBuild  stageStat `json:"world_build"`
 	Experiments []expStat `json:"experiments"`
@@ -228,13 +295,17 @@ type expStat struct {
 	Metrics    map[string]uint64 `json:"metrics,omitempty"`
 }
 
-func buildReport(cfg anycastctx.Config, year int, results []anycastctx.Result,
+func buildReport(cfg anycastctx.Config, year int, faultRate float64, results []anycastctx.Result,
 	runErr error, buildSpan obs.Span, elapsed time.Duration) runReport {
 	obs.SampleHeap() // fold the final live heap into the peak
 	rep := runReport{
 		Seed:          cfg.Seed,
 		Scale:         cfg.Scale,
 		Year:          year,
+		GitSHA:        gitSHA(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		FaultRate:     faultRate,
+		ConfigHash:    configHash(cfg),
 		WallMs:        float64(elapsed.Nanoseconds()) / 1e6,
 		PeakHeapBytes: obs.PeakHeapBytes(),
 		PeakRSSBytes:  obs.PeakRSSBytes(),

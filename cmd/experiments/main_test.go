@@ -37,7 +37,7 @@ func TestReportRoundTripsHeapFields(t *testing.T) {
 	obs.SampleHeap()
 
 	results := []anycastctx.Result{{ID: "figX", Title: "t", Measured: "m"}}
-	rep := buildReport(anycastctx.Config{Seed: 3, Scale: 0.01}, 2018, results, nil, obs.Span{}, 5*time.Millisecond)
+	rep := buildReport(anycastctx.Config{Seed: 3, Scale: 0.01}, 2018, 0, results, nil, obs.Span{}, 5*time.Millisecond)
 	if rep.PeakHeapBytes == 0 {
 		t.Fatal("PeakHeapBytes not populated after SampleHeap")
 	}

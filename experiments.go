@@ -1,12 +1,15 @@
 package anycastctx
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"anycastctx/internal/obs"
 	"anycastctx/internal/stats"
@@ -47,10 +50,58 @@ type Experiment struct {
 	ID         string
 	Title      string
 	PaperClaim string
-	// Run executes the experiment on a built world. rng supplies
+	// Run executes the experiment on a built world. ctx carries the
+	// caller's span for trace parentage (never cancellation — experiments
+	// are deterministic and run to completion); rng supplies
 	// measurement-sampling randomness (catchments and populations live in
 	// the world and stay fixed).
-	Run func(w *World, rng *rand.Rand) (Result, error)
+	Run func(ctx context.Context, w *World, rng *rand.Rand) (Result, error)
+}
+
+// ProgressEvent is one experiment lifecycle transition, delivered to the
+// hook registered with SetProgressHook. Each experiment emits two events:
+// one with Done=false when it starts and one with Done=true when it
+// finishes (Err set if it failed).
+type ProgressEvent struct {
+	// ID is the experiment identifier.
+	ID string
+	// Done distinguishes the completion event from the start event.
+	Done bool
+	// Err is the experiment's error, set only on a Done event.
+	Err error
+	// WallNs is the experiment's wall-clock duration, set on Done.
+	WallNs int64
+	// Rows counts non-empty lines of rendered Output, set on Done.
+	Rows int
+}
+
+// progressHook is the registered progress callback. Atomic so RunAllParallel
+// workers read it without locking; the callback itself must be safe for
+// concurrent calls when experiments run in parallel.
+var progressHook atomic.Pointer[func(ProgressEvent)]
+
+// SetProgressHook registers fn to receive per-experiment start/finish
+// events, replacing any previous hook; nil clears it. The hook observes
+// runs — it must not mutate worlds or experiment state, and it never
+// affects Measured or Output.
+func SetProgressHook(fn func(ProgressEvent)) {
+	if fn == nil {
+		progressHook.Store(nil)
+		return
+	}
+	progressHook.Store(&fn)
+}
+
+// countRows counts non-empty lines, the "rows processed" figure reported
+// per experiment in progress events.
+func countRows(output string) int {
+	n := 0
+	for _, line := range strings.Split(output, "\n") {
+		if strings.TrimSpace(line) != "" {
+			n++
+		}
+	}
+	return n
 }
 
 // registry holds all experiments in presentation order.
@@ -70,9 +121,15 @@ func Experiments() []Experiment {
 // RunExperiment runs one experiment by ID with a seed derived from the
 // world's configuration.
 func RunExperiment(w *World, id string) (Result, error) {
+	return RunExperimentCtx(context.Background(), w, id)
+}
+
+// RunExperimentCtx is RunExperiment with the caller's span context carried
+// into the experiment body (and from there into the pipeline fan-outs).
+func RunExperimentCtx(ctx context.Context, w *World, id string) (Result, error) {
 	for _, e := range registry {
 		if e.ID == id {
-			return runOne(w, e, true)
+			return runOne(ctx, w, e, true)
 		}
 	}
 	known := make([]string, 0, len(registry))
@@ -93,17 +150,39 @@ func RunExperiment(w *World, id string) (Result, error) {
 // experiments run one at a time: concurrent experiments advance the same
 // global counters, so RunAllParallel passes withDeltas=false rather than
 // attribute one experiment's counts to another.
-func runOne(w *World, e Experiment, withDeltas bool) (Result, error) {
+func runOne(ctx context.Context, w *World, e Experiment, withDeltas bool) (Result, error) {
+	hook := progressHook.Load()
+	var started time.Time
+	if hook != nil {
+		started = time.Now()
+		(*hook)(ProgressEvent{ID: e.ID})
+	}
+	res, err := runMeasured(ctx, w, e, withDeltas)
+	if hook != nil {
+		(*hook)(ProgressEvent{
+			ID:     e.ID,
+			Done:   true,
+			Err:    err,
+			WallNs: time.Since(started).Nanoseconds(),
+			Rows:   countRows(res.Output),
+		})
+	}
+	return res, err
+}
+
+// runMeasured is runOne minus progress reporting: seed derivation, the
+// "experiment.<id>" span, and stat attachment.
+func runMeasured(ctx context.Context, w *World, e Experiment, withDeltas bool) (Result, error) {
 	rng := rand.New(rand.NewSource(w.Cfg.Seed * 7919))
 	if !obs.Enabled() {
-		return e.Run(w, rng)
+		return e.Run(ctx, w, rng)
 	}
 	var before obs.Snapshot
 	if withDeltas {
 		before = obs.TakeSnapshot()
 	}
-	span := obs.StartSpan("experiment." + e.ID)
-	res, err := e.Run(w, rng)
+	ctx, span := obs.StartSpanCtx(ctx, "experiment."+e.ID)
+	res, err := e.Run(ctx, w, rng)
 	span.End()
 	if err != nil {
 		return res, err
@@ -124,10 +203,19 @@ func runOne(w *World, e Experiment, withDeltas bool) (Result, error) {
 // experiments that succeeded; the error aggregates every failure (one
 // broken experiment does not mask the others).
 func RunAll(w *World) ([]Result, error) {
+	return RunAllCtx(context.Background(), w)
+}
+
+// RunAllCtx is RunAll under the caller's span context: the whole batch is
+// recorded as one "run.experiments" span with each "experiment.<id>" span
+// as a direct child.
+func RunAllCtx(ctx context.Context, w *World) ([]Result, error) {
+	ctx, span := obs.StartSpanCtx(ctx, "run.experiments")
+	defer span.End()
 	var out []Result
 	var errs []error
 	for _, e := range registry {
-		res, err := runOne(w, e, true)
+		res, err := runOne(ctx, w, e, true)
 		if err != nil {
 			errs = append(errs, fmt.Errorf("experiment %s: %w", e.ID, err))
 			continue
@@ -151,12 +239,22 @@ func RunAll(w *World) ([]Result, error) {
 //
 // workers <= 1 falls back to the serial RunAll.
 func RunAllParallel(w *World, workers int) ([]Result, error) {
+	return RunAllParallelCtx(context.Background(), w, workers)
+}
+
+// RunAllParallelCtx is RunAllParallel under the caller's span context. All
+// workers share one "run.experiments" parent span; because span parentage
+// is context-carried (not stack-carried), concurrent experiments still
+// record correct trees.
+func RunAllParallelCtx(ctx context.Context, w *World, workers int) ([]Result, error) {
 	if workers <= 1 || len(registry) <= 1 {
-		return RunAll(w)
+		return RunAllCtx(ctx, w)
 	}
 	if workers > len(registry) {
 		workers = len(registry)
 	}
+	ctx, span := obs.StartSpanCtx(ctx, "run.experiments")
+	defer span.End()
 	type slot struct {
 		res Result
 		err error
@@ -173,7 +271,7 @@ func RunAllParallel(w *World, workers int) ([]Result, error) {
 				if i >= len(registry) {
 					return
 				}
-				slots[i].res, slots[i].err = runOne(w, registry[i], false)
+				slots[i].res, slots[i].err = runOne(ctx, w, registry[i], false)
 			}
 		}()
 	}
@@ -211,9 +309,9 @@ func logGrid() []float64 {
 }
 
 // build2020 constructs the companion 2020-DITL world at the same scale.
-func build2020(w *World) (*World, error) {
+func build2020(ctx context.Context, w *World) (*World, error) {
 	cfg := w.Cfg
 	cfg.Year = world.DITL2020
 	cfg.Seed = w.Cfg.Seed + 202000
-	return world.Build(cfg)
+	return world.Build(ctx, cfg)
 }

@@ -1,6 +1,7 @@
 package anycastctx
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -89,7 +90,7 @@ func init() {
 	})
 }
 
-func runFig1(w *World, rng *rand.Rand) (Result, error) {
+func runFig1(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
 	t := report.Table{
 		Title:   "Fig 1: CDN rings and user coverage",
 		Headers: []string{"Ring", "Front-ends", "Users within 500km", "Users within 1000km"},
@@ -138,7 +139,7 @@ func runFig1(w *World, rng *rand.Rand) (Result, error) {
 	}, nil
 }
 
-func runFig4a(w *World, rng *rand.Rand) (Result, error) {
+func runFig4a(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
 	var series []report.Series
 	medians := map[string]float64{}
 	for _, ring := range w.CDN.Rings {
@@ -168,8 +169,8 @@ func runFig4a(w *World, rng *rand.Rand) (Result, error) {
 	}, nil
 }
 
-func runFig4b(w *World, rng *rand.Rand) (Result, error) {
-	rows := w.CDN.ClientMeasurements(w.Locations, rng)
+func runFig4b(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
+	rows := w.CDN.ClientMeasurementsCtx(ctx, w.Locations, rng)
 	names := make([]string, len(w.CDN.Rings))
 	for i, r := range w.CDN.Rings {
 		names[i] = r.Name
@@ -212,12 +213,12 @@ func runFig4b(w *World, rng *rand.Rand) (Result, error) {
 
 // serverLogsFor caches server-side logs per run (several figures share
 // them).
-func serverLogsFor(w *World, rng *rand.Rand) []cdn.ServerLogRow {
-	return w.CDN.ServerSideLogs(w.Locations, rng)
+func serverLogsFor(ctx context.Context, w *World, rng *rand.Rand) []cdn.ServerLogRow {
+	return w.CDN.ServerSideLogsCtx(ctx, w.Locations, rng)
 }
 
-func runFig5a(w *World, rng *rand.Rand) (Result, error) {
-	logs := serverLogsFor(w, rng)
+func runFig5a(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
+	logs := serverLogsFor(ctx, w, rng)
 	var series []report.Series
 	var r110Eff float64
 	for _, ring := range w.CDN.Rings {
@@ -232,7 +233,7 @@ func runFig5a(w *World, rng *rand.Rand) (Result, error) {
 		}
 	}
 	// Root DNS comparison line (All Roots, same methodology).
-	rootObs := core.GeoInflationAllRoots(w.Campaign, w.Join())
+	rootObs := core.GeoInflationAllRoots(w.Campaign, w.JoinCtx(ctx))
 	rootCDF, err := newCDF(rootObs)
 	if err != nil {
 		return Result{}, err
@@ -249,8 +250,8 @@ func runFig5a(w *World, rng *rand.Rand) (Result, error) {
 	}, nil
 }
 
-func runFig5b(w *World, rng *rand.Rand) (Result, error) {
-	logs := serverLogsFor(w, rng)
+func runFig5b(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
+	logs := serverLogsFor(ctx, w, rng)
 	var series []report.Series
 	var r110 *stats.CDF
 	for _, ring := range w.CDN.Rings {
@@ -263,7 +264,7 @@ func runFig5b(w *World, rng *rand.Rand) (Result, error) {
 			r110 = cdf
 		}
 	}
-	rootCDF, err := newCDF(core.LatencyInflationAllRoots(w.Campaign, w.Join(), anycastnet.TCPLatencyLetters2018))
+	rootCDF, err := newCDF(core.LatencyInflationAllRoots(w.Campaign, w.JoinCtx(ctx), anycastnet.TCPLatencyLetters2018))
 	if err != nil {
 		return Result{}, err
 	}
@@ -313,7 +314,7 @@ func pathLenDist(w *World, dep *anycastnet.Deployment) map[int]float64 {
 	return out
 }
 
-func runFig6a(w *World, rng *rand.Rand) (Result, error) {
+func runFig6a(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
 	t := report.Table{
 		Title:   "Fig 6a: AS path length distribution (share of locations)",
 		Headers: []string{"Destination", "2 ASes", "3 ASes", "4 ASes", "5+ ASes"},
@@ -351,7 +352,7 @@ func runFig6a(w *World, rng *rand.Rand) (Result, error) {
 	}, nil
 }
 
-func runFig6b(w *World, rng *rand.Rand) (Result, error) {
+func runFig6b(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
 	t := report.Table{
 		Title:   "Fig 6b: geographic inflation (ms) by AS path length",
 		Headers: []string{"Destination", "2 ASes", "3 ASes", "4+ ASes"},
@@ -417,12 +418,12 @@ func runFig6b(w *World, rng *rand.Rand) (Result, error) {
 	}, nil
 }
 
-func runFig7a(w *World, rng *rand.Rand) (Result, error) {
+func runFig7a(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
 	t := report.Table{
 		Title:   "Fig 7a: median latency and efficiency vs global sites",
 		Headers: []string{"Deployment", "Global sites", "Median latency (ms)", "Efficiency (% users at closest site)"},
 	}
-	j := w.Join()
+	j := w.JoinCtx(ctx)
 	type row struct {
 		name string
 		n    int
@@ -439,7 +440,7 @@ func runFig7a(w *World, rng *rand.Rand) (Result, error) {
 		eff := core.Efficiency(core.GeoInflationLetter(w.Campaign, li, j), 1)
 		rows = append(rows, row{"root " + letter.Name, letter.NumGlobalSites(), stats.Median(vals), eff})
 	}
-	logs := serverLogsFor(w, rng)
+	logs := serverLogsFor(ctx, w, rng)
 	for _, ring := range w.CDN.Rings {
 		var obs []stats.WeightedValue
 		for _, lr := range logs {
@@ -469,7 +470,7 @@ func runFig7a(w *World, rng *rand.Rand) (Result, error) {
 	}, nil
 }
 
-func runFig7b(w *World, rng *rand.Rand) (Result, error) {
+func runFig7b(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
 	radii := []float64{250, 500, 750, 1000, 1250, 1500, 1750, 2000}
 	t := report.Table{Title: "Fig 7b: share of users within radius of a site", Headers: []string{"Deployment"}}
 	for _, r := range radii {
@@ -506,9 +507,9 @@ func runFig7b(w *World, rng *rand.Rand) (Result, error) {
 	}, nil
 }
 
-func runFig14(w *World, rng *rand.Rand) (Result, error) {
+func runFig14(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
 	big := w.CDN.Rings[len(w.CDN.Rings)-1]
-	rows := w.CDN.ClientMeasurements(w.Locations, rng)
+	rows := w.CDN.ClientMeasurementsCtx(ctx, w.Locations, rng)
 	// Aggregate per region: user-weighted mean of medians to R110.
 	type agg struct {
 		lat, users float64
@@ -580,7 +581,7 @@ func runFig14(w *World, rng *rand.Rand) (Result, error) {
 	}, nil
 }
 
-func runAppC(w *World, rng *rand.Rand) (Result, error) {
+func runAppC(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
 	res := webmodel.RunSweep(webmodel.CorpusConfig{}, rng)
 	vals := make([]float64, len(res.RTTsPerLoad))
 	for i, r := range res.RTTsPerLoad {

@@ -6,6 +6,7 @@ package anycastctx
 // 516→1367, over five years; the CDN's front-ends also doubled).
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -33,7 +34,7 @@ func init() {
 	})
 }
 
-func runAffinity(w *World, rng *rand.Rand) (Result, error) {
+func runAffinity(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
 	t := report.Table{
 		Title:   "Site affinity per letter over a 48-hour window (0.5%/hour flap rate)",
 		Headers: []string{"Letter", "Stable /24s", "Mean affinity", "Flaps"},
@@ -74,7 +75,7 @@ var rootGrowthTimeline = []struct {
 	{2021, 1367},
 }
 
-func runGrowth(w *World, _ *rand.Rand) (Result, error) {
+func runGrowth(ctx context.Context, w *World, _ *rand.Rand) (Result, error) {
 	g, rng, err := ablGraph(w, 40)
 	if err != nil {
 		return Result{}, err
@@ -141,7 +142,7 @@ func init() {
 	})
 }
 
-func runApps(w *World, rng *rand.Rand) (Result, error) {
+func runApps(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
 	rows, err := w.CDN.AppLatencies(w.Locations, cdn.PaperApps(), rng)
 	if err != nil {
 		return Result{}, err
@@ -180,10 +181,10 @@ func init() {
 	})
 }
 
-func runContinents(w *World, rng *rand.Rand) (Result, error) {
-	logs := w.CDN.ServerSideLogs(w.Locations, rng)
+func runContinents(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
+	logs := w.CDN.ServerSideLogsCtx(ctx, w.Locations, rng)
 	big := w.CDN.Rings[len(w.CDN.Rings)-1]
-	rootObs := core.GeoInflationAllRoots(w.Campaign, w.Join())
+	rootObs := core.GeoInflationAllRoots(w.Campaign, w.JoinCtx(ctx))
 
 	// Per-continent aggregates for the CDN (largest ring).
 	type agg struct {
@@ -205,7 +206,7 @@ func runContinents(w *World, rng *rand.Rand) (Result, error) {
 	}
 	// Root inflation per continent: map joined recursives to continents.
 	rootByCont := map[geo.Continent]*agg{}
-	for i, row := range w.Join().Rows {
+	for i, row := range w.JoinCtx(ctx).Rows {
 		rec := w.Pop.Recursives[row.RecIdx]
 		host := w.Graph.AS(rec.ASN)
 		if host == nil || host.Region < 0 {

@@ -10,6 +10,7 @@ package anycastctx
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -30,7 +31,7 @@ func init() {
 // robustCapturePackets bounds the capture used for fault injection.
 const robustCapturePackets = 4000
 
-func runRobust1(w *World, rng *rand.Rand) (Result, error) {
+func runRobust1(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
 	pol := w.Cfg.Faults
 	if !pol.Enabled() {
 		pol = faults.Uniform(w.Cfg.Seed, 0.01)
@@ -40,7 +41,7 @@ func runRobust1(w *World, rng *rand.Rand) (Result, error) {
 	// fault mix lands on a representative packet stream.
 	li, site := busiestLetterSite(w)
 	var buf bytes.Buffer
-	n, err := w.Campaign.EmitSiteCapture(&buf, li, site, robustCapturePackets, rng)
+	n, err := w.Campaign.EmitSiteCaptureCtx(ctx, &buf, li, site, robustCapturePackets, rng)
 	if err != nil {
 		return Result{}, fmt.Errorf("robust1: emitting capture: %w", err)
 	}

@@ -1,6 +1,7 @@
 package anycastctx
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -100,8 +101,8 @@ func init() {
 	})
 }
 
-func runFig2a(w *World, rng *rand.Rand) (Result, error) {
-	j := w.Join()
+func runFig2a(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
+	j := w.JoinCtx(ctx)
 	var series []report.Series
 	var allRootsAbove20 float64
 	for li, name := range w.Campaign.LetterNames {
@@ -133,8 +134,8 @@ func runFig2a(w *World, rng *rand.Rand) (Result, error) {
 	}, nil
 }
 
-func runFig2b(w *World, rng *rand.Rand) (Result, error) {
-	j := w.Join()
+func runFig2b(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
+	j := w.JoinCtx(ctx)
 	usable := anycastnet.TCPLatencyLetters2018
 	var series []report.Series
 	for li, name := range w.Campaign.LetterNames {
@@ -174,8 +175,8 @@ func runFig2b(w *World, rng *rand.Rand) (Result, error) {
 	}, nil
 }
 
-func runFig3(w *World, rng *rand.Rand) (Result, error) {
-	j := w.Join()
+func runFig3(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
+	j := w.JoinCtx(ctx)
 	cdnLine, err := newCDF(core.QueriesPerUserCDN(w.Campaign, j, core.ValidOnly))
 	if err != nil {
 		return Result{}, err
@@ -204,8 +205,8 @@ func runFig3(w *World, rng *rand.Rand) (Result, error) {
 	}, nil
 }
 
-func runFig8(w *World, rng *rand.Rand) (Result, error) {
-	j := w.Join()
+func runFig8(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
+	j := w.JoinCtx(ctx)
 	validCDN, err := newCDF(core.QueriesPerUserCDN(w.Campaign, j, core.ValidOnly))
 	if err != nil {
 		return Result{}, err
@@ -238,12 +239,12 @@ func runFig8(w *World, rng *rand.Rand) (Result, error) {
 	}, nil
 }
 
-func runFig9(w *World, rng *rand.Rand) (Result, error) {
-	joined, err := newCDF(core.QueriesPerUserCDN(w.Campaign, w.Join(), core.ValidOnly))
+func runFig9(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
+	joined, err := newCDF(core.QueriesPerUserCDN(w.Campaign, w.JoinCtx(ctx), core.ValidOnly))
 	if err != nil {
 		return Result{}, err
 	}
-	byIPJoin := w.Campaign.JoinCDN(w.CDNCounts, true)
+	byIPJoin := w.Campaign.JoinCDNCtx(ctx, w.CDNCounts, true)
 	byIP, err := newCDF(core.QueriesPerUserCDN(w.Campaign, byIPJoin, core.ValidOnly))
 	if err != nil {
 		return Result{}, err
@@ -263,7 +264,7 @@ func runFig9(w *World, rng *rand.Rand) (Result, error) {
 	}, nil
 }
 
-func runFig10(w *World, rng *rand.Rand) (Result, error) {
+func runFig10(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
 	var series []report.Series
 	var worstSingle float64 = 1
 	for li, name := range w.Campaign.LetterNames {
@@ -290,12 +291,12 @@ func runFig10(w *World, rng *rand.Rand) (Result, error) {
 	}, nil
 }
 
-func runFig11(w *World, rng *rand.Rand) (Result, error) {
-	w20, err := build2020(w)
+func runFig11(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
+	w20, err := build2020(ctx, w)
 	if err != nil {
 		return Result{}, err
 	}
-	j := w20.Join()
+	j := w20.JoinCtx(ctx)
 	cdnLine, err := newCDF(core.QueriesPerUserCDN(w20.Campaign, j, core.ValidOnly))
 	if err != nil {
 		return Result{}, err
@@ -329,7 +330,7 @@ func runFig11(w *World, rng *rand.Rand) (Result, error) {
 
 // runLocalResolver drives an ISI-style recursive and returns it with its
 // client and collected per-query results.
-func runLocalResolver(w *World, rng *rand.Rand, nUsers int, days float64,
+func runLocalResolver(ctx context.Context, w *World, rng *rand.Rand, nUsers int, days float64,
 	onResult func(dnssim.QueryKind, dnssim.QueryResult)) (*dnssim.Resolver, dnssim.RunStats, error) {
 	// Base RTTs to the letters as seen by a well-connected site: use the
 	// median Atlas ping per letter.
@@ -352,14 +353,14 @@ func runLocalResolver(w *World, rng *rand.Rand, nUsers int, days float64,
 		return nil, dnssim.RunStats{}, err
 	}
 	client := dnssim.NewClient(w.Zone, dnssim.ClientConfig{Users: nUsers}, rng)
-	client.Run(r, 1, nil) // warm the cache for a day
-	st := client.Run(r, days, onResult)
+	client.RunCtx(ctx, r, 1, nil) // warm the cache for a day
+	st := client.RunCtx(ctx, r, days, onResult)
 	return r, st, nil
 }
 
-func runFig12(w *World, rng *rand.Rand) (Result, error) {
+func runFig12(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
 	var latencies []float64
-	_, _, err := runLocalResolver(w, rng, 150, 2, func(_ dnssim.QueryKind, res dnssim.QueryResult) {
+	_, _, err := runLocalResolver(ctx, w, rng, 150, 2, func(_ dnssim.QueryKind, res dnssim.QueryResult) {
 		latencies = append(latencies, res.LatencyMs)
 	})
 	if err != nil {
@@ -380,10 +381,10 @@ func runFig12(w *World, rng *rand.Rand) (Result, error) {
 	}, nil
 }
 
-func runFig13(w *World, rng *rand.Rand) (Result, error) {
+func runFig13(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
 	var rootLat []float64
 	var withRoot, total int
-	_, _, err := runLocalResolver(w, rng, 150, 2, func(_ dnssim.QueryKind, res dnssim.QueryResult) {
+	_, _, err := runLocalResolver(ctx, w, rng, 150, 2, func(_ dnssim.QueryKind, res dnssim.QueryResult) {
 		rootLat = append(rootLat, res.RootLatencyMs)
 		total++
 		if res.RootQueriesOnPath > 0 {
@@ -408,7 +409,7 @@ func runFig13(w *World, rng *rand.Rand) (Result, error) {
 	}, nil
 }
 
-func runTab1(w *World, rng *rand.Rand) (Result, error) {
+func runTab1(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
 	s := report.RootOperatorSurvey()
 	return Result{
 		ID:         "tab1",
@@ -419,7 +420,7 @@ func runTab1(w *World, rng *rand.Rand) (Result, error) {
 	}, nil
 }
 
-func runTab23(w *World, rng *rand.Rand) (Result, error) {
+func runTab23(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
 	pre := w.Campaign.Preprocess()
 	t := report.Table{
 		Title:   "Tables 2-3: dataset inventory (simulated equivalents)",
@@ -429,7 +430,7 @@ func runTab23(w *World, rng *rand.Rand) (Result, error) {
 		fmt.Sprintf("%.2fB raw q/day, %d recursive /24s", pre.RawPerDay/1e9, len(w.Pop.Recursives)),
 		"global coverage", "noisy, above the recursive")
 	t.AddRow("DITL∩CDN join",
-		fmt.Sprintf("%.2fB retained q/day, %d joined /24s", pre.RetainedPerDay/1e9, len(w.Join().Rows)),
+		fmt.Sprintf("%.2fB retained q/day, %d joined /24s", pre.RetainedPerDay/1e9, len(w.JoinCtx(ctx).Rows)),
 		"attributes queries to users", "excludes v6")
 	t.AddRow("CDN server-side logs",
 		fmt.Sprintf("%d locations x %d rings", len(w.Locations), len(w.CDN.Rings)),
@@ -455,7 +456,7 @@ func runTab23(w *World, rng *rand.Rand) (Result, error) {
 	}, nil
 }
 
-func runTab4(w *World, rng *rand.Rand) (Result, error) {
+func runTab4(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
 	exact := w.Campaign.Overlap(w.CDNCounts, true)
 	joined := w.Campaign.Overlap(w.CDNCounts, false)
 	t := report.Table{
@@ -477,7 +478,7 @@ func runTab4(w *World, rng *rand.Rand) (Result, error) {
 	}, nil
 }
 
-func runTab5(w *World, rng *rand.Rand) (Result, error) {
+func runTab5(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
 	baseRTTs := make([]float64, len(w.Letters))
 	for i := range baseRTTs {
 		baseRTTs[i] = 30 + 10*float64(i)
@@ -510,9 +511,9 @@ func runTab5(w *World, rng *rand.Rand) (Result, error) {
 	}, nil
 }
 
-func runLocal(w *World, rng *rand.Rand) (Result, error) {
+func runLocal(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
 	// Shared-cache (ISI-style) resolver.
-	isiRes, _, err := runLocalResolver(w, rng, 200, 2, nil)
+	isiRes, _, err := runLocalResolver(ctx, w, rng, 200, 2, nil)
 	if err != nil {
 		return Result{}, err
 	}
@@ -521,7 +522,7 @@ func runLocal(w *World, rng *rand.Rand) (Result, error) {
 	// Personal resolver: one user, no shared cache, and its daily root
 	// latency for the browsing-share computation.
 	var rootMsPerDay float64
-	personalRes, _, err := runLocalResolver(w, rng, 1, 7, func(_ dnssim.QueryKind, res dnssim.QueryResult) {
+	personalRes, _, err := runLocalResolver(ctx, w, rng, 1, 7, func(_ dnssim.QueryKind, res dnssim.QueryResult) {
 		rootMsPerDay += res.RootLatencyMs / 7
 	})
 	if err != nil {

@@ -11,6 +11,7 @@
 package anycastnet
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -56,10 +57,22 @@ func (d *Deployment) WarmRoutes(srcs []topology.ASN) {
 	d.resolver.Warm(srcs)
 }
 
+// WarmRoutesCtx is WarmRoutes with the caller's span context threaded to
+// the cache-fill workers.
+func (d *Deployment) WarmRoutesCtx(ctx context.Context, srcs []topology.ASN) {
+	d.resolver.WarmCtx(ctx, srcs)
+}
+
 // Catchments resolves routes for every AS in srcs (parallel, memoized),
 // returning only successful resolutions.
 func (d *Deployment) Catchments(srcs []topology.ASN) map[topology.ASN]bgp.Route {
 	return d.resolver.Catchments(srcs)
+}
+
+// CatchmentsCtx is Catchments with the caller's span context threaded to
+// the resolution shards.
+func (d *Deployment) CatchmentsCtx(ctx context.Context, srcs []topology.ASN) map[topology.ASN]bgp.Route {
+	return d.resolver.CatchmentsCtx(ctx, srcs)
 }
 
 // ClosestGlobalSite returns the ID and great-circle distance (km) of the

@@ -19,6 +19,7 @@
 package bgp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -256,7 +257,18 @@ func (r *Resolver) Route(src topology.ASN) (Route, bool) {
 // pure pre-computation: outputs of later Route/Catchments calls are
 // byte-identical whether or not Warm ran.
 func (r *Resolver) Warm(srcs []topology.ASN) {
-	par.Do(len(srcs), func(lo, hi int) {
+	r.WarmCtx(context.Background(), srcs)
+}
+
+// WarmCtx is Warm with the caller's span context threaded to the cache-fill
+// shards, so a traced build shows per-worker "bgp.warm.shard" spans under
+// the calling stage.
+func (r *Resolver) WarmCtx(ctx context.Context, srcs []topology.ASN) {
+	ctx, warm := obs.StartSpanCtx(ctx, "bgp.warm")
+	defer warm.End()
+	par.DoCtx(ctx, len(srcs), func(ctx context.Context, lo, hi int) {
+		_, sp := obs.StartSpanCtx(ctx, "bgp.warm.shard")
+		defer sp.End()
 		for _, s := range srcs[lo:hi] {
 			r.Route(s)
 		}
@@ -525,6 +537,16 @@ func (r *Resolver) preferredTier1(p topology.ASN) topology.ASN {
 // into a pre-sized result slice, then merged in input order, so the
 // returned map is identical to a serial pass.
 func (r *Resolver) Catchments(srcs []topology.ASN) map[topology.ASN]Route {
+	return r.CatchmentsCtx(context.Background(), srcs)
+}
+
+// CatchmentsCtx is Catchments with the caller's span context carried into
+// the resolution shards: a traced run records one "bgp.catchments" span
+// with a "bgp.catchments.shard" child per worker, all parented under the
+// calling stage. The returned map is byte-identical to Catchments.
+func (r *Resolver) CatchmentsCtx(ctx context.Context, srcs []topology.ASN) map[topology.ASN]Route {
+	ctx, batch := obs.StartSpanCtx(ctx, "bgp.catchments")
+	defer batch.End()
 	var start time.Time
 	if timed := obs.Enabled() && len(srcs) > 0; timed {
 		start = time.Now()
@@ -534,7 +556,9 @@ func (r *Resolver) Catchments(srcs []topology.ASN) map[topology.ASN]Route {
 	}
 	obsCatchBatches.Inc()
 	resolved := make([]cachedRoute, len(srcs))
-	par.Do(len(srcs), func(lo, hi int) {
+	par.DoCtx(ctx, len(srcs), func(ctx context.Context, lo, hi int) {
+		_, sp := obs.StartSpanCtx(ctx, "bgp.catchments.shard")
+		defer sp.End()
 		for i := lo; i < hi; i++ {
 			resolved[i].rt, resolved[i].ok = r.Route(srcs[i])
 		}

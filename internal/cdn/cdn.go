@@ -12,6 +12,7 @@
 package cdn
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -118,8 +119,11 @@ type CDN struct {
 }
 
 // Build places PoPs at the highest-population regions, creates the CDN AS,
-// peers it with eyeballs, and constructs one deployment per ring.
-func Build(g *topology.Graph, model *latency.Model, cfg Config, rng *rand.Rand) (*CDN, error) {
+// peers it with eyeballs, and constructs one deployment per ring. The span
+// context parents a "cdn.build" span under the caller's trace.
+func Build(ctx context.Context, g *topology.Graph, model *latency.Model, cfg Config, rng *rand.Rand) (*CDN, error) {
+	_, span := obs.StartSpanCtx(ctx, "cdn.build")
+	defer span.End()
 	cfg = cfg.withDefaults()
 	sort.Slice(cfg.Rings, func(i, j int) bool { return cfg.Rings[i].Size < cfg.Rings[j].Size })
 	maxSize := cfg.Rings[len(cfg.Rings)-1].Size
@@ -242,13 +246,24 @@ type ServerLogRow struct {
 // measurement noise from its own hash-derived generator, so results are
 // byte-identical regardless of scheduling.
 func (c *CDN) ServerSideLogs(locs []Location, rng *rand.Rand) []ServerLogRow {
+	return c.ServerSideLogsCtx(context.Background(), locs, rng)
+}
+
+// ServerSideLogsCtx is ServerSideLogs with the caller's span context carried
+// into the measurement shards: a traced run records "cdn.server_logs" with
+// per-worker "cdn.server_logs.shard" children. Output is byte-identical.
+func (c *CDN) ServerSideLogsCtx(ctx context.Context, locs []Location, rng *rand.Rand) []ServerLogRow {
+	ctx, span := obs.StartSpanCtx(ctx, "cdn.server_logs")
+	defer span.End()
 	seed := rng.Int63()
 	grid := make([][]ServerLogRow, len(c.Rings))
 	for ri := range c.Rings {
 		grid[ri] = make([]ServerLogRow, len(locs))
 		ring := c.Rings[ri]
 		ri := ri
-		par.Do(len(locs), func(lo, hi int) {
+		par.DoCtx(ctx, len(locs), func(ctx context.Context, lo, hi int) {
+			_, sp := obs.StartSpanCtx(ctx, "cdn.server_logs.shard")
+			defer sp.End()
 			for i := lo; i < hi; i++ {
 				loc := locs[i]
 				rt, ok := ring.Deployment.Route(loc.ASN)
@@ -312,9 +327,20 @@ type ClientMeasurementRow struct {
 // ClientMeasurements has every location measure every ring, fanned out
 // across CPUs with order-independent determinism (see ServerSideLogs).
 func (c *CDN) ClientMeasurements(locs []Location, rng *rand.Rand) []ClientMeasurementRow {
+	return c.ClientMeasurementsCtx(context.Background(), locs, rng)
+}
+
+// ClientMeasurementsCtx is ClientMeasurements with the caller's span context
+// carried into the measurement shards ("cdn.client_measurements" with
+// per-worker "cdn.client_measurements.shard" children).
+func (c *CDN) ClientMeasurementsCtx(ctx context.Context, locs []Location, rng *rand.Rand) []ClientMeasurementRow {
+	ctx, span := obs.StartSpanCtx(ctx, "cdn.client_measurements")
+	defer span.End()
 	seed := rng.Int63()
 	grid := make([]ClientMeasurementRow, len(locs)*len(c.Rings))
-	par.Do(len(locs), func(lo, hi int) {
+	par.DoCtx(ctx, len(locs), func(ctx context.Context, lo, hi int) {
+		_, sp := obs.StartSpanCtx(ctx, "cdn.client_measurements.shard")
+		defer sp.End()
 		for i := lo; i < hi; i++ {
 			loc := locs[i]
 			for ri, ring := range c.Rings {

@@ -1,6 +1,7 @@
 package cdn
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -18,7 +19,7 @@ func buildWorld(t *testing.T) (*topology.Graph, *CDN) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := Build(g, latency.DefaultModel(), Config{}, rand.New(rand.NewSource(7)))
+	c, err := Build(context.Background(), g, latency.DefaultModel(), Config{}, rand.New(rand.NewSource(7)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,11 +255,11 @@ func TestBuildValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	// More front-ends than regions must fail.
-	_, err = Build(g, latency.DefaultModel(), Config{Rings: []RingSpec{{Name: "R10", Size: 10}}}, rand.New(rand.NewSource(2)))
+	_, err = Build(context.Background(), g, latency.DefaultModel(), Config{Rings: []RingSpec{{Name: "R10", Size: 10}}}, rand.New(rand.NewSource(2)))
 	if err == nil {
 		t.Error("oversized ring accepted")
 	}
-	_, err = Build(g, latency.DefaultModel(), Config{Rings: []RingSpec{{Name: "R0", Size: 0}}}, rand.New(rand.NewSource(2)))
+	_, err = Build(context.Background(), g, latency.DefaultModel(), Config{Rings: []RingSpec{{Name: "R0", Size: 0}}}, rand.New(rand.NewSource(2)))
 	if err == nil {
 		t.Error("empty ring accepted")
 	}

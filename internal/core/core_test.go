@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -52,13 +53,13 @@ func buildWorld(t *testing.T) *world {
 		t.Fatal(err)
 	}
 	model := latency.DefaultModel()
-	camp, err := ditl.Build(g, letters, pop, zone, rates, model, ditl.Config{}, rng)
+	camp, err := ditl.Build(context.Background(), g, letters, pop, zone, rates, model, ditl.Config{}, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cdnC := users.BuildCDNCounts(pop, users.CDNConfig{}, rng)
 	apnic := users.BuildAPNICCounts(g, pop, rng)
-	cdnNet, err := cdn.Build(g, model, cdn.Config{}, rng)
+	cdnNet, err := cdn.Build(context.Background(), g, model, cdn.Config{}, rng)
 	if err != nil {
 		t.Fatal(err)
 	}

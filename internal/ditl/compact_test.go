@@ -2,6 +2,7 @@ package ditl
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"reflect"
 	"runtime"
@@ -131,7 +132,7 @@ func BenchmarkCampaignBuild(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rng := rand.New(rand.NewSource(123))
-		c, err := Build(f.g, f.letters, f.pop, nil, f.rates, f.camp.Model, Config{}, rng)
+		c, err := Build(context.Background(), f.g, f.letters, f.pop, nil, f.rates, f.camp.Model, Config{}, rng)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -6,6 +6,7 @@
 package ditl
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -243,9 +244,13 @@ func (c *Campaign) Egress(ri int) []ipaddr.Addr {
 }
 
 // Build assembles the campaign. rates must parallel pop.Recursives; zone
-// may be nil when no pcap emission with real referrals is needed.
-func Build(g *topology.Graph, letters []*anycastnet.Deployment, pop *users.Population,
+// may be nil when no pcap emission with real referrals is needed. ctx
+// carries the caller's span: a traced build records "ditl.build" with
+// "ditl.warm_routes" and "ditl.assemble" children under it.
+func Build(ctx context.Context, g *topology.Graph, letters []*anycastnet.Deployment, pop *users.Population,
 	zone *dnssim.Zone, rates []dnssim.Rates, model *latency.Model, cfg Config, rng *rand.Rand) (*Campaign, error) {
+	ctx, build := obs.StartSpanCtx(ctx, "ditl.build")
+	defer build.End()
 	cfg = cfg.withDefaults()
 	if len(letters) == 0 {
 		return nil, fmt.Errorf("ditl: no letters")
@@ -278,9 +283,14 @@ func Build(g *topology.Graph, letters []*anycastnet.Deployment, pop *users.Popul
 			srcs = append(srcs, asn)
 		}
 	}
+	warmCtx, warm := obs.StartSpanCtx(ctx, "ditl.warm_routes")
 	for _, l := range letters {
-		l.WarmRoutes(srcs)
+		l.WarmRoutesCtx(warmCtx, srcs)
 	}
+	warm.End()
+
+	_, assemble := obs.StartSpanCtx(ctx, "ditl.assemble")
+	defer assemble.End()
 
 	n := len(pop.Recursives)
 	nl := len(letters)

@@ -2,6 +2,7 @@ package ditl
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -47,7 +48,7 @@ func buildFixture(t testing.TB) *fixture {
 	if err != nil {
 		t.Fatal(err)
 	}
-	camp, err := Build(g, letters, pop, zone, rates, latency.DefaultModel(), Config{}, rng)
+	camp, err := Build(context.Background(), g, letters, pop, zone, rates, latency.DefaultModel(), Config{}, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,10 +59,10 @@ func buildFixture(t testing.TB) *fixture {
 func TestBuildValidation(t *testing.T) {
 	f := buildFixture(t)
 	rng := rand.New(rand.NewSource(1))
-	if _, err := Build(f.g, nil, f.pop, nil, f.rates, latency.DefaultModel(), Config{}, rng); err == nil {
+	if _, err := Build(context.Background(), f.g, nil, f.pop, nil, f.rates, latency.DefaultModel(), Config{}, rng); err == nil {
 		t.Error("no letters accepted")
 	}
-	if _, err := Build(f.g, f.letters, f.pop, nil, f.rates[:3], latency.DefaultModel(), Config{}, rng); err == nil {
+	if _, err := Build(context.Background(), f.g, f.letters, f.pop, nil, f.rates[:3], latency.DefaultModel(), Config{}, rng); err == nil {
 		t.Error("mismatched rates accepted")
 	}
 }

@@ -1,6 +1,8 @@
 package ditl
 
 import (
+	"context"
+
 	"anycastctx/internal/ipaddr"
 	"anycastctx/internal/obs"
 	"anycastctx/internal/par"
@@ -110,10 +112,22 @@ func (c *Campaign) joinRow(cdn *users.CDNCounts, byIP bool, ri int) (JoinedRow, 
 // arithmetic outside joinRow, so the output is byte-identical to the
 // serial join (joinCDNSerial stays behind as the test oracle).
 func (c *Campaign) JoinCDN(cdn *users.CDNCounts, byIP bool) *Join {
+	return c.JoinCDNCtx(context.Background(), cdn, byIP)
+}
+
+// JoinCDNCtx is JoinCDN with the caller's span context carried into the
+// mark and fill shards: a traced run records "ditl.join_cdn" with
+// per-worker "ditl.join_cdn.shard" children. Output is byte-identical to
+// JoinCDN.
+func (c *Campaign) JoinCDNCtx(ctx context.Context, cdn *users.CDNCounts, byIP bool) *Join {
+	ctx, join := obs.StartSpanCtx(ctx, "ditl.join_cdn")
+	defer join.End()
 	j := &Join{ByIP: byIP}
 	n := c.numRecs
 	include := make([]bool, n)
-	par.Do(n, func(lo, hi int) {
+	par.DoCtx(ctx, n, func(ctx context.Context, lo, hi int) {
+		_, sp := obs.StartSpanCtx(ctx, "ditl.join_cdn.shard")
+		defer sp.End()
 		for ri := lo; ri < hi; ri++ {
 			_, ok := c.joinRow(cdn, byIP, ri)
 			include[ri] = ok
@@ -127,7 +141,9 @@ func (c *Campaign) JoinCDN(cdn *users.CDNCounts, byIP bool) *Join {
 		}
 	}
 	rows := make([]JoinedRow, offs[n])
-	par.Do(n, func(lo, hi int) {
+	par.DoCtx(ctx, n, func(ctx context.Context, lo, hi int) {
+		_, sp := obs.StartSpanCtx(ctx, "ditl.join_cdn.shard")
+		defer sp.End()
 		for ri := lo; ri < hi; ri++ {
 			if include[ri] {
 				rows[offs[ri]], _ = c.joinRow(cdn, byIP, ri)

@@ -1,6 +1,7 @@
 package ditl
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -10,6 +11,7 @@ import (
 	"anycastctx/internal/dnssim"
 	"anycastctx/internal/dnswire"
 	"anycastctx/internal/ipaddr"
+	"anycastctx/internal/obs"
 	"anycastctx/internal/pcapio"
 )
 
@@ -40,6 +42,15 @@ var captureStart = time.Date(2018, time.April, 10, 0, 0, 0, 0, time.UTC)
 // handshakes, drawn from the recursives whose catchment includes the site
 // and from junk sources. At most maxPackets packets are written.
 func (c *Campaign) EmitSiteCapture(w io.Writer, li, siteID, maxPackets int, rng *rand.Rand) (int, error) {
+	return c.EmitSiteCaptureCtx(context.Background(), w, li, siteID, maxPackets, rng)
+}
+
+// EmitSiteCaptureCtx is EmitSiteCapture parented under the span carried by
+// ctx: a traced run records one "ditl.capture" span per emitted site
+// capture. Output bytes are identical to EmitSiteCapture.
+func (c *Campaign) EmitSiteCaptureCtx(ctx context.Context, w io.Writer, li, siteID, maxPackets int, rng *rand.Rand) (int, error) {
+	_, span := obs.StartSpanCtx(ctx, "ditl.capture")
+	defer span.End()
 	if li < 0 || li >= len(c.Letters) {
 		return 0, fmt.Errorf("ditl: letter index %d out of range", li)
 	}

@@ -1,6 +1,7 @@
 package dnssim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -132,6 +133,14 @@ type RunStats struct {
 // aggregate rate, invoking onResult (if non-nil) per user query. The query
 // arrival process is Poisson.
 func (c *Client) Run(r *Resolver, days float64, onResult func(kind QueryKind, res QueryResult)) RunStats {
+	return c.RunCtx(context.Background(), r, days, onResult)
+}
+
+// RunCtx is Run with the caller's span context: a traced run records the
+// whole query loop as one "dnssim.client_run" span under the caller's span.
+func (c *Client) RunCtx(ctx context.Context, r *Resolver, days float64, onResult func(kind QueryKind, res QueryResult)) RunStats {
+	_, span := obs.StartSpanCtx(ctx, "dnssim.client_run")
+	defer span.End()
 	totalRate := float64(c.cfg.Users) *
 		(c.cfg.QueriesPerUserPerDay + c.cfg.ChromiumProbesPerUserPerDay + c.cfg.JunkPerUserPerDay) / 86400
 	pProbe := c.cfg.ChromiumProbesPerUserPerDay /

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one Chrome trace-event ("Trace Event Format", the JSON
+// consumed by Perfetto / chrome://tracing). Timestamps and durations are
+// microseconds.
+type chromeEvent struct {
+	Name string           `json:"name"`
+	Cat  string           `json:"cat,omitempty"`
+	Ph   string           `json:"ph"`
+	TS   float64          `json:"ts"`
+	Dur  float64          `json:"dur,omitempty"`
+	PID  int              `json:"pid"`
+	TID  int              `json:"tid"`
+	Args *chromeEventArgs `json:"args,omitempty"`
+}
+
+type chromeEventArgs struct {
+	ID             int64  `json:"id,omitempty"`
+	Parent         int64  `json:"parent,omitempty"`
+	AllocBytes     uint64 `json:"alloc_bytes,omitempty"`
+	HeapDeltaBytes int64  `json:"heap_delta_bytes,omitempty"`
+	Open           bool   `json:"open,omitempty"`
+	Name           string `json:"name,omitempty"` // metadata events only
+}
+
+// chromeTrace is the JSON-object container form of the trace format.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders the collected spans as Chrome trace-event JSON,
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing. Each span
+// becomes one complete ("X") event; the span tree is preserved two ways:
+// explicitly, via args.id/args.parent, and visually, by assigning spans to
+// tracks (tid) such that a track only nests a span inside its ancestors.
+// Concurrent siblings (catchment shards, -j experiment workers) therefore
+// land on separate tracks instead of rendering as a false nesting.
+func (r *Registry) WriteChromeTrace(w io.Writer) error {
+	spans := r.Spans()
+
+	// Open spans have no duration yet; clip them to the trace horizon so
+	// they render instead of disappearing.
+	horizon := int64(0)
+	for _, sp := range spans {
+		end := sp.StartNs
+		if sp.done {
+			end += sp.WallNs
+		}
+		if end > horizon {
+			horizon = end
+		}
+	}
+	endOf := func(sp SpanRecord) int64 {
+		if sp.done {
+			return sp.StartNs + sp.WallNs
+		}
+		return horizon
+	}
+
+	// byID lets the ancestry test walk parent chains.
+	byID := make(map[int64]int, len(spans))
+	for i, sp := range spans {
+		byID[sp.ID] = i
+	}
+	isAncestor := func(anc, id int64) bool {
+		for id != 0 {
+			i, ok := byID[id]
+			if !ok {
+				return false
+			}
+			id = spans[i].Parent
+			if id == anc {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Greedy track assignment in start order: prefer the parent's track,
+	// else the first track where every time-overlapping occupant is an
+	// ancestor that fully contains the span, else a fresh track.
+	lane := make([]int, len(spans))
+	var lanes [][]int // lane -> span indices assigned to it
+	fits := func(l int, i int) bool {
+		s, sEnd := spans[i].StartNs, endOf(spans[i])
+		for _, j := range lanes[l] {
+			t, tEnd := spans[j].StartNs, endOf(spans[j])
+			if tEnd <= s || t >= sEnd {
+				continue // no overlap
+			}
+			if t <= s && tEnd >= sEnd && isAncestor(spans[j].ID, spans[i].ID) {
+				continue // proper nesting inside an ancestor
+			}
+			return false
+		}
+		return true
+	}
+	for i := range spans {
+		assigned := -1
+		if pi, ok := byID[spans[i].Parent]; ok && fits(lane[pi], i) {
+			assigned = lane[pi]
+		} else {
+			for l := range lanes {
+				if fits(l, i) {
+					assigned = l
+					break
+				}
+			}
+		}
+		if assigned == -1 {
+			lanes = append(lanes, nil)
+			assigned = len(lanes) - 1
+		}
+		lane[i] = assigned
+		lanes[assigned] = append(lanes[assigned], i)
+	}
+
+	events := make([]chromeEvent, 0, len(spans)+1)
+	events = append(events, chromeEvent{
+		Name: "process_name", Ph: "M", PID: 1, TID: 0,
+		Args: &chromeEventArgs{Name: "anycastctx"},
+	})
+	for i, sp := range spans {
+		events = append(events, chromeEvent{
+			Name: sp.Name,
+			Cat:  "span",
+			Ph:   "X",
+			TS:   float64(sp.StartNs) / 1e3,
+			Dur:  float64(endOf(sp)-sp.StartNs) / 1e3,
+			PID:  1,
+			TID:  lane[i],
+			Args: &chromeEventArgs{
+				ID:             sp.ID,
+				Parent:         sp.Parent,
+				AllocBytes:     sp.AllocBytes,
+				HeapDeltaBytes: sp.HeapDeltaBytes,
+				Open:           !sp.done,
+			},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// WriteChromeTrace renders the default registry's spans as Chrome
+// trace-event JSON.
+func WriteChromeTrace(w io.Writer) error { return Default.WriteChromeTrace(w) }

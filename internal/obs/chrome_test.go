@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// decodeChromeTrace round-trips WriteChromeTrace output through the JSON
+// decoder, failing the test on malformed output.
+func decodeChromeTrace(t *testing.T, r *Registry) chromeTrace {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var trace chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("Chrome trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	return trace
+}
+
+// spanEvents filters out metadata events.
+func spanEvents(trace chromeTrace) []chromeEvent {
+	var out []chromeEvent
+	for _, ev := range trace.TraceEvents {
+		if ev.Ph == "X" {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	r := NewRegistry()
+	r.Enable()
+
+	ctx, root := r.StartSpanCtx(context.Background(), "root")
+	cctx, child := r.StartSpanCtx(ctx, "child")
+	_, grand := r.StartSpanCtx(cctx, "grandchild")
+	grand.End()
+	child.End()
+	_, sibling := r.StartSpanCtx(ctx, "sibling")
+	sibling.End()
+	root.End()
+
+	trace := decodeChromeTrace(t, r)
+	if trace.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", trace.DisplayTimeUnit)
+	}
+
+	events := spanEvents(trace)
+	if len(events) != 4 {
+		t.Fatalf("got %d span events, want 4", len(events))
+	}
+
+	// Monotonic ts: spans are recorded in start order, so event ts must be
+	// non-decreasing.
+	for i := 1; i < len(events); i++ {
+		if events[i].TS < events[i-1].TS {
+			t.Errorf("ts not monotonic: event %d at %v after %v", i, events[i].TS, events[i-1].TS)
+		}
+	}
+
+	// Parent/child relations in args must mirror the span tree.
+	byName := map[string]chromeEvent{}
+	for _, ev := range events {
+		byName[ev.Name] = ev
+	}
+	if byName["root"].Args.Parent != 0 {
+		t.Errorf("root parent = %d, want 0", byName["root"].Args.Parent)
+	}
+	for child, parent := range map[string]string{
+		"child":      "root",
+		"grandchild": "child",
+		"sibling":    "root",
+	} {
+		if byName[child].Args.Parent != byName[parent].Args.ID {
+			t.Errorf("%s.parent = %d, want %s's id %d",
+				child, byName[child].Args.Parent, parent, byName[parent].Args.ID)
+		}
+	}
+
+	// Visual nesting: a child must sit on a track (tid) where its time range
+	// is inside its parent's, or on its own track; either way its interval
+	// must be contained in the parent's interval.
+	for child, parent := range map[string]string{"child": "root", "grandchild": "child"} {
+		c, p := byName[child], byName[parent]
+		if c.TS < p.TS || c.TS+c.Dur > p.TS+p.Dur {
+			t.Errorf("%s [%v, %v] not contained in %s [%v, %v]",
+				child, c.TS, c.TS+c.Dur, parent, p.TS, p.TS+p.Dur)
+		}
+	}
+}
+
+// TestChromeTraceConcurrentSiblingsSeparateTracks pins the lane-assignment
+// guarantee: two spans that overlap in time but are not ancestors of each
+// other must not share a tid, or Perfetto would render a false nesting.
+func TestChromeTraceConcurrentSiblingsSeparateTracks(t *testing.T) {
+	r := NewRegistry()
+	r.Enable()
+
+	ctx, root := r.StartSpanCtx(context.Background(), "root")
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	hold := make(chan struct{})
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			_, sp := r.StartSpanCtx(ctx, "worker")
+			<-hold
+			sp.End()
+		}()
+	}
+	close(start)
+	// All three workers are open simultaneously once their spans exist;
+	// wait for that, then release.
+	for {
+		if n := len(r.Spans()); n == 4 {
+			break
+		}
+	}
+	close(hold)
+	wg.Wait()
+	root.End()
+
+	trace := decodeChromeTrace(t, r)
+	workers := make([]chromeEvent, 0, 3)
+	for _, ev := range spanEvents(trace) {
+		if ev.Name == "worker" {
+			workers = append(workers, ev)
+		}
+	}
+	if len(workers) != 3 {
+		t.Fatalf("got %d worker events, want 3", len(workers))
+	}
+	tids := map[int]bool{}
+	for _, ev := range workers {
+		if tids[ev.TID] {
+			t.Errorf("two overlapping worker spans share tid %d", ev.TID)
+		}
+		tids[ev.TID] = true
+		if ev.Args.Parent != 1 {
+			t.Errorf("worker parent = %d, want root id 1", ev.Args.Parent)
+		}
+	}
+}
+
+// TestChromeTraceOpenSpanClipped checks that a span never ended still
+// renders, clipped to the trace horizon and flagged open.
+func TestChromeTraceOpenSpanClipped(t *testing.T) {
+	r := NewRegistry()
+	r.Enable()
+
+	_, open := r.StartSpanCtx(context.Background(), "never_ends")
+	_ = open
+	_, done := r.StartSpanCtx(context.Background(), "done")
+	done.End()
+
+	trace := decodeChromeTrace(t, r)
+	for _, ev := range spanEvents(trace) {
+		switch ev.Name {
+		case "never_ends":
+			if !ev.Args.Open {
+				t.Error("open span not flagged open")
+			}
+		case "done":
+			if ev.Args.Open {
+				t.Error("ended span flagged open")
+			}
+		}
+	}
+}
+
+// TestChromeTraceDisabledRegistryIsEmpty: a disabled registry exports a
+// valid, empty trace.
+func TestChromeTraceDisabledRegistryIsEmpty(t *testing.T) {
+	r := NewRegistry()
+	_, sp := r.StartSpanCtx(context.Background(), "ignored")
+	sp.End()
+	trace := decodeChromeTrace(t, r)
+	if n := len(spanEvents(trace)); n != 0 {
+		t.Errorf("disabled registry exported %d span events", n)
+	}
+}
+
+// TestStartSpanCtxConcurrentTreesStayCorrect is the core reason the ctx
+// API exists: goroutines building their own subtree concurrently must not
+// corrupt each other's parentage (the legacy stack would).
+func TestStartSpanCtxConcurrentTreesStayCorrect(t *testing.T) {
+	r := NewRegistry()
+	r.Enable()
+
+	ctx, root := r.StartSpanCtx(context.Background(), "root")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wctx, w := r.StartSpanCtx(ctx, "outer")
+			for j := 0; j < 10; j++ {
+				_, inner := r.StartSpanCtx(wctx, "inner")
+				inner.End()
+			}
+			w.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+
+	spans := r.Spans()
+	byID := map[int64]SpanRecord{}
+	for _, sp := range spans {
+		byID[sp.ID] = sp
+	}
+	for _, sp := range spans {
+		switch sp.Name {
+		case "outer":
+			if byID[sp.Parent].Name != "root" {
+				t.Fatalf("outer parented to %q", byID[sp.Parent].Name)
+			}
+			if sp.Depth != 1 {
+				t.Errorf("outer depth = %d, want 1", sp.Depth)
+			}
+		case "inner":
+			if byID[sp.Parent].Name != "outer" {
+				t.Fatalf("inner parented to %q", byID[sp.Parent].Name)
+			}
+			if sp.Depth != 2 {
+				t.Errorf("inner depth = %d, want 2", sp.Depth)
+			}
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewServeMux builds the live observability surface for a registry: a
+// read-only HTTP mux exposing
+//
+//	GET /metrics        OpenMetrics/Prometheus text exposition
+//	GET /debug/pprof/*  stdlib profiling handlers (heap, profile, trace, ...)
+//
+// Callers (cmd/experiments -serve) mount additional resources — e.g. the
+// run-progress JSON — on the returned mux. Every handler only reads the
+// race-safe registry, so scraping a live run cannot change simulation
+// output.
+func NewServeMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", OpenMetricsContentType)
+		// Errors past the header are write failures to a gone client;
+		// nothing useful to do with them.
+		_ = r.WriteOpenMetrics(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -241,6 +241,31 @@ func (h *Histogram) Observe(v float64) {
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
+// BucketCount is one cumulative histogram bucket: Count observations were
+// ≤ UpperBound. Suitable for OpenMetrics `le` exposition.
+type BucketCount struct {
+	UpperBound float64
+	Count      uint64 // cumulative
+}
+
+// Buckets returns the cumulative bucket counts for every bucket that has
+// at least one direct observation, in ascending bound order. The final
+// +Inf bucket (total count) is implicit — callers emitting OpenMetrics
+// append it from Count(). Empty when nothing was observed.
+func (h *Histogram) Buckets() []BucketCount {
+	var out []BucketCount
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		cum += n
+		out = append(out, BucketCount{UpperBound: bucketUpper(i), Count: cum})
+	}
+	return out
+}
+
 // Sum returns the exact sum of observations.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 
@@ -321,6 +346,7 @@ type HistStats struct {
 	P50   float64 `json:"p50"`
 	P90   float64 `json:"p90"`
 	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
 }
 
 // Snapshot is a point-in-time copy of every registered metric.
@@ -350,6 +376,7 @@ func (r *Registry) Snapshot() Snapshot {
 		if st.Count > 0 {
 			st.Min, st.Max = h.Min(), h.Max()
 			st.P50, st.P90, st.P99 = h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99)
+			st.P999 = h.Quantile(0.999)
 		}
 		s.Histograms[h.name] = st
 	}

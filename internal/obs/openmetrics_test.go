@@ -1,0 +1,265 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// omName matches the OpenMetrics metric name charset with a non-digit
+// first character.
+var omName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// parseOM is a strict-enough OpenMetrics text parser for the exposition
+// this package writes: it validates overall structure (TYPE before
+// samples, # EOF last, nothing after it), name charset, and numeric
+// sample values, returning samples keyed by "<name>{labels}".
+func parseOM(t *testing.T, text string) (types map[string]string, samples map[string]float64) {
+	t.Helper()
+	types = map[string]string{}
+	samples = map[string]float64{}
+	lines := strings.Split(text, "\n")
+	if lines[len(lines)-1] != "" {
+		t.Fatal("exposition does not end with a newline")
+	}
+	lines = lines[:len(lines)-1]
+	if len(lines) == 0 || lines[len(lines)-1] != "# EOF" {
+		t.Fatal("exposition does not end with # EOF")
+	}
+	for _, line := range lines[:len(lines)-1] {
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			name, typ := parts[2], parts[3]
+			if !omName.MatchString(name) {
+				t.Fatalf("invalid metric name %q", name)
+			}
+			if typ != "counter" && typ != "gauge" && typ != "histogram" {
+				t.Fatalf("unknown type %q in %q", typ, line)
+			}
+			if _, dup := types[name]; dup {
+				t.Fatalf("duplicate TYPE for %q", name)
+			}
+			types[name] = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unexpected comment line %q", line)
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		series, valStr := line[:sp], line[sp+1:]
+		var v float64
+		switch valStr {
+		case "+Inf":
+			v = math.Inf(1)
+		case "-Inf":
+			v = math.Inf(-1)
+		default:
+			var err error
+			v, err = strconv.ParseFloat(valStr, 64)
+			if err != nil {
+				t.Fatalf("bad sample value in %q: %v", line, err)
+			}
+		}
+		bare := series
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			bare = series[:i]
+			if !strings.HasSuffix(series, "}") {
+				t.Fatalf("unterminated labels in %q", line)
+			}
+		}
+		if !omName.MatchString(bare) {
+			t.Fatalf("invalid series name %q", bare)
+		}
+		// Every sample must belong to a declared metric family.
+		found := false
+		for _, suffix := range []string{"", "_total", "_bucket", "_sum", "_count"} {
+			if suffix != "" && !strings.HasSuffix(bare, suffix) {
+				continue
+			}
+			if _, ok := types[strings.TrimSuffix(bare, suffix)]; ok {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("sample %q has no TYPE declaration", series)
+		}
+		if _, dup := samples[series]; dup {
+			t.Fatalf("duplicate sample %q", series)
+		}
+		samples[series] = v
+	}
+	return types, samples
+}
+
+func TestWriteOpenMetricsStrict(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("bgp.routes_resolved")
+	g := r.NewGauge("world.regions")
+	h := r.NewHistogram("cdn.server_log_rtt_ms")
+
+	c.Add(42)
+	g.Set(113)
+	for _, v := range []float64{0.5, 3, 3.5, 100, 1e6} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	types, samples := parseOM(t, buf.String())
+
+	if types["bgp_routes_resolved"] != "counter" {
+		t.Errorf("types = %v", types)
+	}
+	if got := samples["bgp_routes_resolved_total"]; got != 42 {
+		t.Errorf("counter sample = %v, want 42", got)
+	}
+	if got := samples["world_regions"]; got != 113 {
+		t.Errorf("gauge sample = %v, want 113", got)
+	}
+	if got := samples["cdn_server_log_rtt_ms_count"]; got != 5 {
+		t.Errorf("histogram count = %v, want 5", got)
+	}
+	if got := samples["cdn_server_log_rtt_ms_sum"]; math.Abs(got-1000107) > 1 {
+		t.Errorf("histogram sum = %v, want ~1000107", got)
+	}
+}
+
+// TestOpenMetricsHistogramBucketsCumulative checks the le-bucket series:
+// upper bounds strictly increasing, counts non-decreasing, +Inf bucket
+// equal to _count, and each observation landing at or below its bound.
+func TestOpenMetricsHistogramBucketsCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("ditl.join_users_per_row")
+	obsVals := []float64{0.25, 1, 1, 7, 300, 1e9}
+	for _, v := range obsVals {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	bucketRe := regexp.MustCompile(`^ditl_join_users_per_row_bucket\{le="([^"]+)"\} (\d+)$`)
+	var uppers []float64
+	var counts []uint64
+	for _, line := range strings.Split(buf.String(), "\n") {
+		m := bucketRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		var u float64
+		if m[1] == "+Inf" {
+			u = math.Inf(1)
+		} else {
+			var err error
+			u, err = strconv.ParseFloat(m[1], 64)
+			if err != nil {
+				t.Fatalf("bad le %q: %v", m[1], err)
+			}
+		}
+		n, err := strconv.ParseUint(m[2], 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		uppers = append(uppers, u)
+		counts = append(counts, n)
+	}
+	if len(uppers) < 2 {
+		t.Fatalf("only %d bucket lines", len(uppers))
+	}
+	for i := 1; i < len(uppers); i++ {
+		if uppers[i] <= uppers[i-1] {
+			t.Errorf("le bounds not increasing: %v then %v", uppers[i-1], uppers[i])
+		}
+		if counts[i] < counts[i-1] {
+			t.Errorf("bucket counts not cumulative: %d then %d", counts[i-1], counts[i])
+		}
+	}
+	if !math.IsInf(uppers[len(uppers)-1], 1) {
+		t.Error("last bucket is not +Inf")
+	}
+	if counts[len(counts)-1] != uint64(len(obsVals)) {
+		t.Errorf("+Inf bucket = %d, want %d", counts[len(counts)-1], len(obsVals))
+	}
+	// Cross-check cumulativity against the raw observations: for each
+	// bound, how many observations are <= it.
+	for i, u := range uppers {
+		want := uint64(0)
+		for _, v := range obsVals {
+			if v <= u {
+				want++
+			}
+		}
+		if counts[i] != want {
+			t.Errorf("bucket le=%v count = %d, want %d", u, counts[i], want)
+		}
+	}
+}
+
+func TestOpenMetricsEmptyHistogram(t *testing.T) {
+	r := NewRegistry()
+	r.NewHistogram("dnssim.empty")
+	var buf bytes.Buffer
+	if err := r.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`dnssim_empty_bucket{le="+Inf"} 0`,
+		"dnssim_empty_sum 0",
+		"dnssim_empty_count 0",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"bgp.route_cache_hits": "bgp_route_cache_hits",
+		"a-b.c":                "a_b_c",
+		"9lives":               "_9lives",
+		"ok_name":              "ok_name",
+	}
+	for in, want := range cases {
+		if got := sanitizeMetricName(in); got != want {
+			t.Errorf("sanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestHistogramP999InSnapshot(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("x.lat")
+	for i := 0; i < 1000; i++ {
+		h.Observe(1)
+	}
+	h.Observe(1 << 20)
+	snap := r.Snapshot()
+	st, ok := snap.Histograms["x.lat"]
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if st.P999 < st.P99 {
+		t.Errorf("p999 %v < p99 %v", st.P999, st.P99)
+	}
+	if st.P999 <= 1 {
+		t.Errorf("p999 = %v, want the tail observation to dominate", st.P999)
+	}
+	var _ = fmt.Sprintf("%v", st.P999) // field participates in JSON reports
+}

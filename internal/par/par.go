@@ -7,6 +7,7 @@
 package par
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -44,6 +45,17 @@ func (p *WorkerPanic) Unwrap() error {
 // panic), and the first panic in span order is re-raised on the caller's
 // goroutine as a *WorkerPanic annotating the failing [lo, hi) range.
 func Do(n int, fn func(lo, hi int)) {
+	DoCtx(context.Background(), n, func(_ context.Context, lo, hi int) { fn(lo, hi) })
+}
+
+// DoCtx is Do with a context threaded to every worker. The context is the
+// observability carrier: callers start a parent span, put it in ctx, and
+// each worker's shard spans (started via obs.StartSpanCtx inside fn)
+// attach to it, so parallel stages keep a correct span tree instead of
+// garbling a shared nesting stack. DoCtx itself never cancels on ctx —
+// shards are short and deterministic, and partial fan-outs would break
+// output byte-identity.
+func DoCtx(ctx context.Context, n int, fn func(ctx context.Context, lo, hi int)) {
 	if n <= 0 {
 		return
 	}
@@ -52,7 +64,7 @@ func Do(n int, fn func(lo, hi int)) {
 		workers = n
 	}
 	if workers <= 1 {
-		fn(0, n) // serial path: a panic already unwinds the caller's stack
+		fn(ctx, 0, n) // serial path: a panic already unwinds the caller's stack
 		return
 	}
 	size := (n + workers - 1) / workers
@@ -73,7 +85,7 @@ func Do(n int, fn func(lo, hi int)) {
 					panics[span] = &WorkerPanic{Lo: lo, Hi: hi, Value: v, Stack: buf[:runtime.Stack(buf, false)]}
 				}
 			}()
-			fn(lo, hi)
+			fn(ctx, lo, hi)
 		}(lo, hi, span)
 	}
 	wg.Wait()

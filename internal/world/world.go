@@ -6,6 +6,7 @@
 package world
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -143,23 +144,25 @@ type World struct {
 	join     *ditl.Join
 }
 
-// Build constructs the world deterministically from cfg.
-func Build(cfg Config) (*World, error) {
+// Build constructs the world deterministically from cfg. The span context
+// parents the "world.build" phase tree; pass context.Background() when not
+// tracing.
+func Build(ctx context.Context, cfg Config) (*World, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Scale <= 0 || cfg.Scale > 1 {
 		return nil, fmt.Errorf("world: scale %v out of (0, 1]", cfg.Scale)
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
-	build := obs.StartSpan("world.build")
+	ctx, build := obs.StartSpanCtx(ctx, "world.build")
 	defer build.End()
 	obsBuilds.Inc()
 
-	sp := obs.StartSpan("world.regions")
+	_, sp := obs.StartSpanCtx(ctx, "world.regions")
 	regions := geo.GenerateRegions(geo.PaperRegionCounts, rng)
 	sp.End()
 
-	sp = obs.StartSpan("world.topology")
+	_, sp = obs.StartSpanCtx(ctx, "world.topology")
 	topoCfg := topology.DefaultConfig()
 	topoCfg.Seed = cfg.Seed + 1
 	topoCfg.NumTransit = scaleInt(topoCfg.NumTransit, cfg.Scale, 20)
@@ -170,7 +173,7 @@ func Build(cfg Config) (*World, error) {
 		return nil, fmt.Errorf("world: topology: %w", err)
 	}
 
-	sp = obs.StartSpan("world.population")
+	_, sp = obs.StartSpanCtx(ctx, "world.population")
 	model := latency.DefaultModel()
 	pop, err := users.Build(g, users.Config{TotalUsers: cfg.TotalUsers}, rng)
 	sp.End()
@@ -178,7 +181,7 @@ func Build(cfg Config) (*World, error) {
 		return nil, fmt.Errorf("world: population: %w", err)
 	}
 
-	sp = obs.StartSpan("world.zone_rates")
+	_, sp = obs.StartSpanCtx(ctx, "world.zone_rates")
 	zone := dnssim.NewZone(cfg.NumTLDs, rng)
 	rates := dnssim.ComputeRates(pop, zone, dnssim.RateConfig{}, rng)
 	sp.End()
@@ -192,35 +195,35 @@ func Build(cfg Config) (*World, error) {
 	default:
 		return nil, fmt.Errorf("world: unsupported DITL year %d", cfg.Year)
 	}
-	sp = obs.StartSpan("world.letters")
+	_, sp = obs.StartSpanCtx(ctx, "world.letters")
 	letters, err := anycastnet.BuildLetters(g, specs, rng)
 	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("world: letters: %w", err)
 	}
 
-	sp = obs.StartSpan("world.campaign")
-	camp, err := ditl.Build(g, letters, pop, zone, rates, model, ditl.Config{}, rng)
+	campCtx, sp := obs.StartSpanCtx(ctx, "world.campaign")
+	camp, err := ditl.Build(campCtx, g, letters, pop, zone, rates, model, ditl.Config{}, rng)
 	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("world: campaign: %w", err)
 	}
 	camp.Faults = cfg.Faults
 
-	sp = obs.StartSpan("world.cdn")
-	cdnNet, err := cdn.Build(g, model, cdn.Config{}, rng)
+	cdnCtx, sp := obs.StartSpanCtx(ctx, "world.cdn")
+	cdnNet, err := cdn.Build(cdnCtx, g, model, cdn.Config{}, rng)
 	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("world: cdn: %w", err)
 	}
 	cdnNet.Faults = cfg.Faults
 
-	sp = obs.StartSpan("world.user_counts")
+	_, sp = obs.StartSpanCtx(ctx, "world.user_counts")
 	cdnCounts := users.BuildCDNCounts(pop, users.CDNConfig{}, rng)
 	apnic := users.BuildAPNICCounts(g, pop, rng)
 	sp.End()
 
-	sp = obs.StartSpan("world.atlas")
+	_, sp = obs.StartSpanCtx(ctx, "world.atlas")
 	probes := scaleInt(cfg.NumProbes, cfg.Scale, 100)
 	plat, err := atlas.Deploy(g, model, atlas.Config{NumProbes: probes}, rng)
 	sp.End()
@@ -268,8 +271,14 @@ func scaleInt(v int, scale float64, floor int) int {
 // concurrently (RunAllParallel); the join itself is deterministic, so
 // which caller computes it never affects results.
 func (w *World) Join() *ditl.Join {
+	return w.JoinCtx(context.Background())
+}
+
+// JoinCtx is Join with the caller's span context carried into the join
+// computation when this caller is the one that fills the cache.
+func (w *World) JoinCtx(ctx context.Context) *ditl.Join {
 	w.joinOnce.Do(func() {
-		w.join = w.Campaign.JoinCDN(w.CDNCounts, false)
+		w.join = w.Campaign.JoinCDNCtx(ctx, w.CDNCounts, false)
 	})
 	return w.join
 }

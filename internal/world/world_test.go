@@ -1,11 +1,12 @@
 package world
 
 import (
+	"context"
 	"testing"
 )
 
 func TestBuildTestScale(t *testing.T) {
-	w, err := Build(TestScale(2))
+	w, err := Build(context.Background(), TestScale(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,13 +32,13 @@ func TestBuildTestScale(t *testing.T) {
 }
 
 func TestBuildValidation(t *testing.T) {
-	if _, err := Build(Config{Seed: 1, Scale: -1}); err == nil {
+	if _, err := Build(context.Background(), Config{Seed: 1, Scale: -1}); err == nil {
 		t.Error("negative scale accepted")
 	}
-	if _, err := Build(Config{Seed: 1, Scale: 1.5}); err == nil {
+	if _, err := Build(context.Background(), Config{Seed: 1, Scale: 1.5}); err == nil {
 		t.Error("scale > 1 accepted")
 	}
-	if _, err := Build(Config{Seed: 1, Year: 2019}); err == nil {
+	if _, err := Build(context.Background(), Config{Seed: 1, Year: 2019}); err == nil {
 		t.Error("unknown year accepted")
 	}
 }
@@ -45,7 +46,7 @@ func TestBuildValidation(t *testing.T) {
 func TestBuild2020(t *testing.T) {
 	cfg := TestScale(3)
 	cfg.Year = DITL2020
-	w, err := Build(cfg)
+	w, err := Build(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestBuild2020(t *testing.T) {
 }
 
 func TestJoinCachedAndNonEmpty(t *testing.T) {
-	w, err := Build(TestScale(4))
+	w, err := Build(context.Background(), TestScale(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,11 +83,11 @@ func TestScaleInt(t *testing.T) {
 }
 
 func TestDeterministicBuild(t *testing.T) {
-	w1, err := Build(TestScale(9))
+	w1, err := Build(context.Background(), TestScale(9))
 	if err != nil {
 		t.Fatal(err)
 	}
-	w2, err := Build(TestScale(9))
+	w2, err := Build(context.Background(), TestScale(9))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -28,5 +28,5 @@ trap 'rm -f "$TXT"' EXIT
 ANYCASTCTX_TEST_SCALE="$SCALE" \
 	go test -run '^$' -bench "$PATTERN" -benchmem -count "$COUNT" . | tee "$TXT"
 
-python3 scripts/benchjson.py "$TXT" "$SCALE" "$COUNT" > "$OUT"
+go run ./cmd/benchdiff -convert "$TXT" -scale "$SCALE" -count "$COUNT" > "$OUT"
 echo "wrote $OUT"
