@@ -80,7 +80,7 @@ func ablGraph(w *World, offset int64) (*topology.Graph, *rand.Rand, error) {
 	return g, rng, err
 }
 
-func runAblSize(ctx context.Context, w *World, _ *rand.Rand) (Result, error) {
+func runAblSize(ctx context.Context, w *World, _ int64) (Result, error) {
 	g, rng, err := ablGraph(w, 1)
 	if err != nil {
 		return Result{}, err
@@ -126,7 +126,7 @@ func runAblSize(ctx context.Context, w *World, _ *rand.Rand) (Result, error) {
 	}, nil
 }
 
-func runAblPeering(ctx context.Context, w *World, _ *rand.Rand) (Result, error) {
+func runAblPeering(ctx context.Context, w *World, _ int64) (Result, error) {
 	model := latency.DefaultModel()
 	t := report.Table{
 		Title:   "Ablation: CDN peering breadth vs direct-path share and inflation",
@@ -137,11 +137,12 @@ func runAblPeering(ctx context.Context, w *World, _ *rand.Rand) (Result, error) 
 	}
 	var lo, hi point
 	for i, base := range []float64{0.05, 0.25, 0.45, 0.70} {
-		g, rng, err := ablGraph(w, 10+int64(i))
+		ablSeed := w.Cfg.Seed*131 + 10 + int64(i)
+		g, _, err := ablGraph(w, 10+int64(i))
 		if err != nil {
 			return Result{}, err
 		}
-		c, err := cdn.Build(ctx, g, model, cdn.Config{PeerBase: base}, rng)
+		c, err := cdn.Build(ctx, g, model, cdn.Config{PeerBase: base}, ablSeed)
 		if err != nil {
 			return Result{}, err
 		}
@@ -164,7 +165,7 @@ func runAblPeering(ctx context.Context, w *World, _ *rand.Rand) (Result, error) 
 			rtts = append(rtts, stats.WeightedValue{Value: model.BaseRTTMs(e, rt), Weight: wgt})
 		}
 		locs := cdn.Locations(g, 1e9)
-		logs := c.ServerSideLogsCtx(ctx, locs, rng)
+		logs := c.ServerSideLogsCtx(ctx, locs, ablSeed)
 		giObs := core.CDNGeoInflation(logs, big)
 		cdf, err := stats.NewCDF(rtts)
 		if err != nil {
@@ -190,7 +191,7 @@ func runAblPeering(ctx context.Context, w *World, _ *rand.Rand) (Result, error) 
 	}, nil
 }
 
-func runAblRouting(ctx context.Context, w *World, _ *rand.Rand) (Result, error) {
+func runAblRouting(ctx context.Context, w *World, _ int64) (Result, error) {
 	g, rng, err := ablGraph(w, 20)
 	if err != nil {
 		return Result{}, err
@@ -232,18 +233,19 @@ func runAblRouting(ctx context.Context, w *World, _ *rand.Rand) (Result, error) 
 	}, nil
 }
 
-func runAblTau(ctx context.Context, w *World, _ *rand.Rand) (Result, error) {
+func runAblTau(ctx context.Context, w *World, _ int64) (Result, error) {
+	ablSeed := w.Cfg.Seed*131 + 30
 	g, rng, err := ablGraph(w, 30)
 	if err != nil {
 		return Result{}, err
 	}
 	model := latency.DefaultModel()
-	pop, err := users.Build(g, users.Config{TotalUsers: 1e9}, rng)
+	pop, err := users.Build(g, users.Config{TotalUsers: 1e9}, ablSeed)
 	if err != nil {
 		return Result{}, err
 	}
-	zone := dnssim.NewZone(500, rng)
-	rates := dnssim.ComputeRates(pop, zone, dnssim.RateConfig{}, rng)
+	zone := dnssim.NewZone(500, ablSeed)
+	rates := dnssim.ComputeRates(pop, zone, dnssim.RateConfig{}, ablSeed)
 	letters, err := anycastnet.BuildLetters(g, anycastnet.Letters2018(), rng)
 	if err != nil {
 		return Result{}, err
@@ -254,11 +256,11 @@ func runAblTau(ctx context.Context, w *World, _ *rand.Rand) (Result, error) {
 	}
 	var sharp, flat float64
 	for i, tau := range []float64{5, 25, 120, 100000} {
-		camp, err := ditl.Build(ctx, g, letters, pop, zone, rates, model, ditl.Config{TauMs: tau}, rng)
+		camp, err := ditl.Build(ctx, g, letters, pop, zone, rates, model, ditl.Config{TauMs: tau}, ablSeed)
 		if err != nil {
 			return Result{}, err
 		}
-		cdnCounts := users.BuildCDNCounts(pop, users.CDNConfig{}, rand.New(rand.NewSource(w.Cfg.Seed+int64(i))))
+		cdnCounts := users.BuildCDNCounts(pop, users.CDNConfig{}, w.Cfg.Seed+int64(i))
 		j := camp.JoinCDNCtx(ctx, cdnCounts, false)
 		cdf, err := stats.NewCDF(core.GeoInflationAllRoots(camp, j))
 		if err != nil {
@@ -285,7 +287,7 @@ func runAblTau(ctx context.Context, w *World, _ *rand.Rand) (Result, error) {
 	}, nil
 }
 
-func runAblLocalRoot(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
+func runAblLocalRoot(ctx context.Context, w *World, seed int64) (Result, error) {
 	zone := w.Zone
 	run := func(localRoot bool, seed int64) (dnssim.Counters, error) {
 		r, err := dnssim.NewResolver(zone,
@@ -296,7 +298,7 @@ func runAblLocalRoot(ctx context.Context, w *World, rng *rand.Rand) (Result, err
 		if err != nil {
 			return dnssim.Counters{}, err
 		}
-		client := dnssim.NewClient(zone, dnssim.ClientConfig{Users: 150}, rand.New(rand.NewSource(seed+1)))
+		client := dnssim.NewClient(zone, dnssim.ClientConfig{Users: 150}, seed+1)
 		client.RunCtx(ctx, r, 2, nil)
 		return r.Counters(), nil
 	}

@@ -10,9 +10,13 @@ package anycastctx
 // computation, amortization), not world construction, which happens once.
 
 import (
+	"context"
+	"io"
+	"runtime"
 	"sync"
 	"testing"
 
+	"anycastctx/internal/ditl"
 	"anycastctx/internal/obs"
 	"anycastctx/internal/world"
 )
@@ -102,6 +106,67 @@ func BenchmarkWorldBuild(b *testing.B) {
 	if rss := obs.PeakRSSBytes(); rss > 0 {
 		b.ReportMetric(float64(rss), "peak_rss_bytes")
 	}
+}
+
+// Hot-path benchmarks: the per-entity-stream loops that fan out under
+// internal/par (campaign assembly, capture emission, ping sampling). Each
+// has a Serial twin pinned to GOMAXPROCS(1); the pair puts the parallel
+// win in the BENCH trajectory and lets benchdiff gate both shapes. The
+// outputs are byte-identical between the twins — that contract is tested
+// in parallel_test.go; here we only measure.
+
+// withProcs runs fn under GOMAXPROCS(n) and restores the old value.
+func withProcs(n int, fn func()) {
+	prev := runtime.GOMAXPROCS(n)
+	defer runtime.GOMAXPROCS(prev)
+	fn()
+}
+
+func benchCampaignAssembly(b *testing.B) {
+	w := getBenchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ditl.Build(context.Background(), w.Graph, w.Letters, w.Pop,
+			w.Zone, w.Rates, w.Model, ditl.Config{}, w.Cfg.Seed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCampaignAssembly(b *testing.B) { benchCampaignAssembly(b) }
+func BenchmarkCampaignAssemblySerial(b *testing.B) {
+	withProcs(1, func() { benchCampaignAssembly(b) })
+}
+
+func benchCaptureEmission(b *testing.B) {
+	w := getBenchWorld(b)
+	li, site := busiestLetterSite(w)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Campaign.EmitSiteCapture(io.Discard, li, site, 5000, 7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCaptureEmission(b *testing.B) { benchCaptureEmission(b) }
+func BenchmarkCaptureEmissionSerial(b *testing.B) {
+	withProcs(1, func() { benchCaptureEmission(b) })
+}
+
+func benchPingSampling(b *testing.B) {
+	w := getBenchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := w.Atlas.Ping(w.Letters[0], 3, 11); len(res) == 0 {
+			b.Fatal("no ping results")
+		}
+	}
+}
+
+func BenchmarkPingSampling(b *testing.B) { benchPingSampling(b) }
+func BenchmarkPingSamplingSerial(b *testing.B) {
+	withProcs(1, func() { benchPingSampling(b) })
 }
 
 // Ablation benchmarks: the design-choice sweeps DESIGN.md calls out.

@@ -8,7 +8,6 @@ import (
 	"flag"
 	"fmt"
 	"math"
-	"math/rand"
 	"os"
 	"path/filepath"
 
@@ -152,7 +151,7 @@ func dumpDatasets(w *anycastctx.World, dir string) error {
 	}
 
 	// CDN server-side logs.
-	logs := w.CDN.ServerSideLogs(w.Locations, rand.New(rand.NewSource(w.Cfg.Seed*13)))
+	logs := w.CDN.ServerSideLogs(w.Locations, w.Cfg.Seed*13)
 	var lg []byte
 	lg = append(lg, "ring,asn,region,front_end,path_len,direct,median_rtt_ms,users\n"...)
 	for _, r := range logs {

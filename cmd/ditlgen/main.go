@@ -6,7 +6,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"path/filepath"
 
@@ -39,7 +38,6 @@ func main() {
 	if n > dep.NumSites() {
 		n = dep.NumSites()
 	}
-	rng := rand.New(rand.NewSource(*seed * 31))
 	for s := 0; s < n; s++ {
 		path := filepath.Join(*outDir, fmt.Sprintf("ditl-%s-site%d.pcap", *letter, s))
 		f, err := os.Create(path)
@@ -47,7 +45,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		written, err := w.Campaign.EmitSiteCapture(f, li, s, *maxPkts, rng)
+		written, err := w.Campaign.EmitSiteCapture(f, li, s, *maxPkts, *seed*31)
 		cerr := f.Close()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -15,7 +15,7 @@ import (
 
 func main() {
 	rng := rand.New(rand.NewSource(4))
-	zone := dnssim.NewZone(1000, rng)
+	zone := dnssim.NewZone(1000, 4)
 	rootRTTs := []float64{32, 41, 55, 38, 29, 61, 47, 52, 35, 44, 58, 40, 36}
 	r, err := dnssim.NewResolver(zone,
 		dnssim.ResolverConfig{NumLetters: 13, Bug: true},

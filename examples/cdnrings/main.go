@@ -6,7 +6,6 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/rand"
 
 	"anycastctx"
 	"anycastctx/internal/cdn"
@@ -21,10 +20,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(99))
-
-	logs := w.CDN.ServerSideLogs(w.Locations, rng)
-	client := w.CDN.ClientMeasurements(w.Locations, rng)
+	logs := w.CDN.ServerSideLogs(w.Locations, 99)
+	client := w.CDN.ClientMeasurements(w.Locations, 99)
 
 	fmt.Println("per-ring latency and inflation (user-weighted):")
 	fmt.Printf("  %-6s %6s %14s %16s %12s %12s\n",

@@ -6,7 +6,6 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/rand"
 
 	"anycastctx"
 	"anycastctx/internal/core"
@@ -36,7 +35,7 @@ func main() {
 	fmt.Printf("  users above 20 ms:           %5.1f%%\n\n", 100*rootCDF.FractionAbove(20))
 
 	// CDN: the same methodology over the largest ring's server-side logs.
-	logs := w.CDN.ServerSideLogs(w.Locations, rand.New(rand.NewSource(w.Cfg.Seed)))
+	logs := w.CDN.ServerSideLogs(w.Locations, w.Cfg.Seed)
 	r110 := w.CDN.Rings[len(w.CDN.Rings)-1]
 	cdnObs := core.CDNGeoInflation(logs, r110)
 	cdnCDF, err := stats.NewCDF(cdnObs)

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
 	"sort"
 	"strings"
 	"sync"
@@ -52,10 +51,10 @@ type Experiment struct {
 	PaperClaim string
 	// Run executes the experiment on a built world. ctx carries the
 	// caller's span for trace parentage (never cancellation — experiments
-	// are deterministic and run to completion); rng supplies
-	// measurement-sampling randomness (catchments and populations live in
-	// the world and stay fixed).
-	Run func(ctx context.Context, w *World, rng *rand.Rand) (Result, error)
+	// are deterministic and run to completion); seed derives the
+	// experiment's measurement-sampling streams (catchments and
+	// populations live in the world and stay fixed).
+	Run func(ctx context.Context, w *World, seed int64) (Result, error)
 }
 
 // ProgressEvent is one experiment lifecycle transition, delivered to the
@@ -173,16 +172,16 @@ func runOne(ctx context.Context, w *World, e Experiment, withDeltas bool) (Resul
 // runMeasured is runOne minus progress reporting: seed derivation, the
 // "experiment.<id>" span, and stat attachment.
 func runMeasured(ctx context.Context, w *World, e Experiment, withDeltas bool) (Result, error) {
-	rng := rand.New(rand.NewSource(w.Cfg.Seed * 7919))
+	seed := w.Cfg.Seed * 7919
 	if !obs.Enabled() {
-		return e.Run(ctx, w, rng)
+		return e.Run(ctx, w, seed)
 	}
 	var before obs.Snapshot
 	if withDeltas {
 		before = obs.TakeSnapshot()
 	}
 	ctx, span := obs.StartSpanCtx(ctx, "experiment."+e.ID)
-	res, err := e.Run(ctx, w, rng)
+	res, err := e.Run(ctx, w, seed)
 	span.End()
 	if err != nil {
 		return res, err

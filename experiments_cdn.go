@@ -3,7 +3,6 @@ package anycastctx
 import (
 	"context"
 	"fmt"
-	"math/rand"
 	"sort"
 	"strings"
 
@@ -12,6 +11,7 @@ import (
 	"anycastctx/internal/core"
 	"anycastctx/internal/geo"
 	"anycastctx/internal/report"
+	"anycastctx/internal/rng"
 	"anycastctx/internal/stats"
 	"anycastctx/internal/topology"
 	"anycastctx/internal/webmodel"
@@ -90,7 +90,7 @@ func init() {
 	})
 }
 
-func runFig1(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
+func runFig1(ctx context.Context, w *World, seed int64) (Result, error) {
 	t := report.Table{
 		Title:   "Fig 1: CDN rings and user coverage",
 		Headers: []string{"Ring", "Front-ends", "Users within 500km", "Users within 1000km"},
@@ -139,11 +139,11 @@ func runFig1(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
 	}, nil
 }
 
-func runFig4a(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
+func runFig4a(ctx context.Context, w *World, seed int64) (Result, error) {
 	var series []report.Series
 	medians := map[string]float64{}
 	for _, ring := range w.CDN.Rings {
-		pings := w.Atlas.Ping(ring.Deployment, 3, rng)
+		pings := w.Atlas.Ping(ring.Deployment, 3, seed)
 		if len(pings) == 0 {
 			return Result{}, fmt.Errorf("no pings for ring %s", ring.Name)
 		}
@@ -169,8 +169,8 @@ func runFig4a(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
 	}, nil
 }
 
-func runFig4b(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
-	rows := w.CDN.ClientMeasurementsCtx(ctx, w.Locations, rng)
+func runFig4b(ctx context.Context, w *World, seed int64) (Result, error) {
+	rows := w.CDN.ClientMeasurementsCtx(ctx, w.Locations, seed)
 	names := make([]string, len(w.CDN.Rings))
 	for i, r := range w.CDN.Rings {
 		names[i] = r.Name
@@ -213,12 +213,12 @@ func runFig4b(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
 
 // serverLogsFor caches server-side logs per run (several figures share
 // them).
-func serverLogsFor(ctx context.Context, w *World, rng *rand.Rand) []cdn.ServerLogRow {
-	return w.CDN.ServerSideLogsCtx(ctx, w.Locations, rng)
+func serverLogsFor(ctx context.Context, w *World, seed int64) []cdn.ServerLogRow {
+	return w.CDN.ServerSideLogsCtx(ctx, w.Locations, seed)
 }
 
-func runFig5a(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
-	logs := serverLogsFor(ctx, w, rng)
+func runFig5a(ctx context.Context, w *World, seed int64) (Result, error) {
+	logs := serverLogsFor(ctx, w, seed)
 	var series []report.Series
 	var r110Eff float64
 	for _, ring := range w.CDN.Rings {
@@ -250,8 +250,8 @@ func runFig5a(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
 	}, nil
 }
 
-func runFig5b(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
-	logs := serverLogsFor(ctx, w, rng)
+func runFig5b(ctx context.Context, w *World, seed int64) (Result, error) {
+	logs := serverLogsFor(ctx, w, seed)
 	var series []report.Series
 	var r110 *stats.CDF
 	for _, ring := range w.CDN.Rings {
@@ -289,12 +289,25 @@ func pathLenDist(w *World, dep *anycastnet.Deployment) map[int]float64 {
 		region int
 	}
 	byLoc := map[locKey][]int{}
+	var keys []locKey
 	for _, tr := range traces {
 		k := locKey{tr.Probe.ASN, tr.Probe.Region}
+		if _, seen := byLoc[k]; !seen {
+			keys = append(keys, k)
+		}
 		byLoc[k] = append(byLoc[k], tr.PathLen)
 	}
+	// Fold in sorted location order: float accumulation must not depend on
+	// map iteration order or the rendered shares wobble in the last ulp.
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].asn != keys[j].asn {
+			return keys[i].asn < keys[j].asn
+		}
+		return keys[i].region < keys[j].region
+	})
 	out := map[int]float64{}
-	for _, lens := range byLoc {
+	for _, k := range keys {
+		lens := byLoc[k]
 		w := 1.0 / float64(len(lens))
 		for _, l := range lens {
 			b := l
@@ -305,8 +318,8 @@ func pathLenDist(w *World, dep *anycastnet.Deployment) map[int]float64 {
 		}
 	}
 	var total float64
-	for _, v := range out {
-		total += v
+	for b := 0; b <= 5; b++ {
+		total += out[b]
 	}
 	for k := range out {
 		out[k] /= total
@@ -314,7 +327,7 @@ func pathLenDist(w *World, dep *anycastnet.Deployment) map[int]float64 {
 	return out
 }
 
-func runFig6a(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
+func runFig6a(ctx context.Context, w *World, seed int64) (Result, error) {
 	t := report.Table{
 		Title:   "Fig 6a: AS path length distribution (share of locations)",
 		Headers: []string{"Destination", "2 ASes", "3 ASes", "4 ASes", "5+ ASes"},
@@ -352,7 +365,7 @@ func runFig6a(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
 	}, nil
 }
 
-func runFig6b(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
+func runFig6b(ctx context.Context, w *World, seed int64) (Result, error) {
 	t := report.Table{
 		Title:   "Fig 6b: geographic inflation (ms) by AS path length",
 		Headers: []string{"Destination", "2 ASes", "3 ASes", "4+ ASes"},
@@ -418,7 +431,7 @@ func runFig6b(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
 	}, nil
 }
 
-func runFig7a(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
+func runFig7a(ctx context.Context, w *World, seed int64) (Result, error) {
 	t := report.Table{
 		Title:   "Fig 7a: median latency and efficiency vs global sites",
 		Headers: []string{"Deployment", "Global sites", "Median latency (ms)", "Efficiency (% users at closest site)"},
@@ -432,7 +445,7 @@ func runFig7a(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
 	}
 	var rows []row
 	for li, letter := range w.Letters {
-		pings := w.Atlas.Ping(letter, 3, rng)
+		pings := w.Atlas.Ping(letter, 3, seed)
 		vals := make([]float64, len(pings))
 		for i, p := range pings {
 			vals[i] = p.RTTMs
@@ -440,7 +453,7 @@ func runFig7a(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
 		eff := core.Efficiency(core.GeoInflationLetter(w.Campaign, li, j), 1)
 		rows = append(rows, row{"root " + letter.Name, letter.NumGlobalSites(), stats.Median(vals), eff})
 	}
-	logs := serverLogsFor(ctx, w, rng)
+	logs := serverLogsFor(ctx, w, seed)
 	for _, ring := range w.CDN.Rings {
 		var obs []stats.WeightedValue
 		for _, lr := range logs {
@@ -470,7 +483,7 @@ func runFig7a(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
 	}, nil
 }
 
-func runFig7b(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
+func runFig7b(ctx context.Context, w *World, seed int64) (Result, error) {
 	radii := []float64{250, 500, 750, 1000, 1250, 1500, 1750, 2000}
 	t := report.Table{Title: "Fig 7b: share of users within radius of a site", Headers: []string{"Deployment"}}
 	for _, r := range radii {
@@ -507,9 +520,9 @@ func runFig7b(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
 	}, nil
 }
 
-func runFig14(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
+func runFig14(ctx context.Context, w *World, seed int64) (Result, error) {
 	big := w.CDN.Rings[len(w.CDN.Rings)-1]
-	rows := w.CDN.ClientMeasurementsCtx(ctx, w.Locations, rng)
+	rows := w.CDN.ClientMeasurementsCtx(ctx, w.Locations, seed)
 	// Aggregate per region: user-weighted mean of medians to R110.
 	type agg struct {
 		lat, users float64
@@ -581,8 +594,8 @@ func runFig14(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
 	}, nil
 }
 
-func runAppC(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
-	res := webmodel.RunSweep(webmodel.CorpusConfig{}, rng)
+func runAppC(ctx context.Context, w *World, seed int64) (Result, error) {
+	res := webmodel.RunSweep(webmodel.CorpusConfig{}, rng.NewRand(seed, rng.PhaseWebModel, 0))
 	vals := make([]float64, len(res.RTTsPerLoad))
 	for i, r := range res.RTTsPerLoad {
 		vals[i] = float64(r)

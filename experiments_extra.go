@@ -8,7 +8,6 @@ package anycastctx
 import (
 	"context"
 	"fmt"
-	"math/rand"
 
 	"anycastctx/internal/anycastnet"
 	"anycastctx/internal/cdn"
@@ -34,14 +33,14 @@ func init() {
 	})
 }
 
-func runAffinity(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
+func runAffinity(ctx context.Context, w *World, seed int64) (Result, error) {
 	t := report.Table{
 		Title:   "Site affinity per letter over a 48-hour window (0.5%/hour flap rate)",
 		Headers: []string{"Letter", "Stable /24s", "Mean affinity", "Flaps"},
 	}
 	var worstStable float64 = 1
 	for li, name := range w.Campaign.LetterNames {
-		res, err := w.Campaign.Affinity(li, 0.005, 48, rng)
+		res, err := w.Campaign.Affinity(li, 0.005, 48, seed)
 		if err != nil {
 			return Result{}, fmt.Errorf("letter %s: %w", name, err)
 		}
@@ -75,7 +74,7 @@ var rootGrowthTimeline = []struct {
 	{2021, 1367},
 }
 
-func runGrowth(ctx context.Context, w *World, _ *rand.Rand) (Result, error) {
+func runGrowth(ctx context.Context, w *World, _ int64) (Result, error) {
 	g, rng, err := ablGraph(w, 40)
 	if err != nil {
 		return Result{}, err
@@ -142,8 +141,8 @@ func init() {
 	})
 }
 
-func runApps(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
-	rows, err := w.CDN.AppLatencies(w.Locations, cdn.PaperApps(), rng)
+func runApps(ctx context.Context, w *World, seed int64) (Result, error) {
+	rows, err := w.CDN.AppLatencies(w.Locations, cdn.PaperApps(), seed)
 	if err != nil {
 		return Result{}, err
 	}
@@ -181,8 +180,8 @@ func init() {
 	})
 }
 
-func runContinents(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
-	logs := w.CDN.ServerSideLogsCtx(ctx, w.Locations, rng)
+func runContinents(ctx context.Context, w *World, seed int64) (Result, error) {
+	logs := w.CDN.ServerSideLogsCtx(ctx, w.Locations, seed)
 	big := w.CDN.Rings[len(w.CDN.Rings)-1]
 	rootObs := core.GeoInflationAllRoots(w.Campaign, w.JoinCtx(ctx))
 

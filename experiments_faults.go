@@ -12,7 +12,6 @@ import (
 	"bytes"
 	"context"
 	"fmt"
-	"math/rand"
 
 	"anycastctx/internal/ditl"
 	"anycastctx/internal/faults"
@@ -31,7 +30,7 @@ func init() {
 // robustCapturePackets bounds the capture used for fault injection.
 const robustCapturePackets = 4000
 
-func runRobust1(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
+func runRobust1(ctx context.Context, w *World, seed int64) (Result, error) {
 	pol := w.Cfg.Faults
 	if !pol.Enabled() {
 		pol = faults.Uniform(w.Cfg.Seed, 0.01)
@@ -41,7 +40,7 @@ func runRobust1(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
 	// fault mix lands on a representative packet stream.
 	li, site := busiestLetterSite(w)
 	var buf bytes.Buffer
-	n, err := w.Campaign.EmitSiteCaptureCtx(ctx, &buf, li, site, robustCapturePackets, rng)
+	n, err := w.Campaign.EmitSiteCaptureCtx(ctx, &buf, li, site, robustCapturePackets, seed)
 	if err != nil {
 		return Result{}, fmt.Errorf("robust1: emitting capture: %w", err)
 	}

@@ -3,13 +3,13 @@ package anycastctx
 import (
 	"context"
 	"fmt"
-	"math/rand"
 	"strings"
 
 	"anycastctx/internal/anycastnet"
 	"anycastctx/internal/core"
 	"anycastctx/internal/dnssim"
 	"anycastctx/internal/report"
+	"anycastctx/internal/rng"
 	"anycastctx/internal/stats"
 	"anycastctx/internal/webmodel"
 )
@@ -101,7 +101,7 @@ func init() {
 	})
 }
 
-func runFig2a(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
+func runFig2a(ctx context.Context, w *World, seed int64) (Result, error) {
 	j := w.JoinCtx(ctx)
 	var series []report.Series
 	var allRootsAbove20 float64
@@ -134,7 +134,7 @@ func runFig2a(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
 	}, nil
 }
 
-func runFig2b(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
+func runFig2b(ctx context.Context, w *World, seed int64) (Result, error) {
 	j := w.JoinCtx(ctx)
 	usable := anycastnet.TCPLatencyLetters2018
 	var series []report.Series
@@ -175,7 +175,7 @@ func runFig2b(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
 	}, nil
 }
 
-func runFig3(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
+func runFig3(ctx context.Context, w *World, seed int64) (Result, error) {
 	j := w.JoinCtx(ctx)
 	cdnLine, err := newCDF(core.QueriesPerUserCDN(w.Campaign, j, core.ValidOnly))
 	if err != nil {
@@ -205,7 +205,7 @@ func runFig3(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
 	}, nil
 }
 
-func runFig8(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
+func runFig8(ctx context.Context, w *World, seed int64) (Result, error) {
 	j := w.JoinCtx(ctx)
 	validCDN, err := newCDF(core.QueriesPerUserCDN(w.Campaign, j, core.ValidOnly))
 	if err != nil {
@@ -239,7 +239,7 @@ func runFig8(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
 	}, nil
 }
 
-func runFig9(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
+func runFig9(ctx context.Context, w *World, seed int64) (Result, error) {
 	joined, err := newCDF(core.QueriesPerUserCDN(w.Campaign, w.JoinCtx(ctx), core.ValidOnly))
 	if err != nil {
 		return Result{}, err
@@ -264,7 +264,7 @@ func runFig9(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
 	}, nil
 }
 
-func runFig10(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
+func runFig10(ctx context.Context, w *World, seed int64) (Result, error) {
 	var series []report.Series
 	var worstSingle float64 = 1
 	for li, name := range w.Campaign.LetterNames {
@@ -291,7 +291,7 @@ func runFig10(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
 	}, nil
 }
 
-func runFig11(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
+func runFig11(ctx context.Context, w *World, seed int64) (Result, error) {
 	w20, err := build2020(ctx, w)
 	if err != nil {
 		return Result{}, err
@@ -330,13 +330,13 @@ func runFig11(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
 
 // runLocalResolver drives an ISI-style recursive and returns it with its
 // client and collected per-query results.
-func runLocalResolver(ctx context.Context, w *World, rng *rand.Rand, nUsers int, days float64,
+func runLocalResolver(ctx context.Context, w *World, seed int64, nUsers int, days float64,
 	onResult func(dnssim.QueryKind, dnssim.QueryResult)) (*dnssim.Resolver, dnssim.RunStats, error) {
 	// Base RTTs to the letters as seen by a well-connected site: use the
 	// median Atlas ping per letter.
 	baseRTTs := make([]float64, len(w.Letters))
 	for li, letter := range w.Letters {
-		pings := w.Atlas.Ping(letter, 3, rng)
+		pings := w.Atlas.Ping(letter, 3, seed)
 		vals := make([]float64, len(pings))
 		for i, p := range pings {
 			vals[i] = p.RTTMs
@@ -346,21 +346,22 @@ func runLocalResolver(ctx context.Context, w *World, rng *rand.Rand, nUsers int,
 			baseRTTs[li] = 50
 		}
 	}
+	upsRand := rng.NewRand(seed, rng.PhaseResolver, 0)
 	r, err := dnssim.NewResolver(w.Zone,
 		dnssim.ResolverConfig{NumLetters: len(w.Letters), Bug: true},
-		dnssim.StandardUpstreams(baseRTTs, rng), rng)
+		dnssim.StandardUpstreams(baseRTTs, upsRand), upsRand)
 	if err != nil {
 		return nil, dnssim.RunStats{}, err
 	}
-	client := dnssim.NewClient(w.Zone, dnssim.ClientConfig{Users: nUsers}, rng)
+	client := dnssim.NewClient(w.Zone, dnssim.ClientConfig{Users: nUsers}, seed)
 	client.RunCtx(ctx, r, 1, nil) // warm the cache for a day
 	st := client.RunCtx(ctx, r, days, onResult)
 	return r, st, nil
 }
 
-func runFig12(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
+func runFig12(ctx context.Context, w *World, seed int64) (Result, error) {
 	var latencies []float64
-	_, _, err := runLocalResolver(ctx, w, rng, 150, 2, func(_ dnssim.QueryKind, res dnssim.QueryResult) {
+	_, _, err := runLocalResolver(ctx, w, seed, 150, 2, func(_ dnssim.QueryKind, res dnssim.QueryResult) {
 		latencies = append(latencies, res.LatencyMs)
 	})
 	if err != nil {
@@ -381,10 +382,10 @@ func runFig12(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
 	}, nil
 }
 
-func runFig13(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
+func runFig13(ctx context.Context, w *World, seed int64) (Result, error) {
 	var rootLat []float64
 	var withRoot, total int
-	_, _, err := runLocalResolver(ctx, w, rng, 150, 2, func(_ dnssim.QueryKind, res dnssim.QueryResult) {
+	_, _, err := runLocalResolver(ctx, w, seed, 150, 2, func(_ dnssim.QueryKind, res dnssim.QueryResult) {
 		rootLat = append(rootLat, res.RootLatencyMs)
 		total++
 		if res.RootQueriesOnPath > 0 {
@@ -409,7 +410,7 @@ func runFig13(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
 	}, nil
 }
 
-func runTab1(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
+func runTab1(ctx context.Context, w *World, seed int64) (Result, error) {
 	s := report.RootOperatorSurvey()
 	return Result{
 		ID:         "tab1",
@@ -420,7 +421,7 @@ func runTab1(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
 	}, nil
 }
 
-func runTab23(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
+func runTab23(ctx context.Context, w *World, seed int64) (Result, error) {
 	pre := w.Campaign.Preprocess()
 	t := report.Table{
 		Title:   "Tables 2-3: dataset inventory (simulated equivalents)",
@@ -456,7 +457,7 @@ func runTab23(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
 	}, nil
 }
 
-func runTab4(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
+func runTab4(ctx context.Context, w *World, seed int64) (Result, error) {
 	exact := w.Campaign.Overlap(w.CDNCounts, true)
 	joined := w.Campaign.Overlap(w.CDNCounts, false)
 	t := report.Table{
@@ -478,14 +479,15 @@ func runTab4(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
 	}, nil
 }
 
-func runTab5(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
+func runTab5(ctx context.Context, w *World, seed int64) (Result, error) {
 	baseRTTs := make([]float64, len(w.Letters))
 	for i := range baseRTTs {
 		baseRTTs[i] = 30 + 10*float64(i)
 	}
+	upsRand := rng.NewRand(seed, rng.PhaseResolver, 0)
 	r, err := dnssim.NewResolver(w.Zone,
 		dnssim.ResolverConfig{NumLetters: len(w.Letters), Bug: true},
-		dnssim.StandardUpstreams(baseRTTs, rng), rng)
+		dnssim.StandardUpstreams(baseRTTs, upsRand), upsRand)
 	if err != nil {
 		return Result{}, err
 	}
@@ -511,9 +513,9 @@ func runTab5(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
 	}, nil
 }
 
-func runLocal(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
+func runLocal(ctx context.Context, w *World, seed int64) (Result, error) {
 	// Shared-cache (ISI-style) resolver.
-	isiRes, _, err := runLocalResolver(ctx, w, rng, 200, 2, nil)
+	isiRes, _, err := runLocalResolver(ctx, w, seed, 200, 2, nil)
 	if err != nil {
 		return Result{}, err
 	}
@@ -522,7 +524,7 @@ func runLocal(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
 	// Personal resolver: one user, no shared cache, and its daily root
 	// latency for the browsing-share computation.
 	var rootMsPerDay float64
-	personalRes, _, err := runLocalResolver(ctx, w, rng, 1, 7, func(_ dnssim.QueryKind, res dnssim.QueryResult) {
+	personalRes, _, err := runLocalResolver(ctx, w, seed+1, 1, 7, func(_ dnssim.QueryKind, res dnssim.QueryResult) {
 		rootMsPerDay += res.RootLatencyMs / 7
 	})
 	if err != nil {
@@ -530,7 +532,7 @@ func runLocal(ctx context.Context, w *World, rng *rand.Rand) (Result, error) {
 	}
 	personal := personalRes.Counters()
 
-	day := webmodel.TypicalBrowsingDay(rng)
+	day := webmodel.TypicalBrowsingDay(rng.NewRand(seed, rng.PhaseWebModel, 1))
 	ofLoad, ofBrowse := day.RootShare(rootMsPerDay)
 
 	var sb strings.Builder

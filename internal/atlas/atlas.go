@@ -7,13 +7,13 @@ package atlas
 
 import (
 	"fmt"
-	"math/rand"
 
 	"anycastctx/internal/anycastnet"
 	"anycastctx/internal/bgp"
 	"anycastctx/internal/geo"
 	"anycastctx/internal/latency"
 	"anycastctx/internal/par"
+	"anycastctx/internal/rng"
 	"anycastctx/internal/topology"
 )
 
@@ -54,8 +54,11 @@ func (c Config) withDefaults() Config {
 }
 
 // Deploy places probes in eyeball ASes, biased toward well-connected
-// networks (volunteers host probes where infrastructure is good).
-func Deploy(g *topology.Graph, model *latency.Model, cfg Config, rng *rand.Rand) (*Platform, error) {
+// networks (volunteers host probes where infrastructure is good). Each
+// probe draws its placement from its own splittable stream, so the loop
+// fans out under par.Do into a pre-sized slice with byte-identical
+// results at any worker count.
+func Deploy(g *topology.Graph, model *latency.Model, cfg Config, seed int64) (*Platform, error) {
 	cfg = cfg.withDefaults()
 	eyeballs := g.Eyeballs()
 	if len(eyeballs) == 0 {
@@ -69,24 +72,27 @@ func Deploy(g *topology.Graph, model *latency.Model, cfg Config, rng *rand.Rand)
 		weights[i] = w
 		sum += w
 	}
-	p := &Platform{g: g, model: model}
-	for i := 0; i < cfg.NumProbes; i++ {
-		x := rng.Float64() * sum
-		idx := 0
-		for ; idx < len(weights)-1; idx++ {
-			x -= weights[idx]
-			if x <= 0 {
-				break
+	p := &Platform{g: g, model: model, Probes: make([]Probe, cfg.NumProbes)}
+	par.Do(cfg.NumProbes, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			st := rng.Split(seed, rng.PhaseAtlasDeploy, uint64(i))
+			x := st.Float64() * sum
+			idx := 0
+			for ; idx < len(weights)-1; idx++ {
+				x -= weights[idx]
+				if x <= 0 {
+					break
+				}
+			}
+			as := g.AS(eyeballs[idx])
+			p.Probes[i] = Probe{
+				ID:     i,
+				ASN:    as.ASN,
+				Region: as.Region,
+				Loc:    geo.Jitter(as.Loc, 60, st.Float64(), st.Float64()),
 			}
 		}
-		as := g.AS(eyeballs[idx])
-		p.Probes = append(p.Probes, Probe{
-			ID:     i,
-			ASN:    as.ASN,
-			Region: as.Region,
-			Loc:    geo.Jitter(as.Loc, 60, rng.Float64(), rng.Float64()),
-		})
-	}
+	})
 	return p, nil
 }
 
@@ -130,26 +136,37 @@ type PingResult struct {
 // (the paper uses 3), reporting the per-probe median. Probes without a
 // route are skipped.
 //
-// Route resolution (the expensive, deterministic part) fans out across
-// CPUs into a pre-sized slice; the rng-driven sampling loop then runs
-// serially in probe order, so measurement noise consumes the generator in
-// exactly the order a serial pass would and results are byte-identical.
-func (p *Platform) Ping(d *anycastnet.Deployment, samples int, rng *rand.Rand) []PingResult {
+// Both the route resolution and the sampling fan out across CPUs:
+// measurement noise comes from a per-⟨deployment, probe⟩ splittable
+// stream, so results are byte-identical at any worker count and the
+// same probe re-measuring a different deployment draws fresh noise.
+func (p *Platform) Ping(d *anycastnet.Deployment, samples int, seed int64) []PingResult {
 	if samples <= 0 {
 		samples = 3
 	}
 	routes := p.resolveAll(d)
-	out := make([]PingResult, 0, len(p.Probes))
-	for i, pr := range p.Probes {
-		if !routes[i].ok {
-			continue
+	results := make([]PingResult, len(p.Probes))
+	depStream := rng.Split(seed, rng.PhaseAtlasPing, rng.HashString(d.Name))
+	par.Do(len(p.Probes), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if !routes[i].ok {
+				continue
+			}
+			pr := p.Probes[i]
+			st := depStream.Fork(uint64(pr.ID))
+			base := p.model.BaseRTTMs(pr.ASN, routes[i].rt)
+			results[i] = PingResult{
+				Probe:  pr,
+				RTTMs:  p.model.MedianOfSamples(&st, base, samples),
+				SiteID: routes[i].rt.SiteID,
+			}
 		}
-		base := p.model.BaseRTTMs(pr.ASN, routes[i].rt)
-		out = append(out, PingResult{
-			Probe:  pr,
-			RTTMs:  p.model.MedianOfSamples(rng, base, samples),
-			SiteID: routes[i].rt.SiteID,
-		})
+	})
+	out := make([]PingResult, 0, len(p.Probes))
+	for i := range results {
+		if routes[i].ok {
+			out = append(out, results[i])
+		}
 	}
 	return out
 }

@@ -23,7 +23,7 @@ func buildWorld(t *testing.T) (*topology.Graph, *anycastnet.Deployment, *Platfor
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := Deploy(g, latency.DefaultModel(), Config{NumProbes: 300}, rng)
+	p, err := Deploy(g, latency.DefaultModel(), Config{NumProbes: 300}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +59,7 @@ func TestDeployNoEyeballs(t *testing.T) {
 	}
 	// Can't build a graph with zero eyeballs via config, so exercise the
 	// happy path minimally instead.
-	p, err := Deploy(g, latency.DefaultModel(), Config{NumProbes: 5}, rand.New(rand.NewSource(2)))
+	p, err := Deploy(g, latency.DefaultModel(), Config{NumProbes: 5}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,8 +89,7 @@ func TestCoverageBiasTowardWellPeered(t *testing.T) {
 
 func TestPing(t *testing.T) {
 	_, dep, p := buildWorld(t)
-	rng := rand.New(rand.NewSource(4))
-	res := p.Ping(dep, 3, rng)
+	res := p.Ping(dep, 3, 4)
 	if len(res) == 0 {
 		t.Fatal("no ping results")
 	}
@@ -103,7 +102,7 @@ func TestPing(t *testing.T) {
 		}
 	}
 	// Default sample count path.
-	res2 := p.Ping(dep, 0, rng)
+	res2 := p.Ping(dep, 0, 4)
 	if len(res2) != len(res) {
 		t.Error("default samples changed result count")
 	}
@@ -131,11 +130,11 @@ func TestPingDeterministicPlacement(t *testing.T) {
 	regions := geo.GenerateRegions(geo.PaperRegionCounts, rand.New(rand.NewSource(42)))
 	g1, _ := topology.New(topology.Config{Seed: 31, NumTier1: 6, NumTransit: 40, NumEyeball: 500}, regions)
 	g2, _ := topology.New(topology.Config{Seed: 31, NumTier1: 6, NumTransit: 40, NumEyeball: 500}, regions)
-	p1, err := Deploy(g1, latency.DefaultModel(), Config{NumProbes: 100}, rand.New(rand.NewSource(5)))
+	p1, err := Deploy(g1, latency.DefaultModel(), Config{NumProbes: 100}, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	p2, err := Deploy(g2, latency.DefaultModel(), Config{NumProbes: 100}, rand.New(rand.NewSource(5)))
+	p2, err := Deploy(g2, latency.DefaultModel(), Config{NumProbes: 100}, 5)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,7 +2,6 @@ package cdn
 
 import (
 	"fmt"
-	"math/rand"
 
 	"anycastctx/internal/stats"
 )
@@ -48,11 +47,11 @@ type AppLatencyRow struct {
 // AppLatencies measures every application class against its pinned ring
 // using client-side measurements, quantifying the latency cost of the
 // ring restriction.
-func (c *CDN) AppLatencies(locs []Location, apps []AppProfile, rng *rand.Rand) ([]AppLatencyRow, error) {
+func (c *CDN) AppLatencies(locs []Location, apps []AppProfile, seed int64) ([]AppLatencyRow, error) {
 	if len(c.Rings) == 0 {
 		return nil, fmt.Errorf("cdn: no rings")
 	}
-	rows := c.ClientMeasurements(locs, rng)
+	rows := c.ClientMeasurements(locs, seed)
 	medianFor := func(ring string) (float64, error) {
 		var obs []stats.WeightedValue
 		for _, r := range rows {

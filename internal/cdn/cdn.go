@@ -15,7 +15,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"math/rand"
 	"sort"
 
 	"anycastctx/internal/anycastnet"
@@ -25,6 +24,7 @@ import (
 	"anycastctx/internal/latency"
 	"anycastctx/internal/obs"
 	"anycastctx/internal/par"
+	"anycastctx/internal/rng"
 	"anycastctx/internal/topology"
 )
 
@@ -120,8 +120,10 @@ type CDN struct {
 
 // Build places PoPs at the highest-population regions, creates the CDN AS,
 // peers it with eyeballs, and constructs one deployment per ring. The span
-// context parents a "cdn.build" span under the caller's trace.
-func Build(ctx context.Context, g *topology.Graph, model *latency.Model, cfg Config, rng *rand.Rand) (*CDN, error) {
+// context parents a "cdn.build" span under the caller's trace. PoP jitter
+// draws come from per-PoP splittable streams; peering rolls are keyed by
+// eyeball ASN (the graph mutation itself stays a serial pass).
+func Build(ctx context.Context, g *topology.Graph, model *latency.Model, cfg Config, seed int64) (*CDN, error) {
 	_, span := obs.StartSpanCtx(ctx, "cdn.build")
 	defer span.End()
 	cfg = cfg.withDefaults()
@@ -145,21 +147,26 @@ func Build(ctx context.Context, g *topology.Graph, model *latency.Model, cfg Con
 		return nil, fmt.Errorf("cdn: only %d regions for %d front-ends", len(regions), maxSize)
 	}
 	pops := make([]geo.Coord, maxSize)
-	for i := 0; i < maxSize; i++ {
-		pops[i] = geo.Jitter(regions[i].Center, 30, rng.Float64(), rng.Float64())
-	}
+	par.Do(maxSize, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			st := rng.Split(seed, rng.PhaseCDNBuild, uint64(i))
+			pops[i] = geo.Jitter(regions[i].Center, 30, st.Float64(), st.Float64())
+		}
+	})
 
 	as := g.AddCDNAS("cdn", pops)
 	c := &CDN{ASN: as.ASN, PoPs: pops, g: g, model: model}
 
-	// Explicit peering with eyeballs.
+	// Explicit peering with eyeballs: the roll is keyed by the eyeball's
+	// ASN, the graph mutation happens serially in eyeball order.
 	for _, e := range g.Eyeballs() {
 		eb := g.AS(e)
 		p := cfg.PeerBase + cfg.PeerRichnessBoost*eb.PeeringRichness
 		if p > 0.95 {
 			p = 0.95
 		}
-		if rng.Float64() < p {
+		st := rng.Split(seed, rng.PhaseCDNPeering, uint64(e))
+		if st.Float64() < p {
 			g.Peer(e, as.ASN)
 		}
 	}
@@ -243,19 +250,18 @@ type ServerLogRow struct {
 // server-side TCP RTTs (§2.2). Locations without a route are skipped.
 //
 // Work fans out across CPUs; each ⟨ring, location⟩ pair draws its
-// measurement noise from its own hash-derived generator, so results are
+// measurement noise from its own splittable stream, so results are
 // byte-identical regardless of scheduling.
-func (c *CDN) ServerSideLogs(locs []Location, rng *rand.Rand) []ServerLogRow {
-	return c.ServerSideLogsCtx(context.Background(), locs, rng)
+func (c *CDN) ServerSideLogs(locs []Location, seed int64) []ServerLogRow {
+	return c.ServerSideLogsCtx(context.Background(), locs, seed)
 }
 
 // ServerSideLogsCtx is ServerSideLogs with the caller's span context carried
 // into the measurement shards: a traced run records "cdn.server_logs" with
 // per-worker "cdn.server_logs.shard" children. Output is byte-identical.
-func (c *CDN) ServerSideLogsCtx(ctx context.Context, locs []Location, rng *rand.Rand) []ServerLogRow {
+func (c *CDN) ServerSideLogsCtx(ctx context.Context, locs []Location, seed int64) []ServerLogRow {
 	ctx, span := obs.StartSpanCtx(ctx, "cdn.server_logs")
 	defer span.End()
-	seed := rng.Int63()
 	grid := make([][]ServerLogRow, len(c.Rings))
 	for ri := range c.Rings {
 		grid[ri] = make([]ServerLogRow, len(locs))
@@ -274,7 +280,7 @@ func (c *CDN) ServerSideLogsCtx(ctx context.Context, locs []Location, rng *rand.
 					obsLogRowsLost.Inc()
 					continue
 				}
-				rowRNG := rand.New(rand.NewSource(pairSeed(seed, ri, int64(loc.ASN))))
+				rowStream := rng.Split(seed, rng.PhaseCDNServerLogs, uint64(ri)).Fork(uint64(loc.ASN))
 				base := c.model.BaseRTTMs(loc.ASN, rt) + 0.5
 				// Sample counts scale with population; >83% of medians
 				// in the paper rest on 500+ measurements.
@@ -285,7 +291,7 @@ func (c *CDN) ServerSideLogsCtx(ctx context.Context, locs []Location, rng *rand.
 					FrontEnd:    rt.SiteID,
 					PathLen:     rt.PathLen,
 					Direct:      rt.Direct,
-					MedianRTTMs: c.model.MedianOfSamples(rowRNG, base, 11),
+					MedianRTTMs: c.model.MedianOfSamples(&rowStream, base, 11),
 					Samples:     n,
 				}
 			}
@@ -304,16 +310,6 @@ func (c *CDN) ServerSideLogsCtx(ctx context.Context, locs []Location, rng *rand.
 	return rows
 }
 
-// pairSeed mixes a base seed with a ring index and AS number.
-func pairSeed(seed int64, ring int, asn int64) int64 {
-	h := uint64(seed)
-	h ^= uint64(ring+1) * 0x9e3779b97f4a7c15
-	h = (h << 27) | (h >> 37)
-	h ^= uint64(asn) * 0xff51afd7ed558ccd
-	h ^= h >> 31
-	return int64(h & 0x7fffffffffffffff)
-}
-
 // ClientMeasurementRow is one client-side (Odin-style) aggregate: the
 // median fetch RTT from a location to a ring, front-end unknown. The same
 // population measures every ring, enabling fair ring-to-ring deltas
@@ -326,17 +322,16 @@ type ClientMeasurementRow struct {
 
 // ClientMeasurements has every location measure every ring, fanned out
 // across CPUs with order-independent determinism (see ServerSideLogs).
-func (c *CDN) ClientMeasurements(locs []Location, rng *rand.Rand) []ClientMeasurementRow {
-	return c.ClientMeasurementsCtx(context.Background(), locs, rng)
+func (c *CDN) ClientMeasurements(locs []Location, seed int64) []ClientMeasurementRow {
+	return c.ClientMeasurementsCtx(context.Background(), locs, seed)
 }
 
 // ClientMeasurementsCtx is ClientMeasurements with the caller's span context
 // carried into the measurement shards ("cdn.client_measurements" with
 // per-worker "cdn.client_measurements.shard" children).
-func (c *CDN) ClientMeasurementsCtx(ctx context.Context, locs []Location, rng *rand.Rand) []ClientMeasurementRow {
+func (c *CDN) ClientMeasurementsCtx(ctx context.Context, locs []Location, seed int64) []ClientMeasurementRow {
 	ctx, span := obs.StartSpanCtx(ctx, "cdn.client_measurements")
 	defer span.End()
-	seed := rng.Int63()
 	grid := make([]ClientMeasurementRow, len(locs)*len(c.Rings))
 	par.DoCtx(ctx, len(locs), func(ctx context.Context, lo, hi int) {
 		_, sp := obs.StartSpanCtx(ctx, "cdn.client_measurements.shard")
@@ -352,12 +347,12 @@ func (c *CDN) ClientMeasurementsCtx(ctx context.Context, locs []Location, rng *r
 					obsClientRowsLost.Inc()
 					continue
 				}
-				rowRNG := rand.New(rand.NewSource(pairSeed(seed, ri+100, int64(loc.ASN))))
+				rowStream := rng.Split(seed, rng.PhaseCDNClient, uint64(ri)).Fork(uint64(loc.ASN))
 				base := c.model.BaseRTTMs(loc.ASN, rt) + 0.5
 				grid[i*len(c.Rings)+ri] = ClientMeasurementRow{
 					Location:    loc,
 					Ring:        ring.Name,
-					MedianRTTMs: c.model.MedianOfSamples(rowRNG, base, 21),
+					MedianRTTMs: c.model.MedianOfSamples(&rowStream, base, 21),
 				}
 			}
 		}

@@ -19,7 +19,7 @@ func buildWorld(t *testing.T) (*topology.Graph, *CDN) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := Build(context.Background(), g, latency.DefaultModel(), Config{}, rand.New(rand.NewSource(7)))
+	c, err := Build(context.Background(), g, latency.DefaultModel(), Config{}, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,8 +111,7 @@ func TestLargerRingsLowerLatency(t *testing.T) {
 	// Fig 4a: median latency decreases (weakly) as rings grow.
 	g, c := buildWorld(t)
 	locs := Locations(g, 1e9)
-	rng := rand.New(rand.NewSource(3))
-	rows := c.ClientMeasurements(locs, rng)
+	rows := c.ClientMeasurements(locs, 3)
 	medians := map[string]float64{}
 	for _, ring := range c.Rings {
 		var obs []stats.WeightedValue
@@ -171,8 +170,7 @@ func TestLargerRingsLessEfficient(t *testing.T) {
 func TestServerSideLogs(t *testing.T) {
 	g, c := buildWorld(t)
 	locs := Locations(g, 1e9)
-	rng := rand.New(rand.NewSource(5))
-	rows := c.ServerSideLogs(locs, rng)
+	rows := c.ServerSideLogs(locs, 5)
 	if len(rows) == 0 {
 		t.Fatal("no log rows")
 	}
@@ -205,8 +203,7 @@ func TestRingDeltasMostlyNonNegative(t *testing.T) {
 	// locations lose less than ~10 ms per RTT.
 	g, c := buildWorld(t)
 	locs := Locations(g, 1e9)
-	rng := rand.New(rand.NewSource(9))
-	rows := c.ClientMeasurements(locs, rng)
+	rows := c.ClientMeasurements(locs, 9)
 	ringNames := []string{"R28", "R47", "R74", "R95", "R110"}
 	deltas := RingDeltas(rows, ringNames, 10)
 	if len(deltas) == 0 {
@@ -255,11 +252,11 @@ func TestBuildValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	// More front-ends than regions must fail.
-	_, err = Build(context.Background(), g, latency.DefaultModel(), Config{Rings: []RingSpec{{Name: "R10", Size: 10}}}, rand.New(rand.NewSource(2)))
+	_, err = Build(context.Background(), g, latency.DefaultModel(), Config{Rings: []RingSpec{{Name: "R10", Size: 10}}}, 2)
 	if err == nil {
 		t.Error("oversized ring accepted")
 	}
-	_, err = Build(context.Background(), g, latency.DefaultModel(), Config{Rings: []RingSpec{{Name: "R0", Size: 0}}}, rand.New(rand.NewSource(2)))
+	_, err = Build(context.Background(), g, latency.DefaultModel(), Config{Rings: []RingSpec{{Name: "R0", Size: 0}}}, 2)
 	if err == nil {
 		t.Error("empty ring accepted")
 	}
@@ -279,8 +276,7 @@ func TestPaperAppsShares(t *testing.T) {
 func TestAppLatencies(t *testing.T) {
 	g, c := buildWorld(t)
 	locs := Locations(g, 1e9)
-	rng := rand.New(rand.NewSource(23))
-	rows, err := c.AppLatencies(locs, PaperApps(), rng)
+	rows, err := c.AppLatencies(locs, PaperApps(), 23)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -310,7 +306,7 @@ func TestAppLatencies(t *testing.T) {
 			mix, byRing["R110"].MedianRTTMs, byRing["R28"].MedianRTTMs)
 	}
 	// Unknown ring rejected.
-	if _, err := c.AppLatencies(locs, []AppProfile{{Name: "x", Ring: "R999"}}, rng); err == nil {
+	if _, err := c.AppLatencies(locs, []AppProfile{{Name: "x", Ring: "R999"}}, 23); err == nil {
 		t.Error("unknown ring accepted")
 	}
 	if TrafficWeightedMedianMs(nil) != 0 {

@@ -42,24 +42,24 @@ func buildWorld(t *testing.T) *world {
 		t.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(9))
-	pop, err := users.Build(g, users.Config{TotalUsers: 1e9}, rng)
+	pop, err := users.Build(g, users.Config{TotalUsers: 1e9}, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
-	zone := dnssim.NewZone(1000, rng)
-	rates := dnssim.ComputeRates(pop, zone, dnssim.RateConfig{}, rng)
+	zone := dnssim.NewZone(1000, 9)
+	rates := dnssim.ComputeRates(pop, zone, dnssim.RateConfig{}, 9)
 	letters, err := anycastnet.BuildLetters(g, anycastnet.Letters2018(), rng)
 	if err != nil {
 		t.Fatal(err)
 	}
 	model := latency.DefaultModel()
-	camp, err := ditl.Build(context.Background(), g, letters, pop, zone, rates, model, ditl.Config{}, rng)
+	camp, err := ditl.Build(context.Background(), g, letters, pop, zone, rates, model, ditl.Config{}, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cdnC := users.BuildCDNCounts(pop, users.CDNConfig{}, rng)
-	apnic := users.BuildAPNICCounts(g, pop, rng)
-	cdnNet, err := cdn.Build(context.Background(), g, model, cdn.Config{}, rng)
+	cdnC := users.BuildCDNCounts(pop, users.CDNConfig{}, 9)
+	apnic := users.BuildAPNICCounts(g, pop, 9)
+	cdnNet, err := cdn.Build(context.Background(), g, model, cdn.Config{}, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,8 +208,7 @@ func TestFig5CDNInflationSmall(t *testing.T) {
 	// CDN: most users zero geographic inflation, 85% < 10 ms; latency
 	// inflation < 30 ms for ~70%; far better than individual letters.
 	w := buildWorld(t)
-	rng := rand.New(rand.NewSource(17))
-	logs := w.cdnNet.ServerSideLogs(w.locs, rng)
+	logs := w.cdnNet.ServerSideLogs(w.locs, 17)
 	for _, ring := range w.cdnNet.Rings {
 		gi := mustCDF(t, CDNGeoInflation(logs, ring))
 		if p := gi.P(10); p < 0.6 {
@@ -240,8 +239,7 @@ func TestFig7aEfficiencyVsSize(t *testing.T) {
 	// Within the CDN rings: bigger ring, lower efficiency but lower
 	// median latency.
 	w := buildWorld(t)
-	rng := rand.New(rand.NewSource(19))
-	logs := w.cdnNet.ServerSideLogs(w.locs, rng)
+	logs := w.cdnNet.ServerSideLogs(w.locs, 19)
 	var prevEff float64 = -1
 	var prevMed float64 = -1
 	var firstEff, lastEff, firstMed, lastMed float64

@@ -2,7 +2,9 @@ package ditl
 
 import (
 	"fmt"
-	"math/rand"
+
+	"anycastctx/internal/par"
+	"anycastctx/internal/rng"
 )
 
 // AffinityResult summarizes a temporal site-affinity simulation for one
@@ -25,7 +27,11 @@ type AffinityResult struct {
 // secondary site (when one exists) with the given probability and returns
 // with high probability the next hour — the transient load-balancing churn
 // Appendix B.2 measures. hours defaults to 48 (the DITL window) when <= 0.
-func (c *Campaign) Affinity(li int, flapProbPerHour float64, hours int, rng *rand.Rand) (AffinityResult, error) {
+//
+// Each recursive's hourly walk draws from its own
+// Split(seed, PhaseAffinity, letter).Fork(recursive) stream, so the
+// walks run in parallel and the result is identical for any worker count.
+func (c *Campaign) Affinity(li int, flapProbPerHour float64, hours int, seed int64) (AffinityResult, error) {
 	if li < 0 || li >= len(c.Letters) {
 		return AffinityResult{}, fmt.Errorf("ditl: letter index %d out of range", li)
 	}
@@ -33,44 +39,75 @@ func (c *Campaign) Affinity(li int, flapProbPerHour float64, hours int, rng *ran
 		hours = 48
 	}
 	res := AffinityResult{Letter: c.LetterNames[li]}
+	base := rng.Split(seed, rng.PhaseAffinity, uint64(li))
+
+	// Per-recursive walks fold into fixed-size chunk partials: the chunk
+	// grid depends only on the recursive count, never on the worker
+	// count, so the float summation order (serial within a chunk, chunk
+	// index order across) is identical for any GOMAXPROCS — and the
+	// scratch is a handful of partials instead of a per-recursive row.
+	const chunk = 2048
+	n := len(c.Pop.Recursives)
+	type partial struct {
+		nRecs, stable, flaps int
+		affinitySum          float64
+	}
+	parts := make([]partial, (n+chunk-1)/chunk)
+	par.Do(len(parts), func(plo, phi int) {
+		for ci := plo; ci < phi; ci++ {
+			p := &parts[ci]
+			lo, hi := ci*chunk, (ci+1)*chunk
+			if hi > n {
+				hi = n
+			}
+			for ri := lo; ri < hi; ri++ {
+				a := c.At(li, ri)
+				if !a.Reachable {
+					continue
+				}
+				p.nRecs++
+				if a.NumSites() < 2 {
+					// No alternate path exists: perfectly stable.
+					p.stable++
+					p.affinitySum++
+					continue
+				}
+				st := base.Fork(uint64(ri))
+				onFavorite := true
+				hoursOnFavorite := 0
+				changed := false
+				for h := 0; h < hours; h++ {
+					if onFavorite && st.Float64() < flapProbPerHour {
+						onFavorite = false
+						changed = true
+						p.flaps++
+					} else if !onFavorite && st.Float64() < 0.7 {
+						onFavorite = true
+						p.flaps++
+					}
+					if onFavorite {
+						hoursOnFavorite++
+					}
+				}
+				if !changed {
+					p.stable++
+				}
+				modal := hoursOnFavorite
+				if hours-hoursOnFavorite > modal {
+					modal = hours - hoursOnFavorite
+				}
+				p.affinitySum += float64(modal) / float64(hours)
+			}
+		}
+	})
 	var nRecs, stable int
 	var affinitySum float64
-	for ri := range c.Pop.Recursives {
-		a := c.At(li, ri)
-		if !a.Reachable {
-			continue
-		}
-		nRecs++
-		if a.NumSites() < 2 {
-			// No alternate path exists: perfectly stable.
-			stable++
-			affinitySum += 1
-			continue
-		}
-		onFavorite := true
-		hoursOnFavorite := 0
-		changed := false
-		for h := 0; h < hours; h++ {
-			if onFavorite && rng.Float64() < flapProbPerHour {
-				onFavorite = false
-				changed = true
-				res.Flaps++
-			} else if !onFavorite && rng.Float64() < 0.7 {
-				onFavorite = true
-				res.Flaps++
-			}
-			if onFavorite {
-				hoursOnFavorite++
-			}
-		}
-		if !changed {
-			stable++
-		}
-		modal := hoursOnFavorite
-		if hours-hoursOnFavorite > modal {
-			modal = hours - hoursOnFavorite
-		}
-		affinitySum += float64(modal) / float64(hours)
+	for ci := range parts {
+		p := &parts[ci]
+		nRecs += p.nRecs
+		stable += p.stable
+		res.Flaps += p.flaps
+		affinitySum += p.affinitySum
 	}
 	if nRecs == 0 {
 		return AffinityResult{}, fmt.Errorf("ditl: no reachable recursives for letter %s", res.Letter)

@@ -1,15 +1,13 @@
 package ditl
 
 import (
-	"math/rand"
 	"testing"
 )
 
 func TestAffinityHighAtLowFlapRate(t *testing.T) {
 	f := buildFixture(t)
-	rng := rand.New(rand.NewSource(31))
 	for li := range f.camp.Letters {
-		res, err := f.camp.Affinity(li, 0.005, 48, rng)
+		res, err := f.camp.Affinity(li, 0.005, 48, 31)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -27,11 +25,11 @@ func TestAffinityHighAtLowFlapRate(t *testing.T) {
 
 func TestAffinityDegradesWithFlapRate(t *testing.T) {
 	f := buildFixture(t)
-	low, err := f.camp.Affinity(2, 0.001, 48, rand.New(rand.NewSource(7)))
+	low, err := f.camp.Affinity(2, 0.001, 48, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
-	high, err := f.camp.Affinity(2, 0.2, 48, rand.New(rand.NewSource(7)))
+	high, err := f.camp.Affinity(2, 0.2, 48, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,11 +43,11 @@ func TestAffinityDegradesWithFlapRate(t *testing.T) {
 
 func TestAffinityValidation(t *testing.T) {
 	f := buildFixture(t)
-	if _, err := f.camp.Affinity(99, 0.01, 48, rand.New(rand.NewSource(1))); err == nil {
+	if _, err := f.camp.Affinity(99, 0.01, 48, 1); err == nil {
 		t.Error("bad letter accepted")
 	}
 	// Default window.
-	res, err := f.camp.Affinity(0, 0, 0, rand.New(rand.NewSource(2)))
+	res, err := f.camp.Affinity(0, 0, 0, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

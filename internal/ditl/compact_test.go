@@ -3,7 +3,6 @@ package ditl
 import (
 	"bytes"
 	"context"
-	"math/rand"
 	"reflect"
 	"runtime"
 	"testing"
@@ -104,8 +103,7 @@ func TestEmitSiteCaptureByteStable(t *testing.T) {
 	f := buildFixture(t)
 	emit := func() []byte {
 		var buf bytes.Buffer
-		rng := rand.New(rand.NewSource(99))
-		if _, err := f.camp.EmitSiteCapture(&buf, 2, 0, 2000, rng); err != nil {
+		if _, err := f.camp.EmitSiteCapture(&buf, 2, 0, 2000, 99); err != nil {
 			t.Fatal(err)
 		}
 		return buf.Bytes()
@@ -131,8 +129,7 @@ func BenchmarkCampaignBuild(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rng := rand.New(rand.NewSource(123))
-		c, err := Build(context.Background(), f.g, f.letters, f.pop, nil, f.rates, f.camp.Model, Config{}, rng)
+		c, err := Build(context.Background(), f.g, f.letters, f.pop, nil, f.rates, f.camp.Model, Config{}, 123)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -159,12 +156,11 @@ func BenchmarkJoinCDN(b *testing.B) {
 // BenchmarkEmitSiteCapture measures pcap emission with pooled buffers.
 func BenchmarkEmitSiteCapture(b *testing.B) {
 	f := buildFixture(b)
-	rng := rand.New(rand.NewSource(7))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var buf bytes.Buffer
-		if _, err := f.camp.EmitSiteCapture(&buf, 2, 0, 2000, rng); err != nil {
+		if _, err := f.camp.EmitSiteCapture(&buf, 2, 0, 2000, 7); err != nil {
 			b.Fatal(err)
 		}
 	}

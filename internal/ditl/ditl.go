@@ -9,7 +9,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"math/rand"
 
 	"anycastctx/internal/anycastnet"
 	"anycastctx/internal/bgp"
@@ -18,6 +17,8 @@ import (
 	"anycastctx/internal/ipaddr"
 	"anycastctx/internal/latency"
 	"anycastctx/internal/obs"
+	"anycastctx/internal/par"
+	"anycastctx/internal/rng"
 	"anycastctx/internal/topology"
 	"anycastctx/internal/users"
 )
@@ -247,8 +248,15 @@ func (c *Campaign) Egress(ri int) []ipaddr.Addr {
 // may be nil when no pcap emission with real referrals is needed. ctx
 // carries the caller's span: a traced build records "ditl.build" with
 // "ditl.warm_routes" and "ditl.assemble" children under it.
+//
+// Every random quantity is drawn from a splittable stream keyed by
+// ⟨recursive, letter⟩ (rng.Split/Fork), so the per-recursive assembly
+// fans out under par.DoCtx with byte-identical columns at any worker
+// count. The route dedup tables are built in a serial pre-pass over
+// warm caches (first-appearance AS order), and the junk-source volume
+// folds in index order so the float sum is schedule-independent.
 func Build(ctx context.Context, g *topology.Graph, letters []*anycastnet.Deployment, pop *users.Population,
-	zone *dnssim.Zone, rates []dnssim.Rates, model *latency.Model, cfg Config, rng *rand.Rand) (*Campaign, error) {
+	zone *dnssim.Zone, rates []dnssim.Rates, model *latency.Model, cfg Config, seed int64) (*Campaign, error) {
 	ctx, build := obs.StartSpanCtx(ctx, "ditl.build")
 	defer build.End()
 	cfg = cfg.withDefaults()
@@ -272,9 +280,8 @@ func Build(ctx context.Context, g *topology.Graph, letters []*anycastnet.Deploym
 
 	// Pre-warm every letter's route cache across all CPUs: recursives in
 	// one AS share routes, and each (letter, AS) route is computed exactly
-	// once in the resolver's memo. The rng-driven assembly loop below then
-	// runs serially against warm caches, so its outputs (and rng draws)
-	// are byte-identical to a fully serial build.
+	// once in the resolver's memo, so the assembly fan-out below only ever
+	// hits warm caches.
 	srcs := make([]topology.ASN, 0, len(pop.Recursives))
 	seenSrc := make(map[topology.ASN]bool, len(pop.Recursives))
 	for ri := range pop.Recursives {
@@ -289,7 +296,7 @@ func Build(ctx context.Context, g *topology.Graph, letters []*anycastnet.Deploym
 	}
 	warm.End()
 
-	_, assemble := obs.StartSpanCtx(ctx, "ditl.assemble")
+	assembleCtx, assemble := obs.StartSpanCtx(ctx, "ditl.assemble")
 	defer assemble.End()
 
 	n := len(pop.Recursives)
@@ -301,111 +308,138 @@ func Build(ctx context.Context, g *topology.Graph, letters []*anycastnet.Deploym
 	c.tcpMedian = make([]float64, nl*n)
 	c.letterWeight = make([]float64, nl*n)
 
+	// Route dedup tables, built serially per ⟨letter, AS⟩ in
+	// first-appearance AS order: every recursive in an AS shares one
+	// entry per letter, so the parallel pass below only reads them.
+	routeIx := make([]map[topology.ASN]uint32, nl)
+	for li := range letters {
+		routeIx[li] = make(map[topology.ASN]uint32, len(srcs))
+		for _, asn := range srcs {
+			rt, ok := letters[li].Route(asn)
+			if !ok {
+				continue
+			}
+			routeIx[li][asn] = uint32(len(c.routes))
+			c.routes = append(c.routes, rt)
+			c.routeRTT = append(c.routeRTT, model.BaseRTTMs(asn, rt))
+		}
+	}
+
 	// The egress count per recursive depends only on rates, so the flat
-	// store can be sized exactly up front instead of append-grown.
+	// store is prefix-summed up front and each recursive writes its own
+	// exact sub-slice in the fan-out.
 	c.egressOff = make([]uint32, n+1)
 	totalEgress := 0
 	for ri := range rates {
 		totalEgress += numEgress(rates[ri])
+		c.egressOff[ri+1] = uint32(totalEgress)
 	}
-	c.egressFlat = make([]ipaddr.Addr, 0, totalEgress)
+	c.egressFlat = make([]ipaddr.Addr, totalEgress)
 
-	// routeIx dedups ⟨letter, AS⟩ route lookups into c.routes/c.routeRTT.
-	routeIx := make([]map[topology.ASN]uint32, nl)
-	for li := range letters {
-		routeIx[li] = make(map[topology.ASN]uint32)
-	}
+	par.DoCtx(assembleCtx, n, func(ctx context.Context, lo, hi int) {
+		_, sp := obs.StartSpanCtx(ctx, "ditl.assemble.shard")
+		defer sp.End()
+		rtts := make([]float64, nl)
+		weights := make([]float64, nl)
+		for ri := lo; ri < hi; ri++ {
+			rec := &pop.Recursives[ri]
+			siteStream := rng.Split(seed, rng.PhaseDITLSites, uint64(ri))
+			prefStream := rng.Split(seed, rng.PhaseDITLPref, uint64(ri))
+			tcpStream := rng.Split(seed, rng.PhaseDITLTCP, uint64(ri))
+			for li := range letters {
+				k := li*n + ri
+				c.routeIdx[k] = noRoute
+				c.altSite[k] = noAltSite
+				rix, ok := routeIx[li][rec.ASN]
+				if !ok {
+					rtts[li] = math.Inf(1)
+					continue
+				}
+				obsAssignReachable.Inc()
+				c.routeIdx[k] = rix
+				rtts[li] = c.routeRTT[rix]
 
-	rtts := make([]float64, nl)
-	weights := make([]float64, nl)
-	for ri := range pop.Recursives {
-		rec := &pop.Recursives[ri]
-		for li := range letters {
-			k := li*n + ri
-			c.routeIdx[k] = noRoute
-			c.altSite[k] = noAltSite
-			rt, ok := letters[li].Route(rec.ASN)
-			if !ok {
-				rtts[li] = math.Inf(1)
-				continue
+				// Site shares: favorite plus an occasional secondary.
+				cell := siteStream.Fork(uint64(li))
+				if cell.Float64() < cfg.SecondarySiteProb {
+					if alt, ok := alternateSite(letters[li], c.routes[rix].SiteID); ok {
+						c.altSite[k] = uint32(alt)
+						c.altFrac[k] = cell.Float64() * cfg.SecondaryShareMax
+					}
+				}
 			}
-			obsAssignReachable.Inc()
-			rix, seen := routeIx[li][rec.ASN]
-			if !seen {
-				rix = uint32(len(c.routes))
-				c.routes = append(c.routes, rt)
-				c.routeRTT = append(c.routeRTT, model.BaseRTTMs(rec.ASN, rt))
-				routeIx[li][rec.ASN] = rix
-			}
-			c.routeIdx[k] = rix
-			rtts[li] = c.routeRTT[rix]
 
-			// Site shares: favorite plus an occasional secondary.
-			if rng.Float64() < cfg.SecondarySiteProb {
-				if alt, ok := alternateSite(letters[li], rt.SiteID); ok {
-					c.altSite[k] = uint32(alt)
-					c.altFrac[k] = rng.Float64() * cfg.SecondaryShareMax
+			// Letter preference: softmax over per-recursive jittered RTTs.
+			var sum float64
+			for li := range weights {
+				weights[li] = 0
+			}
+			for li := range letters {
+				if math.IsInf(rtts[li], 1) {
+					continue
+				}
+				cell := prefStream.Fork(uint64(li))
+				jitter := 1 + 0.1*cell.NormFloat64()
+				weights[li] = math.Exp(-rtts[li] * jitter / cfg.TauMs)
+				if weights[li] < 0.005 {
+					weights[li] = 0.005 // exploration floor
+				}
+				sum += weights[li]
+			}
+			if sum > 0 {
+				for li := range letters {
+					c.letterWeight[li*n+ri] = weights[li] / sum
+				}
+			}
+
+			// TCP medians where volume suffices.
+			for li := range letters {
+				k := li*n + ri
+				c.tcpMedian[k] = math.NaN()
+				if c.routeIdx[k] == noRoute {
+					continue
+				}
+				tcpVol := rates[ri].RootValidPerDay * c.letterWeight[k] * rates[ri].TCPShare
+				if tcpVol >= cfg.MinTCPSamples {
+					cell := tcpStream.Fork(uint64(li))
+					c.tcpMedian[k] = model.MedianOfSamples(&cell, c.routeRTT[c.routeIdx[k]]+0.5, 11)
+				}
+			}
+
+			// Egress IPs: high offsets in the /24, with a small chance of
+			// reusing the CDN-observable resolver IPs. Forwarders never
+			// appear as DITL sources.
+			egStream := rng.Split(seed, rng.PhaseDITLEgress, uint64(ri))
+			off := int(c.egressOff[ri])
+			for k := 0; k < numEgress(rates[ri]); k++ {
+				if egStream.Float64() < cfg.EgressOverlapProb && k < len(rec.IPs) {
+					c.egressFlat[off+k] = rec.IPs[k]
+				} else {
+					c.egressFlat[off+k] = rec.Key.Prefix().Nth(uint64(100 + k))
 				}
 			}
 		}
+	})
 
-		// Letter preference: softmax over per-recursive jittered RTTs.
-		var sum float64
-		for li := range weights {
-			weights[li] = 0
-		}
-		for li := range letters {
-			if math.IsInf(rtts[li], 1) {
-				continue
-			}
-			jitter := 1 + 0.1*rng.NormFloat64()
-			weights[li] = math.Exp(-rtts[li] * jitter / cfg.TauMs)
-			if weights[li] < 0.005 {
-				weights[li] = 0.005 // exploration floor
-			}
-			sum += weights[li]
-		}
-		if sum > 0 {
-			for li := range letters {
-				c.letterWeight[li*n+ri] = weights[li] / sum
-			}
-		}
-
-		// TCP medians where volume suffices.
-		for li := range letters {
-			k := li*n + ri
-			c.tcpMedian[k] = math.NaN()
-			if c.routeIdx[k] == noRoute {
-				continue
-			}
-			tcpVol := rates[ri].RootValidPerDay * c.letterWeight[k] * rates[ri].TCPShare
-			if tcpVol >= cfg.MinTCPSamples {
-				c.tcpMedian[k] = model.MedianOfSamples(rng, c.routeRTT[c.routeIdx[k]]+0.5, 11)
-			}
-		}
-
-		// Egress IPs: high offsets in the /24, with a small chance of
-		// reusing the CDN-observable resolver IPs. Forwarders never appear
-		// as DITL sources.
-		for k := 0; k < numEgress(rates[ri]); k++ {
-			if rng.Float64() < cfg.EgressOverlapProb && k < len(rec.IPs) {
-				c.egressFlat = append(c.egressFlat, rec.IPs[k])
-			} else {
-				c.egressFlat = append(c.egressFlat, rec.Key.Prefix().Nth(uint64(100+k)))
-			}
-		}
-		c.egressOff[ri+1] = uint32(len(c.egressFlat))
-	}
-
-	// Junk-only sources.
+	// Junk-only sources: addresses and volumes draw per-block streams in
+	// parallel; the volume sum folds serially in index order so the float
+	// total is schedule-independent.
 	nJunk := int(cfg.JunkSlash24sPerRecursive * float64(len(pop.Recursives)))
 	blocks, err := pop.Pool.AllocSlash24s(nJunk)
 	if err != nil {
 		return nil, fmt.Errorf("ditl: allocating junk sources: %w", err)
 	}
-	for _, b := range blocks {
-		c.JunkSources = append(c.JunkSources, b.Nth(uint64(1+rng.Intn(250))))
-		c.JunkQueriesPerDay += 50 + rng.ExpFloat64()*2000
+	c.JunkSources = make([]ipaddr.Addr, len(blocks))
+	junkVol := make([]float64, len(blocks))
+	par.Do(len(blocks), func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			st := rng.Split(seed, rng.PhaseDITLJunk, uint64(j))
+			c.JunkSources[j] = blocks[j].Nth(uint64(1 + st.Intn(250)))
+			junkVol[j] = 50 + st.ExpFloat64()*2000
+		}
+	})
+	for _, v := range junkVol {
+		c.JunkQueriesPerDay += v
 	}
 	obsCampaigns.Inc()
 	obsAssignments.Add(uint64(len(letters) * len(pop.Recursives)))

@@ -33,12 +33,12 @@ func buildFixture(t testing.TB) *fixture {
 		t.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(5))
-	pop, err := users.Build(g, users.Config{TotalUsers: 5e8}, rng)
+	pop, err := users.Build(g, users.Config{TotalUsers: 5e8}, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	zone := dnssim.NewZone(500, rng)
-	rates := dnssim.ComputeRates(pop, zone, dnssim.RateConfig{}, rng)
+	zone := dnssim.NewZone(500, 5)
+	rates := dnssim.ComputeRates(pop, zone, dnssim.RateConfig{}, 5)
 	specs := []anycastnet.LetterSpec{
 		{Letter: "B", GlobalSites: 2, TotalSites: 2, Openness: 0.1},
 		{Letter: "C", GlobalSites: 10, TotalSites: 10, Openness: 0.26},
@@ -48,21 +48,20 @@ func buildFixture(t testing.TB) *fixture {
 	if err != nil {
 		t.Fatal(err)
 	}
-	camp, err := Build(context.Background(), g, letters, pop, zone, rates, latency.DefaultModel(), Config{}, rng)
+	camp, err := Build(context.Background(), g, letters, pop, zone, rates, latency.DefaultModel(), Config{}, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cdn := users.BuildCDNCounts(pop, users.CDNConfig{}, rng)
+	cdn := users.BuildCDNCounts(pop, users.CDNConfig{}, 5)
 	return &fixture{g: g, pop: pop, rates: rates, letters: letters, camp: camp, cdn: cdn}
 }
 
 func TestBuildValidation(t *testing.T) {
 	f := buildFixture(t)
-	rng := rand.New(rand.NewSource(1))
-	if _, err := Build(context.Background(), f.g, nil, f.pop, nil, f.rates, latency.DefaultModel(), Config{}, rng); err == nil {
+	if _, err := Build(context.Background(), f.g, nil, f.pop, nil, f.rates, latency.DefaultModel(), Config{}, 1); err == nil {
 		t.Error("no letters accepted")
 	}
-	if _, err := Build(context.Background(), f.g, f.letters, f.pop, nil, f.rates[:3], latency.DefaultModel(), Config{}, rng); err == nil {
+	if _, err := Build(context.Background(), f.g, f.letters, f.pop, nil, f.rates[:3], latency.DefaultModel(), Config{}, 1); err == nil {
 		t.Error("mismatched rates accepted")
 	}
 }
@@ -301,9 +300,8 @@ func TestLetterIndex(t *testing.T) {
 
 func TestEmitAndSummarizeCapture(t *testing.T) {
 	f := buildFixture(t)
-	rng := rand.New(rand.NewSource(7))
 	var buf bytes.Buffer
-	n, err := f.camp.EmitSiteCapture(&buf, 1, 0, 3000, rng)
+	n, err := f.camp.EmitSiteCapture(&buf, 1, 0, 3000, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -340,12 +338,11 @@ func TestEmitAndSummarizeCapture(t *testing.T) {
 
 func TestEmitCaptureValidation(t *testing.T) {
 	f := buildFixture(t)
-	rng := rand.New(rand.NewSource(8))
 	var buf bytes.Buffer
-	if _, err := f.camp.EmitSiteCapture(&buf, 99, 0, 10, rng); err == nil {
+	if _, err := f.camp.EmitSiteCapture(&buf, 99, 0, 10, 8); err == nil {
 		t.Error("bad letter accepted")
 	}
-	if _, err := f.camp.EmitSiteCapture(&buf, 0, 99, 10, rng); err == nil {
+	if _, err := f.camp.EmitSiteCapture(&buf, 0, 99, 10, 8); err == nil {
 		t.Error("bad site accepted")
 	}
 }

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"math/rand"
 	"sync"
 	"time"
 
@@ -12,7 +11,9 @@ import (
 	"anycastctx/internal/dnswire"
 	"anycastctx/internal/ipaddr"
 	"anycastctx/internal/obs"
+	"anycastctx/internal/par"
 	"anycastctx/internal/pcapio"
+	"anycastctx/internal/rng"
 )
 
 // emitScratch is the pair of encode buffers one EmitSiteCapture call
@@ -41,15 +42,51 @@ var captureStart = time.Date(2018, time.April, 10, 0, 0, 0, 0, time.UTC)
 // one site of one letter: UDP query/response pairs plus occasional TCP
 // handshakes, drawn from the recursives whose catchment includes the site
 // and from junk sources. At most maxPackets packets are written.
-func (c *Campaign) EmitSiteCapture(w io.Writer, li, siteID, maxPackets int, rng *rand.Rand) (int, error) {
-	return c.EmitSiteCaptureCtx(context.Background(), w, li, siteID, maxPackets, rng)
+//
+// Randomness is derived per entity — Split(seed, PhaseCaptureJunk/Rec,
+// letter).Fork(site).Fork(packet-or-recursive) — so contributors frame
+// their records in parallel workers and the output bytes depend only on
+// (campaign, seed, maxPackets), not on worker count or schedule.
+func (c *Campaign) EmitSiteCapture(w io.Writer, li, siteID, maxPackets int, seed int64) (int, error) {
+	return c.EmitSiteCaptureCtx(context.Background(), w, li, siteID, maxPackets, seed)
+}
+
+// captureUnit is one independently generated slice of a site capture:
+// the junk-source block or one contributing recursive. Workers frame
+// records into blob (via pcapio.AppendRecord) and log the end offset of
+// each record, so the assembler can truncate at exactly maxPackets
+// records while stitching units back together in deterministic order.
+type captureUnit struct {
+	recIdx int // contributor index into c.Pop.Recursives; -1 for junk
+	quota  int // packet draws this unit makes (0 = skip entirely)
+	blob   []byte
+	ends   []int // cumulative record end offsets within blob
+	err    error
+}
+
+// appendRecord frames one packet into the unit, honouring the site
+// withdrawal cutoff: packets timestamped after the cut never reach the
+// capture (they are counted, deterministically, as withdrawn).
+func (u *captureUnit) appendRecord(ts time.Time, pkt []byte, cutoff time.Time) error {
+	if !cutoff.IsZero() && ts.After(cutoff) {
+		obsPcapWithdrawn.Inc()
+		return nil
+	}
+	b, err := pcapio.AppendRecord(u.blob, ts, pkt)
+	if err != nil {
+		return err
+	}
+	u.blob = b
+	u.ends = append(u.ends, len(b))
+	return nil
 }
 
 // EmitSiteCaptureCtx is EmitSiteCapture parented under the span carried by
 // ctx: a traced run records one "ditl.capture" span per emitted site
-// capture. Output bytes are identical to EmitSiteCapture.
-func (c *Campaign) EmitSiteCaptureCtx(ctx context.Context, w io.Writer, li, siteID, maxPackets int, rng *rand.Rand) (int, error) {
-	_, span := obs.StartSpanCtx(ctx, "ditl.capture")
+// capture, with per-worker framing shards beneath it. Output bytes are
+// identical to EmitSiteCapture.
+func (c *Campaign) EmitSiteCaptureCtx(ctx context.Context, w io.Writer, li, siteID, maxPackets int, seed int64) (int, error) {
+	ctx, span := obs.StartSpanCtx(ctx, "ditl.capture")
 	defer span.End()
 	if li < 0 || li >= len(c.Letters) {
 		return 0, fmt.Errorf("ditl: letter index %d out of range", li)
@@ -63,17 +100,14 @@ func (c *Campaign) EmitSiteCaptureCtx(ctx context.Context, w io.Writer, li, site
 	}
 	// Site withdrawal (Tangled-style mid-run failure): when the fault
 	// policy withdraws this site, packets timestamped after the cut-off
-	// never reach the capture. The rng draw sequence is unchanged, so
-	// everything before the cut-off stays byte-identical.
+	// never reach the capture. Withdrawal is keyed on (letter, site) and
+	// timestamps are per-entity draws, so the surviving prefix of each
+	// unit is the same regardless of worker count.
 	var cutoff time.Time
 	if frac, withdrawn := c.Faults.SiteWithdrawCut(li, siteID); withdrawn {
 		cutoff = captureStart.Add(time.Duration(frac * float64(48*time.Hour)))
 	}
 	dst := LetterAnycastAddr(li)
-	var server *dnssim.RootServer
-	if c.Zone != nil {
-		server = dnssim.NewRootServer(c.Zone, c.LetterNames[li])
-	}
 
 	// Contributors: recursives with volume to this site.
 	type contrib struct {
@@ -101,187 +135,251 @@ func (c *Campaign) EmitSiteCaptureCtx(ctx context.Context, w io.Writer, li, site
 	if len(contribs) == 0 {
 		return 0, pw.Close()
 	}
-	scr := emitScratchPool.Get().(*emitScratch)
-	defer emitScratchPool.Put(scr)
-
 	obsPcapCaptures.Inc()
-	written := 0
-	emit := func(ts time.Time, pkt []byte) error {
-		if written >= maxPackets {
-			return nil
-		}
-		if !cutoff.IsZero() && ts.After(cutoff) {
-			obsPcapWithdrawn.Inc()
-			return nil
-		}
-		if err := pw.WritePacket(ts, pkt); err != nil {
-			return err
-		}
-		written++
-		obsPcapPackets.Inc()
-		return nil
-	}
 
-	// Junk sources contribute a small share of packets up front.
-	junkBudget := maxPackets / 20
-	for i := 0; i < junkBudget && i < len(c.JunkSources); i++ {
-		src := c.JunkSources[rng.Intn(len(c.JunkSources))]
-		ts := captureStart.Add(time.Duration(rng.Int63n(48 * int64(time.Hour))))
-		q := dnswire.NewQuery(uint16(rng.Intn(65536)), randomProbeName(rng), dnswire.TypeA)
-		qb, err := q.EncodeInto(scr.dns)
-		if err != nil {
-			return written, err
-		}
-		scr.dns = qb
-		pkt, err := pcapio.SerializeUDPInto(scr.pkt, &pcapio.IPv4{Src: src, Dst: dst, ID: uint16(rng.Intn(65536))},
-			&pcapio.UDP{SrcPort: uint16(1024 + rng.Intn(60000)), DstPort: 53}, qb)
-		if err != nil {
-			return written, err
-		}
-		scr.pkt = pkt
-		if err := emit(ts, pkt); err != nil {
-			return written, err
-		}
+	// Plan deterministic per-unit packet quotas up front. Unit 0 is the
+	// junk block; units 1..len(contribs) are the contributors in stable
+	// contributor order. Every contributor draw emits at least two
+	// packets (a UDP query/response pair), so each quota is clamped to
+	// the draws that could still fit under the maxPackets cap, and once
+	// the cumulative minimum covers the budget later contributors drop to
+	// zero — bounding wasted generation to the TCP-handshake surplus
+	// without making quotas depend on emission order.
+	junkCount := maxPackets / 20
+	if junkCount > len(c.JunkSources) {
+		junkCount = len(c.JunkSources)
 	}
-
-	budget := maxPackets - written
-	for _, cb := range contribs {
-		if written >= maxPackets {
-			break
+	budget := maxPackets - junkCount
+	units := make([]captureUnit, 1+len(contribs))
+	units[0] = captureUnit{recIdx: -1, quota: junkCount}
+	minEmitted := 0
+	for i, cb := range contribs {
+		u := &units[1+i]
+		u.recIdx = cb.recIdx
+		if minEmitted >= budget {
+			continue // quota stays 0
 		}
 		n := int(float64(budget) * cb.vol / totalVol)
+		if rem := (budget - minEmitted + 1) / 2; n > rem {
+			n = rem
+		}
 		if n < 1 {
 			n = 1
 		}
-		rates := c.Rates[cb.recIdx]
-		egress := c.Egress(cb.recIdx)
-		rtt := time.Duration(c.At(li, cb.recIdx).BaseRTTMs * float64(time.Millisecond))
-		for k := 0; k < n && written < maxPackets; k++ {
-			src := egress[rng.Intn(len(egress))]
-			ts := captureStart.Add(time.Duration(rng.Int63n(48 * int64(time.Hour))))
-			qtype, qname := sampleQuery(rates.RootValidPerDay, rates.RootInvalidPerDay, rates.RootPTRPerDay, rng)
-			q := dnswire.NewQuery(uint16(rng.Intn(65536)), qname, qtype)
-			// Most modern resolvers advertise EDNS buffer sizes.
-			if rng.Float64() < 0.8 {
-				q.SetEDNS(4096, rng.Float64() < 0.5)
-			}
-			qb, err := q.EncodeInto(scr.dns)
-			if err != nil {
-				return written, err
-			}
-			scr.dns = qb
-			srcPort := uint16(1024 + rng.Intn(60000))
+		u.quota = n
+		minEmitted += 2 * n
+	}
 
-			if rng.Float64() < rates.TCPShare {
-				// TCP handshake: SYN in, SYN-ACK out, ACK+query in. Each
-				// packet is emitted (copied into the pcap writer) before
-				// the next reuses the scratch buffer; emission draws no
-				// randomness, so the rng sequence matches the old
-				// build-all-then-emit order.
-				seq := rng.Uint32()
-				syn, err := pcapio.SerializeTCPInto(scr.pkt, &pcapio.IPv4{Src: src, Dst: dst},
-					&pcapio.TCP{SrcPort: srcPort, DstPort: 53, Seq: seq, Flags: pcapio.FlagSYN}, nil)
-				if err != nil {
-					return written, err
-				}
-				scr.pkt = syn
-				if err := emit(ts, syn); err != nil {
-					return written, err
-				}
-				synack, err := pcapio.SerializeTCPInto(scr.pkt, &pcapio.IPv4{Src: dst, Dst: src},
-					&pcapio.TCP{SrcPort: 53, DstPort: srcPort, Seq: rng.Uint32(), Ack: seq + 1,
-						Flags: pcapio.FlagSYN | pcapio.FlagACK}, nil)
-				if err != nil {
-					return written, err
-				}
-				scr.pkt = synack
-				if err := emit(ts.Add(time.Microsecond), synack); err != nil {
-					return written, err
-				}
-				dataPkt, err := pcapio.SerializeTCPInto(scr.pkt, &pcapio.IPv4{Src: src, Dst: dst},
-					&pcapio.TCP{SrcPort: srcPort, DstPort: 53, Seq: seq + 1, Ack: 1,
-						Flags: pcapio.FlagACK | pcapio.FlagPSH}, qb)
-				if err != nil {
-					return written, err
-				}
-				scr.pkt = dataPkt
-				if err := emit(ts.Add(rtt), dataPkt); err != nil {
-					return written, err
-				}
+	par.DoCtx(ctx, len(units), func(ctx context.Context, lo, hi int) {
+		_, shard := obs.StartSpanCtx(ctx, "ditl.capture.shard")
+		defer shard.End()
+		scr := emitScratchPool.Get().(*emitScratch)
+		defer emitScratchPool.Put(scr)
+		// The root server memoizes answers, so each worker gets its own.
+		var server *dnssim.RootServer
+		if c.Zone != nil {
+			server = dnssim.NewRootServer(c.Zone, c.LetterNames[li])
+		}
+		for ui := lo; ui < hi; ui++ {
+			u := &units[ui]
+			if u.quota == 0 {
 				continue
 			}
-
-			pkt, err := pcapio.SerializeUDPInto(scr.pkt, &pcapio.IPv4{Src: src, Dst: dst, ID: uint16(k)},
-				&pcapio.UDP{SrcPort: srcPort, DstPort: 53}, qb)
-			if err != nil {
-				return written, err
-			}
-			scr.pkt = pkt
-			if err := emit(ts, pkt); err != nil {
-				return written, err
-			}
-			// Response packet (server-side captures see both directions).
-			// With a zone attached, the authoritative server produces real
-			// referrals/NXDOMAINs; otherwise synthesize a plain response.
-			// The query wire bytes are dead once the query packet is
-			// emitted, so the response reuses both scratch buffers.
-			var resp *dnswire.Message
-			if server != nil {
-				resp = server.Respond(q)
+			if u.recIdx < 0 {
+				u.err = c.genJunkUnit(u, scr, li, siteID, dst, seed, cutoff)
 			} else {
-				resp = dnswire.NewResponse(q, dnswire.RCodeNoError, nil)
-				if qtype == dnswire.TypeA && len(qname) > 0 {
-					resp.Header.RCode = dnswire.RCodeNXDomain
-				}
-			}
-			rb, err := resp.EncodeInto(scr.dns)
-			if err != nil {
-				return written, err
-			}
-			scr.dns = rb
-			rpkt, err := pcapio.SerializeUDPInto(scr.pkt, &pcapio.IPv4{Src: dst, Dst: src, ID: uint16(k)},
-				&pcapio.UDP{SrcPort: 53, DstPort: srcPort}, rb)
-			if err != nil {
-				return written, err
-			}
-			scr.pkt = rpkt
-			if err := emit(ts.Add(50*time.Microsecond), rpkt); err != nil {
-				return written, err
+				u.err = c.genContribUnit(u, scr, li, siteID, dst, seed, cutoff, server)
 			}
 		}
+	})
+
+	// Stitch units back together in order, truncating at maxPackets
+	// records — the same cap the serial emitter enforced per packet.
+	written := 0
+	for ui := range units {
+		u := &units[ui]
+		if u.err != nil {
+			return written, u.err
+		}
+		rem := maxPackets - written
+		if rem <= 0 {
+			break
+		}
+		take := len(u.ends)
+		if take > rem {
+			take = rem
+		}
+		if take == 0 {
+			continue
+		}
+		if err := pw.WriteRaw(u.blob[:u.ends[take-1]]); err != nil {
+			return written, err
+		}
+		written += take
 	}
+	obsPcapPackets.Add(uint64(written))
 	return written, pw.Close()
 }
 
+// genJunkUnit frames the junk-source block: one spoofed-looking probe
+// query per quota slot, each drawn from its own per-packet stream so the
+// block could itself be split further without changing bytes.
+func (c *Campaign) genJunkUnit(u *captureUnit, scr *emitScratch, li, siteID int, dst ipaddr.Addr, seed int64, cutoff time.Time) error {
+	base := rng.Split(seed, rng.PhaseCaptureJunk, uint64(li)).Fork(uint64(siteID))
+	for i := 0; i < u.quota; i++ {
+		st := base.Fork(uint64(i))
+		src := c.JunkSources[st.Intn(len(c.JunkSources))]
+		ts := captureStart.Add(time.Duration(st.Int63n(48 * int64(time.Hour))))
+		q := dnswire.NewQuery(uint16(st.Intn(65536)), randomProbeName(&st), dnswire.TypeA)
+		qb, err := q.EncodeInto(scr.dns)
+		if err != nil {
+			return err
+		}
+		scr.dns = qb
+		pkt, err := pcapio.SerializeUDPInto(scr.pkt, &pcapio.IPv4{Src: src, Dst: dst, ID: uint16(st.Intn(65536))},
+			&pcapio.UDP{SrcPort: uint16(1024 + st.Intn(60000)), DstPort: 53}, qb)
+		if err != nil {
+			return err
+		}
+		scr.pkt = pkt
+		if err := u.appendRecord(ts, pkt, cutoff); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// genContribUnit frames one contributing recursive's packets: UDP
+// query/response pairs with occasional TCP handshakes, all drawn from
+// the contributor's own stream.
+func (c *Campaign) genContribUnit(u *captureUnit, scr *emitScratch, li, siteID int, dst ipaddr.Addr, seed int64, cutoff time.Time, server *dnssim.RootServer) error {
+	st := rng.Split(seed, rng.PhaseCaptureRec, uint64(li)).Fork(uint64(siteID)).Fork(uint64(u.recIdx))
+	rates := c.Rates[u.recIdx]
+	egress := c.Egress(u.recIdx)
+	rtt := time.Duration(c.At(li, u.recIdx).BaseRTTMs * float64(time.Millisecond))
+	for k := 0; k < u.quota; k++ {
+		src := egress[st.Intn(len(egress))]
+		ts := captureStart.Add(time.Duration(st.Int63n(48 * int64(time.Hour))))
+		qtype, qname := sampleQuery(rates.RootValidPerDay, rates.RootInvalidPerDay, rates.RootPTRPerDay, &st)
+		q := dnswire.NewQuery(uint16(st.Intn(65536)), qname, qtype)
+		// Most modern resolvers advertise EDNS buffer sizes.
+		if st.Float64() < 0.8 {
+			q.SetEDNS(4096, st.Float64() < 0.5)
+		}
+		qb, err := q.EncodeInto(scr.dns)
+		if err != nil {
+			return err
+		}
+		scr.dns = qb
+		srcPort := uint16(1024 + st.Intn(60000))
+
+		if st.Float64() < rates.TCPShare {
+			// TCP handshake: SYN in, SYN-ACK out, ACK+query in. Each
+			// packet is framed (copied into the unit blob) before the
+			// next reuses the scratch buffer.
+			seq := st.Uint32()
+			syn, err := pcapio.SerializeTCPInto(scr.pkt, &pcapio.IPv4{Src: src, Dst: dst},
+				&pcapio.TCP{SrcPort: srcPort, DstPort: 53, Seq: seq, Flags: pcapio.FlagSYN}, nil)
+			if err != nil {
+				return err
+			}
+			scr.pkt = syn
+			if err := u.appendRecord(ts, syn, cutoff); err != nil {
+				return err
+			}
+			synack, err := pcapio.SerializeTCPInto(scr.pkt, &pcapio.IPv4{Src: dst, Dst: src},
+				&pcapio.TCP{SrcPort: 53, DstPort: srcPort, Seq: st.Uint32(), Ack: seq + 1,
+					Flags: pcapio.FlagSYN | pcapio.FlagACK}, nil)
+			if err != nil {
+				return err
+			}
+			scr.pkt = synack
+			if err := u.appendRecord(ts.Add(time.Microsecond), synack, cutoff); err != nil {
+				return err
+			}
+			dataPkt, err := pcapio.SerializeTCPInto(scr.pkt, &pcapio.IPv4{Src: src, Dst: dst},
+				&pcapio.TCP{SrcPort: srcPort, DstPort: 53, Seq: seq + 1, Ack: 1,
+					Flags: pcapio.FlagACK | pcapio.FlagPSH}, qb)
+			if err != nil {
+				return err
+			}
+			scr.pkt = dataPkt
+			if err := u.appendRecord(ts.Add(rtt), dataPkt, cutoff); err != nil {
+				return err
+			}
+			continue
+		}
+
+		pkt, err := pcapio.SerializeUDPInto(scr.pkt, &pcapio.IPv4{Src: src, Dst: dst, ID: uint16(k)},
+			&pcapio.UDP{SrcPort: srcPort, DstPort: 53}, qb)
+		if err != nil {
+			return err
+		}
+		scr.pkt = pkt
+		if err := u.appendRecord(ts, pkt, cutoff); err != nil {
+			return err
+		}
+		// Response packet (server-side captures see both directions).
+		// With a zone attached, the authoritative server produces real
+		// referrals/NXDOMAINs; otherwise synthesize a plain response.
+		// The query wire bytes are dead once the query packet is
+		// framed, so the response reuses both scratch buffers.
+		var resp *dnswire.Message
+		if server != nil {
+			resp = server.Respond(q)
+		} else {
+			resp = dnswire.NewResponse(q, dnswire.RCodeNoError, nil)
+			if qtype == dnswire.TypeA && len(qname) > 0 {
+				resp.Header.RCode = dnswire.RCodeNXDomain
+			}
+		}
+		rb, err := resp.EncodeInto(scr.dns)
+		if err != nil {
+			return err
+		}
+		scr.dns = rb
+		rpkt, err := pcapio.SerializeUDPInto(scr.pkt, &pcapio.IPv4{Src: dst, Dst: src, ID: uint16(k)},
+			&pcapio.UDP{SrcPort: 53, DstPort: srcPort}, rb)
+		if err != nil {
+			return err
+		}
+		scr.pkt = rpkt
+		if err := u.appendRecord(ts.Add(50*time.Microsecond), rpkt, cutoff); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // sampleQuery draws a query type/name matching the recursive's traffic mix.
-func sampleQuery(valid, invalid, ptr float64, rng *rand.Rand) (dnswire.Type, string) {
+func sampleQuery(valid, invalid, ptr float64, st *rng.Stream) (dnswire.Type, string) {
 	total := valid + invalid + ptr
 	if total <= 0 {
 		return dnswire.TypeNS, "com"
 	}
-	u := rng.Float64() * total
+	u := st.Float64() * total
 	switch {
 	case u < valid:
-		return dnswire.TypeNS, validTLDName(rng)
+		return dnswire.TypeNS, validTLDName(st)
 	case u < valid+invalid:
-		return dnswire.TypeA, randomProbeName(rng)
+		return dnswire.TypeA, randomProbeName(st)
 	default:
 		return dnswire.TypePTR, fmt.Sprintf("%d.%d.%d.%d.in-addr.arpa",
-			rng.Intn(256), rng.Intn(256), rng.Intn(256), rng.Intn(256))
+			st.Intn(256), st.Intn(256), st.Intn(256), st.Intn(256))
 	}
 }
 
 var commonTLDs = []string{"com", "net", "org", "de", "cn", "uk", "nl", "ru", "jp", "fr", "io", "info"}
 
-func validTLDName(rng *rand.Rand) string {
-	return commonTLDs[rng.Intn(len(commonTLDs))]
+func validTLDName(st *rng.Stream) string {
+	return commonTLDs[st.Intn(len(commonTLDs))]
 }
 
-func randomProbeName(rng *rand.Rand) string {
-	n := 7 + rng.Intn(9)
+func randomProbeName(st *rng.Stream) string {
+	n := 7 + st.Intn(9)
 	b := make([]byte, n)
 	for i := range b {
-		b[i] = byte('a' + rng.Intn(26))
+		b[i] = byte('a' + st.Intn(26))
 	}
 	return string(b)
 }

@@ -12,14 +12,14 @@ import (
 // BenchmarkResolveA measures event-level resolution throughput against a
 // warm cache (the dominant operation of the local-perspective studies).
 func BenchmarkResolveA(b *testing.B) {
-	z := NewZone(1000, rand.New(rand.NewSource(1)))
+	z := NewZone(1000, 1)
 	rng := rand.New(rand.NewSource(2))
 	r, err := NewResolver(z, ResolverConfig{NumLetters: 13, Bug: true},
 		StandardUpstreams([]float64{30, 40, 50, 25, 35, 45, 55, 65, 70, 20, 80, 90, 60}, rng), rng)
 	if err != nil {
 		b.Fatal(err)
 	}
-	client := NewClient(z, ClientConfig{}, rng)
+	client := NewClient(z, ClientConfig{}, 2)
 	names := make([]string, 4096)
 	for i := range names {
 		names[i] = client.SampleDomain()
@@ -33,7 +33,7 @@ func BenchmarkResolveA(b *testing.B) {
 
 // BenchmarkClientDay measures a full simulated day for a small population.
 func BenchmarkClientDay(b *testing.B) {
-	z := NewZone(1000, rand.New(rand.NewSource(3)))
+	z := NewZone(1000, 3)
 	for i := 0; i < b.N; i++ {
 		rng := rand.New(rand.NewSource(int64(i + 1)))
 		r, err := NewResolver(z, ResolverConfig{NumLetters: 13, Bug: true},
@@ -41,7 +41,7 @@ func BenchmarkClientDay(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		client := NewClient(z, ClientConfig{Users: 30}, rng)
+		client := NewClient(z, ClientConfig{Users: 30}, int64(i+1))
 		client.Run(r, 1, nil)
 	}
 }
@@ -54,13 +54,13 @@ func BenchmarkComputeRates(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	pop, err := users.Build(g, users.Config{TotalUsers: 1e9}, rand.New(rand.NewSource(5)))
+	pop, err := users.Build(g, users.Config{TotalUsers: 1e9}, 5)
 	if err != nil {
 		b.Fatal(err)
 	}
-	z := NewZone(1000, rand.New(rand.NewSource(5)))
+	z := NewZone(1000, 5)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ComputeRates(pop, z, RateConfig{}, rand.New(rand.NewSource(int64(i))))
+		ComputeRates(pop, z, RateConfig{}, int64(i))
 	}
 }

@@ -7,6 +7,8 @@ import (
 	"math/rand"
 
 	"anycastctx/internal/obs"
+	"anycastctx/internal/par"
+	"anycastctx/internal/rng"
 )
 
 // Observability handles for the generated workload mix.
@@ -80,18 +82,26 @@ type Client struct {
 	palette []int
 }
 
-// NewClient builds a workload generator for zone.
-func NewClient(zone *Zone, cfg ClientConfig, rng *rand.Rand) *Client {
+// NewClient builds a workload generator for zone. The TLD palette is
+// drawn from per-slot splittable streams under par.Do (one slot per
+// user-TLD interest), so construction parallelizes deterministically;
+// the Poisson query loop itself keeps a single derived stream because
+// the resolver it drives is stateful and inherently serial.
+func NewClient(zone *Zone, cfg ClientConfig, seed int64) *Client {
 	cfg = cfg.withDefaults()
 	palette := make([]int, cfg.Users*cfg.TLDsPerUser)
-	for i := range palette {
-		palette[i] = zone.SampleTLD(rng)
-	}
+	par.Do(len(palette), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			st := rng.Split(seed, rng.PhaseClientPalette, uint64(i))
+			palette[i] = zone.SampleTLD(&st)
+		}
+	})
+	runRNG := rng.NewRand(seed, rng.PhaseClientRun, 0)
 	return &Client{
 		cfg:     cfg,
 		zone:    zone,
-		rng:     rng,
-		zipf:    rand.NewZipf(rng, cfg.DomainZipfS, 1, uint64(cfg.DomainsPerTLD-1)),
+		rng:     runRNG,
+		zipf:    rand.NewZipf(runRNG, cfg.DomainZipfS, 1, uint64(cfg.DomainsPerTLD-1)),
 		palette: palette,
 	}
 }

@@ -8,7 +8,7 @@ import (
 
 func testZone(t *testing.T) *Zone {
 	t.Helper()
-	return NewZone(1000, rand.New(rand.NewSource(1)))
+	return NewZone(1000, 1)
 }
 
 func TestZoneBasics(t *testing.T) {
@@ -276,7 +276,7 @@ func TestMissRateSmallWithCaching(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	client := NewClient(z, ClientConfig{Users: 120, QueriesPerUserPerDay: 250}, rng)
+	client := NewClient(z, ClientConfig{Users: 120, QueriesPerUserPerDay: 250}, 5)
 	// Warm-up day, then measure.
 	client.Run(r, 1, nil)
 	warm := r.Counters()
@@ -306,7 +306,7 @@ func TestClientRunStats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	client := NewClient(z, ClientConfig{Users: 50, QueriesPerUserPerDay: 100}, rng)
+	client := NewClient(z, ClientConfig{Users: 50, QueriesPerUserPerDay: 100}, 6)
 	var cbCount uint64
 	stats := client.Run(r, 0.5, func(kind QueryKind, res QueryResult) { cbCount++ })
 	if stats.Queries == 0 {
@@ -330,8 +330,7 @@ func TestClientRunStats(t *testing.T) {
 
 func TestClientSamplers(t *testing.T) {
 	z := testZone(t)
-	rng := rand.New(rand.NewSource(7))
-	c := NewClient(z, ClientConfig{}, rng)
+	c := NewClient(z, ClientConfig{}, 7)
 	for i := 0; i < 100; i++ {
 		d := c.SampleDomain()
 		if _, ok := z.Lookup(lastLabel(d)); !ok {

@@ -13,7 +13,7 @@ func TestLocalRootNoUserVisibleRootQueries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	client := NewClient(z, ClientConfig{Users: 50, QueriesPerUserPerDay: 200}, rng)
+	client := NewClient(z, ClientConfig{Users: 50, QueriesPerUserPerDay: 200}, 41)
 	client.Run(r, 1, func(_ QueryKind, res QueryResult) {
 		if res.RootQueriesOnPath != 0 {
 			t.Fatal("user query waited on a root under RFC 8806")

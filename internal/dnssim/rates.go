@@ -2,8 +2,9 @@ package dnssim
 
 import (
 	"math"
-	"math/rand"
 
+	"anycastctx/internal/par"
+	"anycastctx/internal/rng"
 	"anycastctx/internal/users"
 )
 
@@ -102,55 +103,61 @@ func (r Rates) RootTotalPerDay() float64 {
 }
 
 // ComputeRates derives a daily rate profile for every recursive in pop.
-func ComputeRates(pop *users.Population, zone *Zone, cfg RateConfig, rng *rand.Rand) []Rates {
+// Each recursive draws from its own splittable stream keyed by index, so
+// the loop runs under par.Do with byte-identical output at any worker
+// count.
+func ComputeRates(pop *users.Population, zone *Zone, cfg RateConfig, seed int64) []Rates {
 	cfg = cfg.withDefaults()
 	idealPerDay := float64(zone.Len()) / (float64(TLDTTLSeconds) / 86400)
-	out := make([]Rates, 0, len(pop.Recursives))
-	for i := range pop.Recursives {
-		rec := &pop.Recursives[i]
-		qpu := cfg.QueriesPerUserPerDayMin +
-			rng.Float64()*(cfg.QueriesPerUserPerDayMax-cfg.QueriesPerUserPerDayMin)
-		userQ := rec.Users * qpu
-		missRate := cfg.MissRateMedian * math.Exp(cfg.MissRateSigma*rng.NormFloat64())
-		if missRate > 0.2 {
-			missRate = 0.2
+	out := make([]Rates, len(pop.Recursives))
+	par.Do(len(pop.Recursives), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			rec := &pop.Recursives[i]
+			st := rng.Split(seed, rng.PhaseRates, uint64(i))
+			qpu := cfg.QueriesPerUserPerDayMin +
+				st.Float64()*(cfg.QueriesPerUserPerDayMax-cfg.QueriesPerUserPerDayMin)
+			userQ := rec.Users * qpu
+			missRate := cfg.MissRateMedian * math.Exp(cfg.MissRateSigma*st.NormFloat64())
+			if missRate > 0.2 {
+				missRate = 0.2
+			}
+			valid := userQ * missRate
+			// A recursive never needs fewer root queries than its active TLD
+			// set demands, and caching cannot push it below ~the ideal when it
+			// has meaningful traffic.
+			if floor := math.Min(zone.ActiveTLDs(userQ)/2, idealPerDay); valid < floor {
+				valid = floor
+			}
+			r := Rates{
+				Rec:               rec,
+				UserQueriesPerDay: userQ,
+				RootValidPerDay:   valid,
+				RootInvalidPerDay: rec.Users * cfg.InvalidPerUserPerDay * (0.5 + st.Float64()),
+				RootPTRPerDay:     rec.Users * cfg.PTRPerUserPerDay * (0.5 + st.Float64()),
+				IdealPerDay:       idealPerDay,
+				TCPShare:          cfg.TCPShare * (0.5 + st.Float64()),
+			}
+			// Many resolvers never fall back to TCP at all; this is what limits
+			// the paper's latency-inflation coverage to 40% of query volume.
+			if st.Float64() < 0.35 {
+				r.TCPShare = 0
+			}
+			if st.Float64() < cfg.AnomalousProb {
+				r.Anomalous = true
+				r.RootValidPerDay *= cfg.AnomalousFactor
+				r.RootInvalidPerDay *= cfg.AnomalousFactor
+			}
+			if !rec.Public && st.Float64() < cfg.ForwarderProb {
+				r.Forwarder = true
+				r.RootValidPerDay = 0
+				r.RootInvalidPerDay = 0
+				r.RootPTRPerDay = 0
+				r.TCPShare = 0
+				r.Anomalous = false
+			}
+			out[i] = r
 		}
-		valid := userQ * missRate
-		// A recursive never needs fewer root queries than its active TLD
-		// set demands, and caching cannot push it below ~the ideal when it
-		// has meaningful traffic.
-		if floor := math.Min(zone.ActiveTLDs(userQ)/2, idealPerDay); valid < floor {
-			valid = floor
-		}
-		r := Rates{
-			Rec:               rec,
-			UserQueriesPerDay: userQ,
-			RootValidPerDay:   valid,
-			RootInvalidPerDay: rec.Users * cfg.InvalidPerUserPerDay * (0.5 + rng.Float64()),
-			RootPTRPerDay:     rec.Users * cfg.PTRPerUserPerDay * (0.5 + rng.Float64()),
-			IdealPerDay:       idealPerDay,
-			TCPShare:          cfg.TCPShare * (0.5 + rng.Float64()),
-		}
-		// Many resolvers never fall back to TCP at all; this is what limits
-		// the paper's latency-inflation coverage to 40% of query volume.
-		if rng.Float64() < 0.35 {
-			r.TCPShare = 0
-		}
-		if rng.Float64() < cfg.AnomalousProb {
-			r.Anomalous = true
-			r.RootValidPerDay *= cfg.AnomalousFactor
-			r.RootInvalidPerDay *= cfg.AnomalousFactor
-		}
-		if !rec.Public && rng.Float64() < cfg.ForwarderProb {
-			r.Forwarder = true
-			r.RootValidPerDay = 0
-			r.RootInvalidPerDay = 0
-			r.RootPTRPerDay = 0
-			r.TCPShare = 0
-			r.Anomalous = false
-		}
-		out = append(out, r)
-	}
+	})
 	return out
 }
 

@@ -16,7 +16,7 @@ func buildPop(t *testing.T) *users.Population {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := users.Build(g, users.Config{TotalUsers: 5e8}, rand.New(rand.NewSource(5)))
+	p, err := users.Build(g, users.Config{TotalUsers: 5e8}, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,8 +26,7 @@ func buildPop(t *testing.T) *users.Population {
 func TestComputeRatesBasics(t *testing.T) {
 	pop := buildPop(t)
 	z := testZone(t)
-	rng := rand.New(rand.NewSource(9))
-	rates := ComputeRates(pop, z, RateConfig{}, rng)
+	rates := ComputeRates(pop, z, RateConfig{}, 9)
 	if len(rates) != len(pop.Recursives) {
 		t.Fatalf("rates = %d, recursives = %d", len(rates), len(pop.Recursives))
 	}
@@ -63,7 +62,7 @@ func TestRatesShapeMatchesPaperNarrative(t *testing.T) {
 	// retained valid volume), and PTR should be a small slice (~2B).
 	pop := buildPop(t)
 	z := testZone(t)
-	rates := ComputeRates(pop, z, RateConfig{}, rand.New(rand.NewSource(10)))
+	rates := ComputeRates(pop, z, RateConfig{}, 10)
 	valid, invalid, ptr := TotalDailyQueries(rates)
 	if valid <= 0 || invalid <= 0 || ptr <= 0 {
 		t.Fatal("zero aggregate volume")
@@ -118,8 +117,8 @@ func weightedMedian(vals, weights []float64) float64 {
 func TestRatesDeterministic(t *testing.T) {
 	pop := buildPop(t)
 	z := testZone(t)
-	a := ComputeRates(pop, z, RateConfig{}, rand.New(rand.NewSource(3)))
-	b := ComputeRates(pop, z, RateConfig{}, rand.New(rand.NewSource(3)))
+	a := ComputeRates(pop, z, RateConfig{}, 3)
+	b := ComputeRates(pop, z, RateConfig{}, 3)
 	for i := range a {
 		if a[i].RootValidPerDay != b[i].RootValidPerDay {
 			t.Fatalf("rates differ at %d", i)

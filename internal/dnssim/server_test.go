@@ -1,7 +1,6 @@
 package dnssim
 
 import (
-	"math/rand"
 	"testing"
 
 	"anycastctx/internal/dnswire"
@@ -111,8 +110,7 @@ func TestGlueAddrStable(t *testing.T) {
 func TestRootServerAgainstRandomQueries(t *testing.T) {
 	z := testZone(t)
 	s := NewRootServer(z, "C")
-	rng := rand.New(rand.NewSource(77))
-	client := NewClient(z, ClientConfig{}, rng)
+	client := NewClient(z, ClientConfig{}, 77)
 	for i := 0; i < 500; i++ {
 		var name string
 		switch i % 3 {

@@ -8,7 +8,9 @@ package dnssim
 import (
 	"fmt"
 	"math"
-	"math/rand"
+
+	"anycastctx/internal/par"
+	"anycastctx/internal/rng"
 )
 
 // TLDTTLSeconds is the TTL of TLD NS records in the root zone: two days
@@ -49,38 +51,44 @@ var realTLDs = []string{
 
 // NewZone builds a root zone with n TLDs (default 1000 when n <= 0).
 // Popularity is Zipf-like with "com" carrying the largest share, matching
-// the heavy concentration of real lookups.
-func NewZone(n int, rng *rand.Rand) *Zone {
+// the heavy concentration of real lookups. Each delegation's shape is
+// drawn from a per-TLD splittable stream, so construction parallelizes
+// with byte-identical results at any worker count.
+func NewZone(n int, seed int64) *Zone {
 	if n <= 0 {
 		n = 1000
 	}
-	z := &Zone{byName: make(map[string]int, n)}
+	z := &Zone{byName: make(map[string]int, n), TLDs: make([]TLD, n)}
+	par.Do(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var name string
+			if i < len(realTLDs) {
+				name = realTLDs[i]
+			} else {
+				name = fmt.Sprintf("gtld%03d", i-len(realTLDs))
+			}
+			pop := 1 / math.Pow(float64(i+1), 1.5)
+			if i == 0 {
+				pop *= 6 // com dominates
+			}
+			st := rng.Split(seed, rng.PhaseZone, uint64(i))
+			nNS := 2 + st.Intn(5)
+			ns := make([]string, nNS)
+			for k := range ns {
+				ns[k] = fmt.Sprintf("%c.nic.%s", 'a'+k, name)
+			}
+			z.TLDs[i] = TLD{
+				Name:       name,
+				Popularity: pop,
+				NSNames:    ns,
+				GluedA:     1 + st.Intn(nNS),
+			}
+		}
+	})
 	var totalPop float64
-	for i := 0; i < n; i++ {
-		var name string
-		if i < len(realTLDs) {
-			name = realTLDs[i]
-		} else {
-			name = fmt.Sprintf("gtld%03d", i-len(realTLDs))
-		}
-		pop := 1 / math.Pow(float64(i+1), 1.5)
-		if i == 0 {
-			pop *= 6 // com dominates
-		}
-		nNS := 2 + rng.Intn(5)
-		ns := make([]string, nNS)
-		for k := range ns {
-			ns[k] = fmt.Sprintf("%c.nic.%s", 'a'+k, name)
-		}
-		glued := 1 + rng.Intn(nNS)
-		z.TLDs = append(z.TLDs, TLD{
-			Name:       name,
-			Popularity: pop,
-			NSNames:    ns,
-			GluedA:     glued,
-		})
-		z.byName[name] = i
-		totalPop += pop
+	for i := range z.TLDs {
+		z.byName[z.TLDs[i].Name] = i
+		totalPop += z.TLDs[i].Popularity
 	}
 	z.cum = make([]float64, n)
 	var c float64
@@ -104,9 +112,10 @@ func (z *Zone) Lookup(name string) (*TLD, bool) {
 	return &z.TLDs[i], true
 }
 
-// SampleTLD draws a TLD index by popularity.
-func (z *Zone) SampleTLD(rng *rand.Rand) int {
-	x := rng.Float64()
+// SampleTLD draws a TLD index by popularity. The source may be a
+// *rand.Rand or a per-entity *rng.Stream.
+func (z *Zone) SampleTLD(src interface{ Float64() float64 }) int {
+	x := src.Float64()
 	lo, hi := 0, len(z.cum)-1
 	for lo < hi {
 		mid := (lo + hi) / 2

@@ -26,9 +26,9 @@ package faults
 import (
 	"encoding/binary"
 	"math"
-	"math/rand"
 
 	"anycastctx/internal/obs"
+	"anycastctx/internal/rng"
 )
 
 // Injection counters: what the layer put in, so run reports can compare
@@ -199,18 +199,40 @@ func (s CaptureStats) Injected() int {
 }
 
 // Mangler rewrites pcap byte streams under a policy. Not safe for
-// concurrent use; create one per stream (or reuse across streams for
-// cumulative stats).
+// concurrent use (it accumulates stats); create one per stream (or reuse
+// across streams for cumulative stats). Fate decisions are keyed on each
+// record's identity — timestamp plus a content hash — not its arrival
+// index, so a record keeps its fate when the stream around it is
+// re-sliced, filtered, or emitted in a different order.
 type Mangler struct {
 	p     Policy
-	rng   *rand.Rand
 	stats CaptureStats
 	fates []Fate
 }
 
 // NewMangler creates a mangler seeded from the policy.
 func NewMangler(p Policy) *Mangler {
-	return &Mangler{p: p, rng: rand.New(rand.NewSource(p.Seed ^ 0x6661756c7473))}
+	return &Mangler{p: p}
+}
+
+// manglerSalt keeps the mangler's streams disjoint from every other
+// consumer of the policy seed ("faults" in ASCII).
+const manglerSalt = 0x6661756c7473
+
+// recordKey folds one record's identity — capture timestamp (the first 8
+// header bytes) and payload content — into a stream key. FNV-1a; the
+// Split construction finalizes the mixing.
+func recordKey(hdr, data []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range hdr[:8] {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
 }
 
 // Stats returns cumulative injection counts.
@@ -260,22 +282,25 @@ func (m *Mangler) MangleCapture(capture []byte) []byte {
 	out := make([]byte, 0, len(capture))
 	out = append(out, capture[:pcapFileHeaderLen]...)
 
-	// Decide fates and build possibly-rewritten record bytes. Decision
-	// order per record is fixed so equal seeds over equal inputs mangle
-	// identically.
+	// Decide fates and build possibly-rewritten record bytes. Each
+	// record's draws come from its own identity-keyed stream, in a fixed
+	// order, so equal records get equal fates wherever they appear.
 	emit := make([][]byte, 0, len(recs)+4)
 	order := make([]int, 0, len(recs)) // indices into emit, post-reorder
+	pairRolls := make([]rng.Stream, 0, len(recs))
 	for i := range recs {
 		r := recs[i]
 		fate := Fate(0)
 		hdr := r.hdr
 		data := r.data
-		if m.rng.Float64() < m.p.PcapDropProb {
+		base := rng.Split(m.p.Seed^manglerSalt, rng.PhaseMangle, recordKey(hdr, data))
+		st := base.Fork(0)
+		if st.Float64() < m.p.PcapDropProb {
 			fate |= FateDropped
 			m.stats.Dropped++
 			obsPcapDropped.Inc()
 		} else {
-			if m.rng.Float64() < m.p.PcapCorruptProb && len(data) > 0 {
+			if st.Float64() < m.p.PcapCorruptProb && len(data) > 0 {
 				// Flip a byte inside the IPv4 header region: a single-byte
 				// XOR always breaks the one's-complement header checksum,
 				// so the decoder must reject the packet.
@@ -284,16 +309,16 @@ func (m *Mangler) MangleCapture(capture []byte) []byte {
 				if lim > 20 {
 					lim = 20
 				}
-				data[m.rng.Intn(lim)] ^= byte(1 + m.rng.Intn(255))
+				data[st.Intn(lim)] ^= byte(1 + st.Intn(255))
 				fate |= FateCorrupted
 				m.stats.Corrupted++
 				obsPcapCorrupted.Inc()
 			}
-			if fate == 0 && m.rng.Float64() < m.p.PcapTruncateProb && len(data) > 1 {
+			if fate == 0 && st.Float64() < m.p.PcapTruncateProb && len(data) > 1 {
 				// Cut the data short but leave the header's original-length
 				// field intact: the on-disk shape of a snaplen-truncated or
 				// interrupted capture (incl < orig).
-				cut := 1 + m.rng.Intn(len(data)-1)
+				cut := 1 + st.Intn(len(data)-1)
 				hdr = append([]byte(nil), hdr...)
 				binary.LittleEndian.PutUint32(hdr[8:], uint32(len(data)-cut))
 				data = data[:len(data)-cut]
@@ -301,17 +326,17 @@ func (m *Mangler) MangleCapture(capture []byte) []byte {
 				m.stats.Truncated++
 				obsPcapTruncated.Inc()
 			}
-			if fate == 0 && m.rng.Float64() < m.p.DNSByteFlipProb && len(data) > 28 {
+			if fate == 0 && st.Float64() < m.p.DNSByteFlipProb && len(data) > 28 {
 				// Flip a byte past the IP (20) + UDP (8) headers: checksums
 				// that pcapio verifies stay valid, and the damage surfaces
 				// in dnswire.Decode instead.
 				data = append([]byte(nil), data...)
-				data[28+m.rng.Intn(len(data)-28)] ^= byte(1 + m.rng.Intn(255))
+				data[28+st.Intn(len(data)-28)] ^= byte(1 + st.Intn(255))
 				fate |= FateDNSFlipped
 				m.stats.DNSFlipped++
 				obsPcapDNSFlipped.Inc()
 			}
-			if m.rng.Float64() < m.p.PcapDuplicateProb {
+			if st.Float64() < m.p.PcapDuplicateProb {
 				fate |= FateDuplicated
 				m.stats.Duplicated++
 				obsPcapDuplicated.Inc()
@@ -321,14 +346,19 @@ func (m *Mangler) MangleCapture(capture []byte) []byte {
 		if fate&FateDropped == 0 {
 			emit = append(emit, append(append([]byte(nil), hdr...), data...))
 			order = append(order, len(emit)-1)
+			pairRolls = append(pairRolls, base.Fork(1))
 			if fate&FateDuplicated != 0 {
 				order = append(order, len(emit)-1)
+				pairRolls = append(pairRolls, base.Fork(2))
 			}
 		}
 	}
-	// Reordering: swap adjacent emitted records.
+	// Reordering: swap adjacent emitted records. The roll for the pair
+	// starting at position i is keyed on the identity of the record
+	// occupying that position, so the swap pattern, like every other
+	// fate, follows record content rather than stream position.
 	for i := 0; i+1 < len(order); i++ {
-		if m.rng.Float64() < m.p.PcapReorderProb {
+		if pairRolls[i].Float64() < m.p.PcapReorderProb {
 			order[i], order[i+1] = order[i+1], order[i]
 			m.stats.Reordered++
 			obsPcapReordered.Inc()

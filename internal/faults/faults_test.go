@@ -231,3 +231,77 @@ func TestMangleCaptureDegenerateInputs(t *testing.T) {
 		t.Error("misframed tail not preserved")
 	}
 }
+
+// TestFatesFollowRecordIdentity is the regression gate for parallel
+// emission paths: fate decisions must key on record identity (timestamp +
+// bytes), never on arrival index, so the same records in a different
+// order draw the same fates. Reorder is excluded — pair-swapping adjacent
+// emitted records is inherently positional.
+func TestFatesFollowRecordIdentity(t *testing.T) {
+	capture := buildCapture(t, 64)
+	r, err := pcapio.NewReader(bytes.NewReader(capture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []pcapio.Record
+	if err := r.ForEach(func(rec pcapio.Record) error {
+		recs = append(recs, pcapio.Record{Time: rec.Time, Data: append([]byte(nil), rec.Data...)})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rebuild the capture with the records in a fixed permutation
+	// (reversed, then odd/even interleaved) that moves every index.
+	perm := make([]int, len(recs))
+	for i := range perm {
+		if i%2 == 0 {
+			perm[i] = len(recs) - 1 - i/2
+		} else {
+			perm[i] = i / 2
+		}
+	}
+	var buf bytes.Buffer
+	w, err := pcapio.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range perm {
+		if err := w.WritePacket(recs[i].Time, recs[i].Data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	pol := faults.Policy{
+		Seed:              99,
+		PcapDropProb:      0.15,
+		PcapCorruptProb:   0.15,
+		PcapTruncateProb:  0.15,
+		PcapDuplicateProb: 0.15,
+		PcapReorderProb:   0.15,
+		DNSByteFlipProb:   0.15,
+	}
+	m1 := faults.NewMangler(pol)
+	m1.MangleCapture(capture)
+	f1 := m1.Fates()
+	m2 := faults.NewMangler(pol)
+	m2.MangleCapture(buf.Bytes())
+	f2 := m2.Fates()
+
+	const identity = ^faults.FateReordered
+	hit := 0
+	for j, i := range perm {
+		if f1[i]&identity != 0 {
+			hit++
+		}
+		if a, b := f1[i]&identity, f2[j]&identity; a != b {
+			t.Errorf("record %d: fate %v in original order, %v when arriving at index %d", i, a, b, j)
+		}
+	}
+	if hit < 10 {
+		t.Fatalf("only %d of %d records drew a fate: mix too sparse to prove identity keying", hit, len(recs))
+	}
+}

@@ -8,7 +8,6 @@ package latency
 
 import (
 	"math"
-	"math/rand"
 
 	"anycastctx/internal/bgp"
 	"anycastctx/internal/geo"
@@ -86,9 +85,19 @@ func (m *Model) RTTBetweenMs(a, b geo.Coord, hops int) float64 {
 	return geo.RTTLowerBoundMs(geo.DistanceKm(a, b)) + m.HopPenaltyMs*float64(hops)
 }
 
+// Sampler is the randomness surface a measurement draw needs. Both
+// *rand.Rand and *rng.Stream satisfy it, so serial simulations keep
+// passing their shared rand while parallel loops pass a per-entity
+// splittable stream.
+type Sampler interface {
+	Float64() float64
+	NormFloat64() float64
+	ExpFloat64() float64
+}
+
 // Sample draws one noisy measurement around base using rng:
 // multiplicative lognormal-ish noise plus occasional queueing spikes.
-func (m *Model) Sample(rng *rand.Rand, base float64) float64 {
+func (m *Model) Sample(rng Sampler, base float64) float64 {
 	noise := 1 + m.NoiseFrac*rng.NormFloat64()
 	if noise < 0.7 {
 		noise = 0.7
@@ -106,7 +115,7 @@ func (m *Model) Sample(rng *rand.Rand, base float64) float64 {
 
 // MedianOfSamples draws n samples and returns their median — how the
 // paper estimates per-⟨root, resolver, site⟩ latency from TCP handshakes.
-func (m *Model) MedianOfSamples(rng *rand.Rand, base float64, n int) float64 {
+func (m *Model) MedianOfSamples(rng Sampler, base float64, n int) float64 {
 	if n <= 0 {
 		return base
 	}

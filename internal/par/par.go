@@ -36,9 +36,10 @@ func (p *WorkerPanic) Unwrap() error {
 }
 
 // Do runs fn over [0, n) split into contiguous [lo, hi) spans, one per
-// worker, and returns when every span is done. With one usable CPU (or
-// n <= 1) it calls fn(0, n) on the caller's goroutine, so the serial path
-// has zero synchronization overhead.
+// worker, and returns when every span is done. With one usable CPU, or
+// when n is too small to give two workers MinChunk items each, it calls
+// fn(0, n) on the caller's goroutine, so the serial path has zero
+// synchronization overhead.
 //
 // A panic in fn does not kill the process from a detached goroutine:
 // workers recover, every span still runs to completion (or its own
@@ -46,6 +47,30 @@ func (p *WorkerPanic) Unwrap() error {
 // goroutine as a *WorkerPanic annotating the failing [lo, hi) range.
 func Do(n int, fn func(lo, hi int)) {
 	DoCtx(context.Background(), n, func(_ context.Context, lo, hi int) { fn(lo, hi) })
+}
+
+// MinChunk is the smallest index span worth its own goroutine. The
+// splittable-RNG migration parallelized many loops whose n is modest
+// (a capture's ~100 contributors, a deployment's ~200 probes); without
+// a floor those would spawn GOMAXPROCS goroutines to do a handful of
+// iterations each, and the spawn/join overhead would eat the win. With
+// the floor, small loops use fewer workers — or the zero-overhead
+// serial path — and chunk boundaries stay deterministic either way.
+const MinChunk = 16
+
+// plan picks the worker count for a range of n items: at most one
+// worker per usable CPU, capped so every worker's chunk holds at least
+// MinChunk items. Chunks are balanced (sizes differ by at most one), so
+// with workers > 1 the smallest chunk is n/workers >= MinChunk.
+func plan(n int) (workers int) {
+	workers = runtime.GOMAXPROCS(0)
+	if limit := n / MinChunk; workers > limit {
+		workers = limit
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
 }
 
 // DoCtx is Do with a context threaded to every worker. The context is the
@@ -59,22 +84,18 @@ func DoCtx(ctx context.Context, n int, fn func(ctx context.Context, lo, hi int))
 	if n <= 0 {
 		return
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
+	workers := plan(n)
 	if workers <= 1 {
 		fn(ctx, 0, n) // serial path: a panic already unwinds the caller's stack
 		return
 	}
-	size := (n + workers - 1) / workers
-	nSpans := (n + size - 1) / size
-	panics := make([]*WorkerPanic, nSpans)
+	base, rem := n/workers, n%workers
+	panics := make([]*WorkerPanic, workers)
 	var wg sync.WaitGroup
-	for lo, span := 0, 0; lo < n; lo, span = lo+size, span+1 {
-		hi := lo + size
-		if hi > n {
-			hi = n
+	for lo, span := 0, 0; span < workers; span++ {
+		hi := lo + base
+		if span < rem {
+			hi++
 		}
 		wg.Add(1)
 		go func(lo, hi, span int) {
@@ -87,6 +108,7 @@ func DoCtx(ctx context.Context, n int, fn func(ctx context.Context, lo, hi int))
 			}()
 			fn(ctx, lo, hi)
 		}(lo, hi, span)
+		lo = hi
 	}
 	wg.Wait()
 	for _, p := range panics {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -79,5 +80,59 @@ func TestDoPanicDoesNotAbortSiblings(t *testing.T) {
 	// others, it only surfaces after the barrier.
 	if visited.Load() != 1000 {
 		t.Errorf("visited %d of 1000 indices", visited.Load())
+	}
+}
+
+func TestPlanChunkFloor(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	cases := []struct {
+		n           int
+		wantWorkers int
+	}{
+		{0, 1},              // degenerate
+		{1, 1},              // below floor: serial
+		{MinChunk - 1, 1},   // still serial
+		{MinChunk, 1},       // one full chunk: serial
+		{2*MinChunk - 1, 1}, // can't give two workers a full chunk
+		{2 * MinChunk, 2},   // exactly two full chunks
+		{8 * MinChunk, 8},   // one full chunk per proc
+		{100 * MinChunk, 8}, // capped by GOMAXPROCS
+		{6*MinChunk + 5, 6}, // floor cap below GOMAXPROCS
+	}
+	for _, tc := range cases {
+		if got := plan(tc.n); got != tc.wantWorkers {
+			t.Errorf("plan(%d) = %d workers, want %d", tc.n, got, tc.wantWorkers)
+		}
+	}
+}
+
+func TestDoChunkBoundaries(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	for _, n := range []int{2 * MinChunk, 2*MinChunk + 1, 129, 257, 1000, 8*MinChunk + 3} {
+		var mu sync.Mutex
+		var spans [][2]int
+		Do(n, func(lo, hi int) {
+			mu.Lock()
+			spans = append(spans, [2]int{lo, hi})
+			mu.Unlock()
+		})
+		covered := make([]bool, n)
+		for _, sp := range spans {
+			lo, hi := sp[0], sp[1]
+			if hi-lo < MinChunk {
+				t.Errorf("n=%d: chunk [%d,%d) smaller than MinChunk=%d", n, lo, hi, MinChunk)
+			}
+			for i := lo; i < hi; i++ {
+				if covered[i] {
+					t.Fatalf("n=%d: index %d in two chunks", n, i)
+				}
+				covered[i] = true
+			}
+		}
+		for i, c := range covered {
+			if !c {
+				t.Fatalf("n=%d: index %d uncovered", n, i)
+			}
+		}
 	}
 }

@@ -100,6 +100,41 @@ func (w *Writer) WritePacket(ts time.Time, data []byte) error {
 	return nil
 }
 
+// WriteRaw appends pre-framed record bytes, as produced by
+// AppendRecord: the parallel capture emitter frames records into
+// per-worker buffers and stitches them through here in deterministic
+// unit order.
+func (w *Writer) WriteRaw(b []byte) error {
+	if w.closed {
+		return ErrWriterClosed
+	}
+	if _, err := w.w.Write(b); err != nil {
+		return fmt.Errorf("pcapio: writing raw records: %w", err)
+	}
+	return nil
+}
+
+// AppendRecord appends one framed record (header + data) to buf and
+// returns the extended slice. It applies the same validation as
+// (*Writer).WritePacket; the result can be written through WriteRaw
+// after a NewWriter has emitted the file header.
+func AppendRecord(buf []byte, ts time.Time, data []byte) ([]byte, error) {
+	if len(data) > maxSnapLen {
+		return buf, fmt.Errorf("pcapio: packet length %d exceeds snaplen", len(data))
+	}
+	sec := ts.Unix()
+	if sec < 0 || sec > math.MaxUint32 {
+		return buf, fmt.Errorf("%w: %v", ErrTimeRange, ts)
+	}
+	var hdr [recordHdrLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(sec))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(ts.Nanosecond()/1000))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(data)))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(data)))
+	buf = append(buf, hdr[:]...)
+	return append(buf, data...), nil
+}
+
 // Flush writes buffered data to the underlying writer.
 func (w *Writer) Flush() error {
 	if w.closed {

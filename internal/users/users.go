@@ -9,10 +9,11 @@ package users
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"anycastctx/internal/geo"
 	"anycastctx/internal/ipaddr"
+	"anycastctx/internal/par"
+	"anycastctx/internal/rng"
 	"anycastctx/internal/topology"
 )
 
@@ -90,7 +91,13 @@ type Population struct {
 // Build constructs the population on g: allocates address space, places
 // 1–4 recursive /24s per eyeball AS (more for bigger ASes), creates public
 // DNS services, and splits users across them.
-func Build(g *topology.Graph, cfg Config, rng *rand.Rand) (*Population, error) {
+//
+// Every random quantity is drawn from a splittable stream keyed by the
+// owning AS, so the draw phase runs under par.Do; the address-pool
+// allocation and index maps are then filled in a serial pass over the
+// pre-computed draws, keeping every allocation and map insertion in
+// deterministic AS order.
+func Build(g *topology.Graph, cfg Config, seed int64) (*Population, error) {
 	cfg = cfg.withDefaults()
 	p := &Population{
 		TotalUsers: cfg.TotalUsers,
@@ -112,8 +119,9 @@ func Build(g *topology.Graph, cfg Config, rng *rand.Rand) (*Population, error) {
 		if err != nil {
 			return nil, fmt.Errorf("users: %w", err)
 		}
+		st := rng.Split(seed, rng.PhasePopServices, uint64(i))
 		for _, b := range blocks {
-			idx, err := p.addRecursive(b, host.ASN, a.Coord, 0, true, cfg, rng)
+			idx, err := p.addRecursive(b, host.ASN, a.Coord, 0, true, 1+st.Intn(cfg.MaxResolverIPs))
 			if err != nil {
 				return nil, err
 			}
@@ -121,40 +129,66 @@ func Build(g *topology.Graph, cfg Config, rng *rand.Rand) (*Population, error) {
 		}
 	}
 
-	// ISP recursives.
+	// ISP recursives: draw everything per-AS in parallel, then allocate
+	// and insert serially in eyeball order.
+	eyeballs := g.Eyeballs()
+	type recDraw struct {
+		loc  geo.Coord
+		nIPs int
+	}
+	type asDraw struct {
+		pubShare float64
+		nRec     int
+		recs     [4]recDraw
+	}
+	draws := make([]asDraw, len(eyeballs))
+	par.Do(len(eyeballs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			asn := eyeballs[i]
+			as := g.AS(asn)
+			asUsers := as.UserWeight * cfg.TotalUsers
+			st := rng.Split(seed, rng.PhasePopulation, uint64(asn))
+			d := asDraw{pubShare: cfg.PublicResolverShare * (0.5 + st.Float64()), nRec: 1}
+			if d.pubShare > 0.9 {
+				d.pubShare = 0.9
+			}
+			switch {
+			case asUsers > 5e6:
+				d.nRec = 4
+			case asUsers > 1e6:
+				d.nRec = 3
+			case asUsers > 2e5:
+				d.nRec = 2
+			}
+			for k := 0; k < d.nRec; k++ {
+				d.recs[k] = recDraw{
+					loc:  geo.Jitter(as.Loc, 80, st.Float64(), st.Float64()),
+					nIPs: 1 + st.Intn(cfg.MaxResolverIPs),
+				}
+			}
+			draws[i] = d
+		}
+	})
 	var publicUsers float64
-	for _, asn := range g.Eyeballs() {
+	for i, asn := range eyeballs {
 		as := g.AS(asn)
 		asUsers := as.UserWeight * cfg.TotalUsers
-		pubShare := cfg.PublicResolverShare * (0.5 + rng.Float64())
-		if pubShare > 0.9 {
-			pubShare = 0.9
-		}
-		publicUsers += asUsers * pubShare
-		ownUsers := asUsers * (1 - pubShare)
+		d := draws[i]
+		publicUsers += asUsers * d.pubShare
+		ownUsers := asUsers * (1 - d.pubShare)
 
-		nRec := 1
-		switch {
-		case asUsers > 5e6:
-			nRec = 4
-		case asUsers > 1e6:
-			nRec = 3
-		case asUsers > 2e5:
-			nRec = 2
-		}
-		blocks, err := p.Pool.AllocSlash24s(nRec)
+		blocks, err := p.Pool.AllocSlash24s(d.nRec)
 		if err != nil {
 			return nil, fmt.Errorf("users: %w", err)
 		}
 		// Zipf split of the AS's users over its recursives.
 		var denom float64
-		for i := 0; i < nRec; i++ {
-			denom += 1 / float64(i+1)
+		for k := 0; k < d.nRec; k++ {
+			denom += 1 / float64(k+1)
 		}
-		for i, b := range blocks {
-			share := (1 / float64(i+1)) / denom
-			loc := geo.Jitter(as.Loc, 80, rng.Float64(), rng.Float64())
-			if _, err := p.addRecursive(b, asn, loc, ownUsers*share, false, cfg, rng); err != nil {
+		for k, b := range blocks {
+			share := (1 / float64(k+1)) / denom
+			if _, err := p.addRecursive(b, asn, d.recs[k].loc, ownUsers*share, false, d.recs[k].nIPs); err != nil {
 				return nil, err
 			}
 		}
@@ -176,11 +210,10 @@ func publicUpstreams(g *topology.Graph, i int) []topology.ASN {
 }
 
 func (p *Population) addRecursive(b ipaddr.Prefix, asn topology.ASN, loc geo.Coord,
-	users float64, public bool, cfg Config, rng *rand.Rand) (int, error) {
+	users float64, public bool, nIPs int) (int, error) {
 	if b.Bits != 24 {
 		return 0, fmt.Errorf("users: recursive prefix %s is not a /24", b)
 	}
-	nIPs := 1 + rng.Intn(cfg.MaxResolverIPs)
 	ips := make([]ipaddr.Addr, nIPs)
 	for i := range ips {
 		ips[i] = b.Nth(uint64(1 + i)) // .1, .2, ...
@@ -264,30 +297,50 @@ func (c CDNConfig) withDefaults() CDNConfig {
 	return c
 }
 
-// BuildCDNCounts derives the CDN dataset from ground truth.
-func BuildCDNCounts(p *Population, cfg CDNConfig, rng *rand.Rand) *CDNCounts {
+// BuildCDNCounts derives the CDN dataset from ground truth. Observation
+// draws are per-recursive streams under par.Do; the output maps are
+// filled in a serial index-order pass.
+func BuildCDNCounts(p *Population, cfg CDNConfig, seed int64) *CDNCounts {
 	cfg = cfg.withDefaults()
 	out := &CDNCounts{
 		ByIP: make(map[ipaddr.Addr]float64),
 		By24: make(map[ipaddr.Slash24Key]float64),
 	}
-	for _, rec := range p.Recursives {
-		perIP := rec.Users / float64(len(rec.IPs))
-		nat := cfg.NATFactorMin + rng.Float64()*(cfg.NATFactorMax-cfg.NATFactorMin)
-		var total float64
-		for _, ip := range rec.IPs {
-			if rng.Float64() >= cfg.IPCoverage {
-				continue
+	type row struct {
+		perIP []float64 // 0 = unobserved
+		total float64
+	}
+	rows := make([]row, len(p.Recursives))
+	par.Do(len(p.Recursives), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			rec := &p.Recursives[i]
+			st := rng.Split(seed, rng.PhaseCDNCounts, uint64(i))
+			perIP := rec.Users / float64(len(rec.IPs))
+			nat := cfg.NATFactorMin + st.Float64()*(cfg.NATFactorMax-cfg.NATFactorMin)
+			r := row{perIP: make([]float64, len(rec.IPs))}
+			for k := range rec.IPs {
+				if st.Float64() >= cfg.IPCoverage {
+					continue
+				}
+				c := perIP * nat
+				if c < 1 {
+					continue
+				}
+				r.perIP[k] = c
+				r.total += c
 			}
-			c := perIP * nat
-			if c < 1 {
-				continue
-			}
-			out.ByIP[ip] = c
-			total += c
+			rows[i] = r
 		}
-		if total >= 1 {
-			out.By24[rec.Key] = total
+	})
+	for i := range p.Recursives {
+		rec := &p.Recursives[i]
+		for k, ip := range rec.IPs {
+			if c := rows[i].perIP[k]; c > 0 {
+				out.ByIP[ip] = c
+			}
+		}
+		if rows[i].total >= 1 {
+			out.By24[rec.Key] = rows[i].total
 		}
 	}
 	return out
@@ -301,21 +354,32 @@ type APNICCounts struct {
 }
 
 // BuildAPNICCounts derives the APNIC dataset from ground truth on g.
-func BuildAPNICCounts(g *topology.Graph, p *Population, rng *rand.Rand) *APNICCounts {
+// Per-AS noise draws come from streams keyed by ASN under par.Do; the
+// map is filled serially in eyeball order.
+func BuildAPNICCounts(g *topology.Graph, p *Population, seed int64) *APNICCounts {
 	out := &APNICCounts{ByASN: make(map[topology.ASN]float64)}
-	for _, asn := range g.Eyeballs() {
-		as := g.AS(asn)
-		truth := as.UserWeight * p.TotalUsers
-		if truth < 1 {
-			continue
+	eyeballs := g.Eyeballs()
+	ests := make([]float64, len(eyeballs)) // 0 = unobserved
+	par.Do(len(eyeballs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			as := g.AS(eyeballs[i])
+			truth := as.UserWeight * p.TotalUsers
+			if truth < 1 {
+				continue
+			}
+			st := rng.Split(seed, rng.PhaseAPNIC, uint64(eyeballs[i]))
+			noise := 0.6 + st.Float64() // U(0.6, 1.6)
+			// Ad sampling misses a small share of tiny networks entirely.
+			if truth < 5000 && st.Float64() < 0.3 {
+				continue
+			}
+			ests[i] = truth * noise
 		}
-		noise := 0.6 + rng.Float64() // U(0.6, 1.6)
-		est := truth * noise
-		// Ad sampling misses a small share of tiny networks entirely.
-		if truth < 5000 && rng.Float64() < 0.3 {
-			continue
+	})
+	for i, asn := range eyeballs {
+		if ests[i] > 0 {
+			out.ByASN[asn] = ests[i]
 		}
-		out.ByASN[asn] = est
 	}
 	return out
 }

@@ -22,7 +22,7 @@ func buildGraph(t *testing.T) *topology.Graph {
 
 func buildPop(t *testing.T, g *topology.Graph) *Population {
 	t.Helper()
-	p, err := Build(g, Config{TotalUsers: 1e8}, rand.New(rand.NewSource(5)))
+	p, err := Build(g, Config{TotalUsers: 1e8}, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,11 +138,11 @@ func TestBiggerASesGetMoreRecursives(t *testing.T) {
 func TestBuildDeterministic(t *testing.T) {
 	g1 := buildGraph(t)
 	g2 := buildGraph(t)
-	p1, err := Build(g1, Config{TotalUsers: 1e8}, rand.New(rand.NewSource(9)))
+	p1, err := Build(g1, Config{TotalUsers: 1e8}, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
-	p2, err := Build(g2, Config{TotalUsers: 1e8}, rand.New(rand.NewSource(9)))
+	p2, err := Build(g2, Config{TotalUsers: 1e8}, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,8 +160,7 @@ func TestBuildDeterministic(t *testing.T) {
 func TestCDNCounts(t *testing.T) {
 	g := buildGraph(t)
 	p := buildPop(t, g)
-	rng := rand.New(rand.NewSource(13))
-	c := BuildCDNCounts(p, CDNConfig{}, rng)
+	c := BuildCDNCounts(p, CDNConfig{}, 13)
 	if len(c.By24) == 0 || len(c.ByIP) == 0 {
 		t.Fatal("empty CDN counts")
 	}
@@ -207,8 +206,7 @@ func TestCDNCounts(t *testing.T) {
 func TestAPNICCounts(t *testing.T) {
 	g := buildGraph(t)
 	p := buildPop(t, g)
-	rng := rand.New(rand.NewSource(17))
-	a := BuildAPNICCounts(g, p, rng)
+	a := BuildAPNICCounts(g, p, 17)
 	if len(a.ByASN) == 0 {
 		t.Fatal("empty APNIC counts")
 	}

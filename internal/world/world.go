@@ -8,7 +8,6 @@ package world
 import (
 	"context"
 	"fmt"
-	"math/rand"
 	"os"
 	"strconv"
 	"sync"
@@ -22,6 +21,7 @@ import (
 	"anycastctx/internal/geo"
 	"anycastctx/internal/latency"
 	"anycastctx/internal/obs"
+	"anycastctx/internal/rng"
 	"anycastctx/internal/topology"
 	"anycastctx/internal/users"
 )
@@ -152,14 +152,12 @@ func Build(ctx context.Context, cfg Config) (*World, error) {
 	if cfg.Scale <= 0 || cfg.Scale > 1 {
 		return nil, fmt.Errorf("world: scale %v out of (0, 1]", cfg.Scale)
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-
 	ctx, build := obs.StartSpanCtx(ctx, "world.build")
 	defer build.End()
 	obsBuilds.Inc()
 
 	_, sp := obs.StartSpanCtx(ctx, "world.regions")
-	regions := geo.GenerateRegions(geo.PaperRegionCounts, rng)
+	regions := geo.GenerateRegions(geo.PaperRegionCounts, rng.NewRand(cfg.Seed, rng.PhaseRegions, 0))
 	sp.End()
 
 	_, sp = obs.StartSpanCtx(ctx, "world.topology")
@@ -175,15 +173,15 @@ func Build(ctx context.Context, cfg Config) (*World, error) {
 
 	_, sp = obs.StartSpanCtx(ctx, "world.population")
 	model := latency.DefaultModel()
-	pop, err := users.Build(g, users.Config{TotalUsers: cfg.TotalUsers}, rng)
+	pop, err := users.Build(g, users.Config{TotalUsers: cfg.TotalUsers}, cfg.Seed)
 	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("world: population: %w", err)
 	}
 
 	_, sp = obs.StartSpanCtx(ctx, "world.zone_rates")
-	zone := dnssim.NewZone(cfg.NumTLDs, rng)
-	rates := dnssim.ComputeRates(pop, zone, dnssim.RateConfig{}, rng)
+	zone := dnssim.NewZone(cfg.NumTLDs, cfg.Seed)
+	rates := dnssim.ComputeRates(pop, zone, dnssim.RateConfig{}, cfg.Seed)
 	sp.End()
 
 	var specs []anycastnet.LetterSpec
@@ -196,14 +194,14 @@ func Build(ctx context.Context, cfg Config) (*World, error) {
 		return nil, fmt.Errorf("world: unsupported DITL year %d", cfg.Year)
 	}
 	_, sp = obs.StartSpanCtx(ctx, "world.letters")
-	letters, err := anycastnet.BuildLetters(g, specs, rng)
+	letters, err := anycastnet.BuildLetters(g, specs, rng.NewRand(cfg.Seed, rng.PhaseLetters, 0))
 	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("world: letters: %w", err)
 	}
 
 	campCtx, sp := obs.StartSpanCtx(ctx, "world.campaign")
-	camp, err := ditl.Build(campCtx, g, letters, pop, zone, rates, model, ditl.Config{}, rng)
+	camp, err := ditl.Build(campCtx, g, letters, pop, zone, rates, model, ditl.Config{}, cfg.Seed)
 	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("world: campaign: %w", err)
@@ -211,7 +209,7 @@ func Build(ctx context.Context, cfg Config) (*World, error) {
 	camp.Faults = cfg.Faults
 
 	cdnCtx, sp := obs.StartSpanCtx(ctx, "world.cdn")
-	cdnNet, err := cdn.Build(cdnCtx, g, model, cdn.Config{}, rng)
+	cdnNet, err := cdn.Build(cdnCtx, g, model, cdn.Config{}, cfg.Seed)
 	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("world: cdn: %w", err)
@@ -219,13 +217,13 @@ func Build(ctx context.Context, cfg Config) (*World, error) {
 	cdnNet.Faults = cfg.Faults
 
 	_, sp = obs.StartSpanCtx(ctx, "world.user_counts")
-	cdnCounts := users.BuildCDNCounts(pop, users.CDNConfig{}, rng)
-	apnic := users.BuildAPNICCounts(g, pop, rng)
+	cdnCounts := users.BuildCDNCounts(pop, users.CDNConfig{}, cfg.Seed)
+	apnic := users.BuildAPNICCounts(g, pop, cfg.Seed)
 	sp.End()
 
 	_, sp = obs.StartSpanCtx(ctx, "world.atlas")
 	probes := scaleInt(cfg.NumProbes, cfg.Scale, 100)
-	plat, err := atlas.Deploy(g, model, atlas.Config{NumProbes: probes}, rng)
+	plat, err := atlas.Deploy(g, model, atlas.Config{NumProbes: probes}, cfg.Seed)
 	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("world: atlas: %w", err)

@@ -3,7 +3,6 @@ package anycastctx
 import (
 	"context"
 	"errors"
-	"math/rand"
 	"strings"
 	"testing"
 
@@ -140,9 +139,9 @@ func TestRunAllAggregatesFailures(t *testing.T) {
 	errFail2 := errors.New("boom two")
 	n := len(registry)
 	register(Experiment{ID: "zz-fail-1", Title: "t", PaperClaim: "c",
-		Run: func(ctx context.Context, w *World, rng *rand.Rand) (Result, error) { return Result{}, errFail1 }})
+		Run: func(ctx context.Context, w *World, seed int64) (Result, error) { return Result{}, errFail1 }})
 	register(Experiment{ID: "zz-fail-2", Title: "t", PaperClaim: "c",
-		Run: func(ctx context.Context, w *World, rng *rand.Rand) (Result, error) { return Result{}, errFail2 }})
+		Run: func(ctx context.Context, w *World, seed int64) (Result, error) { return Result{}, errFail2 }})
 	defer func() { registry = registry[:n] }()
 
 	results, err := RunAll(w)

@@ -1,6 +1,9 @@
 package anycastctx
 
 import (
+	"bytes"
+	"fmt"
+	"runtime"
 	"testing"
 )
 
@@ -71,5 +74,82 @@ func TestRunAllParallelFallsBackSerial(t *testing.T) {
 		if one[i].ID != all[i].ID || one[i].Output != all[i].Output {
 			t.Fatalf("%s: workers=1 output differs from RunAll", all[i].ID)
 		}
+	}
+}
+
+// TestParallelLoopsMatchSerialOracle is the serial oracle for the
+// per-entity-stream loops: the same seed must produce byte-identical
+// outputs whether the par fan-outs run on one worker or many. It builds
+// one world pinned to GOMAXPROCS(1) (par runs everything serially) and
+// one at GOMAXPROCS(8), then byte-compares world-derived artifacts from
+// each migrated loop: the DITL campaign and rates (via experiment
+// outputs), capture emission, ping sampling, and site affinity.
+func TestParallelLoopsMatchSerialOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds two worlds")
+	}
+	type probe struct {
+		fig2a, fig3, fig11 string
+		capture            []byte
+		pings              string
+		affinity           string
+	}
+	build := func(procs int) probe {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		w, err := BuildWorld(TestScaleConfig(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var p probe
+		for _, id := range []string{"fig2a", "fig3", "fig11"} {
+			res, err := RunExperiment(w, id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch id {
+			case "fig2a":
+				p.fig2a = res.Output
+			case "fig3":
+				p.fig3 = res.Output
+			case "fig11":
+				p.fig11 = res.Output
+			}
+		}
+		li, site := busiestLetterSite(w)
+		var buf bytes.Buffer
+		if _, err := w.Campaign.EmitSiteCapture(&buf, li, site, 2000, 9); err != nil {
+			t.Fatal(err)
+		}
+		p.capture = buf.Bytes()
+		p.pings = fmt.Sprintf("%+v", w.Atlas.Ping(w.Letters[0], 3, 11))
+		aff, err := w.Campaign.Affinity(li, 0.005, 48, 13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.affinity = fmt.Sprintf("%+v", aff)
+		return p
+	}
+
+	serial := build(1)
+	parallel := build(8)
+	if serial.fig2a != parallel.fig2a {
+		t.Error("fig2a output differs between GOMAXPROCS=1 and 8")
+	}
+	if serial.fig3 != parallel.fig3 {
+		t.Error("fig3 (rates) output differs between GOMAXPROCS=1 and 8")
+	}
+	if serial.fig11 != parallel.fig11 {
+		t.Error("fig11 (DITL campaign) output differs between GOMAXPROCS=1 and 8")
+	}
+	if !bytes.Equal(serial.capture, parallel.capture) {
+		t.Errorf("capture bytes differ: serial %d bytes, parallel %d bytes",
+			len(serial.capture), len(parallel.capture))
+	}
+	if serial.pings != parallel.pings {
+		t.Error("ping samples differ between GOMAXPROCS=1 and 8")
+	}
+	if serial.affinity != parallel.affinity {
+		t.Error("affinity walks differ between GOMAXPROCS=1 and 8")
 	}
 }

@@ -6,7 +6,6 @@ package anycastctx
 
 import (
 	"bytes"
-	"math/rand"
 	"testing"
 
 	"anycastctx/internal/ditl"
@@ -17,7 +16,6 @@ import (
 
 func TestCapturePipelineEndToEnd(t *testing.T) {
 	w := testWorld(t)
-	rng := rand.New(rand.NewSource(77))
 
 	// Pick the letter with the most sites and its busiest site.
 	li := w.Campaign.LetterIndex("L")
@@ -42,7 +40,7 @@ func TestCapturePipelineEndToEnd(t *testing.T) {
 	}
 
 	var buf bytes.Buffer
-	n, err := w.Campaign.EmitSiteCapture(&buf, li, busiest, 5000, rng)
+	n, err := w.Campaign.EmitSiteCapture(&buf, li, busiest, 5000, 77)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,10 +102,9 @@ func TestCaptureReferralsCarryGlue(t *testing.T) {
 	// With the zone attached, valid TLD queries must be answered with
 	// referrals that contain NS authority records and A glue.
 	w := testWorld(t)
-	rng := rand.New(rand.NewSource(78))
 	var buf bytes.Buffer
 	li := w.Campaign.LetterIndex("C")
-	if _, err := w.Campaign.EmitSiteCapture(&buf, li, 0, 4000, rng); err != nil {
+	if _, err := w.Campaign.EmitSiteCapture(&buf, li, 0, 4000, 78); err != nil {
 		t.Fatal(err)
 	}
 	pr, err := pcapio.NewReader(bytes.NewReader(buf.Bytes()))
