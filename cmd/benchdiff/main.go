@@ -98,6 +98,14 @@ func main() {
 		"peak_rss_bytes": *maxRSS,
 		"retained_bytes": *maxRet,
 	}
+	// A NaN threshold would silently disable its gate (`pct > NaN` is
+	// always false), so thresholds must be real numbers.
+	for _, g := range gates {
+		if math.IsNaN(thresholds[g.key]) {
+			fmt.Fprintf(os.Stderr, "benchdiff: -%s must be a number\n", g.flag)
+			os.Exit(2)
+		}
+	}
 	rows := diff(oldFile, newFile, thresholds)
 	writeTable(os.Stdout, oldFile, newFile, rows)
 	for _, r := range rows {
@@ -224,11 +232,19 @@ func mean(vs []float64) float64 {
 }
 
 // pctChange returns the percent change from old to new; NaN when either
-// side is missing or old is zero.
+// side is missing. A zero baseline no longer divides: zero to zero is 0%,
+// and zero to anything positive is +Inf — a real regression the gate must
+// see, where the old NaN result rendered "-" and silently passed.
 func pctChange(oldVs, newVs []float64) float64 {
 	o, n := mean(oldVs), mean(newVs)
-	if math.IsNaN(o) || math.IsNaN(n) || o == 0 {
+	if math.IsNaN(o) || math.IsNaN(n) {
 		return math.NaN()
+	}
+	if o == 0 {
+		if n == 0 {
+			return 0
+		}
+		return math.Inf(1)
 	}
 	return (n - o) / o * 100
 }
@@ -303,10 +319,14 @@ func writeTable(w io.Writer, oldFile, newFile benchFile, rows []diffRow) {
 	}
 }
 
-// fmtPct renders a percent delta cell; "-" when not comparable.
+// fmtPct renders a percent delta cell; "-" when not comparable and
+// "+inf%" for a regression from a zero baseline.
 func fmtPct(v float64) string {
 	if math.IsNaN(v) {
 		return "-"
+	}
+	if math.IsInf(v, 1) {
+		return "+inf%"
 	}
 	return fmt.Sprintf("%+.1f%%", v)
 }

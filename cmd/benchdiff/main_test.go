@@ -136,6 +136,47 @@ func TestDiffFlagsRegressionsPastThreshold(t *testing.T) {
 	}
 }
 
+// TestDiffZeroBaselineGates pins the zero-ns/op guard: a metric that was
+// 0 in the baseline and positive now is a regression the gate must fail
+// on, not a divide-by-zero NaN rendered as "-" with a PASS verdict. Zero
+// to zero stays a clean 0%.
+func TestDiffZeroBaselineGates(t *testing.T) {
+	old := bf(map[string]map[string][]float64{
+		"A": {"ns_per_op": {100}, "retained_bytes": {0}},
+		"B": {"ns_per_op": {100}, "retained_bytes": {0}},
+	})
+	niu := bf(map[string]map[string][]float64{
+		"A": {"ns_per_op": {100}, "retained_bytes": {4096}}, // regression from zero
+		"B": {"ns_per_op": {100}, "retained_bytes": {0}},    // still zero
+	})
+	thresholds := map[string]float64{"ns_per_op": 20, "bytes_per_op": 20, "peak_rss_bytes": 30, "retained_bytes": 30}
+	rows := diff(old, niu, thresholds)
+	byName := map[string]diffRow{}
+	for _, r := range rows {
+		byName[r.name] = r
+	}
+	if got := byName["A"].regressions; len(got) != 1 || got[0] != "retained" {
+		t.Errorf("A regressions = %v, want [retained]", got)
+	}
+	if !math.IsInf(byName["A"].deltas["retained_bytes"], 1) {
+		t.Errorf("A retained delta = %v, want +Inf", byName["A"].deltas["retained_bytes"])
+	}
+	if got := byName["B"].regressions; len(got) != 0 {
+		t.Errorf("B regressions = %v, want none", got)
+	}
+	if got := byName["B"].deltas["retained_bytes"]; got != 0 {
+		t.Errorf("B retained delta = %v, want 0", got)
+	}
+	var tbl bytes.Buffer
+	writeTable(&tbl, old, niu, rows)
+	out := tbl.String()
+	for _, want := range []string{"+inf%", "REGRESSION: retained", "FAIL: 1 benchmark"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestDiffPassesWithinThresholds(t *testing.T) {
 	old := bf(map[string]map[string][]float64{"A": {"ns_per_op": {100, 110}}})
 	niu := bf(map[string]map[string][]float64{"A": {"ns_per_op": {108, 112}}})

@@ -13,9 +13,12 @@
 //	experiments -run all -serve :9090 -v            # live /metrics, /progress, /debug/pprof
 //	experiments -run fig2a -cpuprofile cpu.pprof -memprofile mem.pprof
 //	experiments -run robust1 -faults 0.01     # 1% seeded fault injection
+//	experiments -run all -check               # gate on pipeline-wide invariants
 //
 // The observability flags never change experiment output: instrumented
-// runs are byte-identical to uninstrumented runs.
+// runs are byte-identical to uninstrumented runs. -check writes only to
+// stderr for the same reason: stdout stays byte-identical with or
+// without it.
 package main
 
 import (
@@ -32,6 +35,7 @@ import (
 	"time"
 
 	"anycastctx"
+	"anycastctx/internal/check"
 	"anycastctx/internal/faults"
 	"anycastctx/internal/obs"
 )
@@ -51,6 +55,7 @@ func main() {
 		metrics    = flag.String("metrics", "", "write a JSON snapshot of every pipeline metric")
 		report     = flag.String("report", "", "write a machine-readable JSON run report")
 		serve      = flag.String("serve", "", "serve /metrics (OpenMetrics), /progress (JSON), and /debug/pprof on this address (e.g. :9090) for the duration of the run")
+		checkInv   = flag.Bool("check", false, "run pipeline-wide invariant checkers after the world build and after the experiments; violations go to stderr and exit 1")
 		verbose    = flag.Bool("v", false, "log one line per experiment completion to stderr")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile")
 		memprofile = flag.String("memprofile", "", "write a heap profile")
@@ -84,8 +89,8 @@ func main() {
 	}
 
 	cfg := anycastctx.Config{Seed: *seed, Scale: *scale}
-	if *faultRate < 0 || *faultRate >= 1 {
-		fmt.Fprintf(os.Stderr, "-faults %v out of [0, 1)\n", *faultRate)
+	if err := validateFlags(*scale, *faultRate, *jobs); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	if *faultRate > 0 {
@@ -148,6 +153,22 @@ func main() {
 	buildSpan.End()
 	if err != nil {
 		fatal(err)
+	}
+
+	// Invariant checks run against the quiescent world: once right after
+	// the build, once after the experiments (which may have filled caches
+	// like the DITL∩CDN join). Output goes to stderr so checked runs stay
+	// byte-identical on stdout.
+	checkFailed := false
+	runChecks := func(stage string) {
+		vs := check.Run(ctx, w)
+		fmt.Fprintf(os.Stderr, "invariants %s: %s", stage, check.Render(vs, len(check.All())))
+		if len(vs) > 0 {
+			checkFailed = true
+		}
+	}
+	if *checkInv {
+		runChecks("after world build")
 	}
 
 	var results []anycastctx.Result
@@ -238,14 +259,39 @@ func main() {
 		}
 	}
 
+	if *checkInv {
+		runChecks("after experiments")
+	}
+
 	if runErr != nil {
 		fmt.Fprintf(os.Stderr, "%d experiment(s) succeeded; failures:\n%v\n", len(results), runErr)
 		os.Exit(1)
 	}
+	if checkFailed {
+		fmt.Fprintln(os.Stderr, "invariant check failed")
+		os.Exit(1)
+	}
 }
 
-// resolveWorkers maps the -j flag to a worker count: non-positive means
-// "use every CPU".
+// validateFlags rejects out-of-range -scale/-faults/-j values before they
+// propagate into the world build or the fault policy. The negated range
+// comparisons are deliberate: `x <= 0 || x > 1` is false for NaN, so a
+// NaN scale or fault rate would otherwise sail straight through.
+func validateFlags(scale, faultRate float64, jobs int) error {
+	if !(scale > 0 && scale <= 1) {
+		return fmt.Errorf("-scale %v out of (0, 1]", scale)
+	}
+	if !(faultRate >= 0 && faultRate < 1) {
+		return fmt.Errorf("-faults %v out of [0, 1)", faultRate)
+	}
+	if jobs < 0 {
+		return fmt.Errorf("-j %d is negative (0 means all CPUs)", jobs)
+	}
+	return nil
+}
+
+// resolveWorkers maps the -j flag to a worker count: zero means "use
+// every CPU" (negative values are rejected by validateFlags).
 func resolveWorkers(jobs int) int {
 	if jobs <= 0 {
 		return runtime.NumCPU()

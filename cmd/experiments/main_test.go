@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"math"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -66,5 +67,39 @@ func TestReportRoundTripsHeapFields(t *testing.T) {
 	}
 	if back.Seed != 3 || len(back.Experiments) != 1 || back.Experiments[0].ID != "figX" {
 		t.Errorf("report body did not round-trip: %+v", back)
+	}
+}
+
+// TestValidateFlags pins the flag guards, NaN included: `*scale <= 0 ||
+// *scale > 1` is false for NaN, so validity is asserted directly — a NaN
+// passed through would only surface deep inside the world build.
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name   string
+		scale  float64
+		faults float64
+		jobs   int
+		ok     bool
+	}{
+		{"defaults", 1, 0, 0, true},
+		{"small scale with faults and jobs", 0.05, 0.5, 8, true},
+		{"zero scale", 0, 0, 0, false},
+		{"negative scale", -0.2, 0, 0, false},
+		{"scale above one", 1.5, 0, 0, false},
+		{"NaN scale", math.NaN(), 0, 0, false},
+		{"infinite scale", math.Inf(1), 0, 0, false},
+		{"negative fault rate", 1, -0.1, 0, false},
+		{"fault rate one", 1, 1, 0, false},
+		{"NaN fault rate", 1, math.NaN(), 0, false},
+		{"negative jobs", 1, 0, -1, false},
+	}
+	for _, tc := range cases {
+		err := validateFlags(tc.scale, tc.faults, tc.jobs)
+		if tc.ok && err != nil {
+			t.Errorf("%s: validateFlags(%v, %v, %d) = %v, want nil", tc.name, tc.scale, tc.faults, tc.jobs, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: validateFlags(%v, %v, %d) accepted", tc.name, tc.scale, tc.faults, tc.jobs)
+		}
 	}
 }

@@ -1,0 +1,118 @@
+package check
+
+import (
+	"bytes"
+	"context"
+	"sort"
+
+	"anycastctx/internal/ditl"
+	"anycastctx/internal/ipaddr"
+	"anycastctx/internal/world"
+)
+
+// CaptureAccounting asserts the capture read-back funnel is conservative:
+// it emits a deterministic probe capture for the busiest site of the
+// first letter, summarizes it, and checks that every record lands in
+// exactly one summary bucket, that records written reconcile with records
+// read plus reader drops, and that every query source belongs to a known
+// recursive or junk /24. A freshly emitted capture must read back with
+// zero degradation.
+type CaptureAccounting struct {
+	// Mangle, when set, rewrites the emitted capture bytes before
+	// summarization. It exists so tests can corrupt the stream and prove
+	// the reconciliation laws actually fire; production runs leave it nil.
+	Mangle func([]byte) []byte
+}
+
+// probePackets sizes the emitted probe capture: enough records to cover
+// junk and contributor units, small enough to stay off the hot path.
+const probePackets = 1200
+
+// probeSite picks the deterministic probe target: the first letter and
+// its most popular favorite site (ties to the lowest site ID).
+func probeSite(w *world.World) (li, siteID int) {
+	c := w.Campaign
+	counts := make([]int, len(c.Letters[0].Sites))
+	for ri := 0; ri < c.NumRecursives(); ri++ {
+		if a := c.At(0, ri); a.Reachable {
+			counts[a.Route.SiteID]++
+		}
+	}
+	for s, n := range counts {
+		if n > counts[siteID] {
+			siteID = s
+		}
+	}
+	return 0, siteID
+}
+
+// Name implements Checker.
+func (*CaptureAccounting) Name() string { return "capture-accounting" }
+
+// Check implements Checker.
+func (ca *CaptureAccounting) Check(ctx context.Context, w *world.World) []Violation {
+	r := &reporter{name: ca.Name()}
+	c := w.Campaign
+	li, siteID := probeSite(w)
+	var buf bytes.Buffer
+	written, err := c.EmitSiteCaptureCtx(ctx, &buf, li, siteID, probePackets, w.Cfg.Seed*7919+1013)
+	if err != nil {
+		r.addf("probe capture emission failed: %v", err)
+		return r.violations()
+	}
+	raw := buf.Bytes()
+	if ca.Mangle != nil {
+		raw = ca.Mangle(raw)
+	}
+	s, err := ditl.SummarizeCapture(bytes.NewReader(raw))
+	if err != nil {
+		r.addf("probe capture unreadable: %v", err)
+		return r.violations()
+	}
+
+	if got := s.Packets + s.TruncatedRecords + s.MalformedPackets + s.MalformedDNS; got != s.RecordsRead {
+		r.addf("summary buckets sum to %d for %d records read: a record landed in zero or two buckets",
+			got, s.RecordsRead)
+	}
+	if got := s.RecordsRead + s.DroppedRecords; got != written {
+		r.addf("%d records written but %d accounted for (%d read + %d dropped)",
+			written, got, s.RecordsRead, s.DroppedRecords)
+	}
+	if got, want := s.Skipped(), s.TruncatedRecords+s.MalformedPackets+s.MalformedDNS; got != want {
+		r.addf("Skipped() = %d, want %d", got, want)
+	}
+	if ca.Mangle == nil {
+		if s.TruncatedRecords+s.MalformedPackets+s.MalformedDNS+s.DroppedRecords+s.SkippedBytes != 0 {
+			r.addf("fresh capture read back degraded: %d truncated, %d malformed packets, %d malformed DNS, %d dropped, %d bytes skipped",
+				s.TruncatedRecords, s.MalformedPackets, s.MalformedDNS, s.DroppedRecords, s.SkippedBytes)
+		}
+	}
+
+	queries := 0
+	for _, n := range s.Sources {
+		queries += n
+	}
+	if s.Responses+queries > s.Packets {
+		r.addf("%d responses + %d sourced queries exceed %d decoded packets",
+			s.Responses, queries, s.Packets)
+	}
+	if s.UDPQueries > queries {
+		r.addf("%d UDP queries but only %d packets attributed to sources", s.UDPQueries, queries)
+	}
+	junk24 := make(map[ipaddr.Slash24Key]bool, len(c.JunkSources))
+	for _, a := range c.JunkSources {
+		junk24[ipaddr.Key24(a)] = true
+	}
+	var strays []ipaddr.Slash24Key
+	for key := range s.Sources {
+		if _, ok := c.Pop.ByKey(key); !ok && !junk24[key] {
+			strays = append(strays, key)
+		}
+	}
+	sort.Slice(strays, func(i, j int) bool { return strays[i] < strays[j] })
+	for _, key := range strays {
+		r.addf("capture contains %d queries from /24 %v, which is neither a recursive nor a junk source",
+			s.Sources[key], key)
+	}
+	return r.violations()
+}

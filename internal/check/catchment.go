@@ -1,0 +1,86 @@
+package check
+
+import (
+	"context"
+
+	"anycastctx/internal/world"
+)
+
+// CatchmentPartition asserts catchments partition the recursive
+// population per letter: every reachable ⟨recursive, letter⟩ cell maps to
+// one or two in-range sites whose shares sum to 1, unreachable cells map
+// to nothing, and each recursive's letter weights sum to 1 (or to 0 when
+// no letter is reachable at all).
+type CatchmentPartition struct{}
+
+// Name implements Checker.
+func (CatchmentPartition) Name() string { return "catchment-partition" }
+
+// Check implements Checker.
+func (CatchmentPartition) Check(_ context.Context, w *world.World) []Violation {
+	r := &reporter{name: CatchmentPartition{}.Name()}
+	c := w.Campaign
+	const tol = 1e-9
+	for ri := 0; ri < c.NumRecursives(); ri++ {
+		var weightSum float64
+		reachable := 0
+		for li := range c.Letters {
+			a := c.At(li, ri)
+			if !(a.LetterWeight >= 0 && a.LetterWeight <= 1+tol) {
+				r.addf("letter %s recursive %d: letter weight %v outside [0, 1]",
+					c.LetterNames[li], ri, a.LetterWeight)
+			}
+			weightSum += a.LetterWeight
+			if !a.Reachable {
+				if a.NumSites() != 0 {
+					r.addf("letter %s recursive %d: unreachable cell reports %d sites",
+						c.LetterNames[li], ri, a.NumSites())
+				}
+				if a.LetterWeight != 0 {
+					r.addf("letter %s recursive %d: unreachable cell carries letter weight %v",
+						c.LetterNames[li], ri, a.LetterWeight)
+				}
+				continue
+			}
+			reachable++
+			sites := a.Sites()
+			if len(sites) < 1 || len(sites) > 2 {
+				r.addf("letter %s recursive %d: %d sites, want 1 or 2",
+					c.LetterNames[li], ri, len(sites))
+				continue
+			}
+			var shareSum float64
+			for _, s := range sites {
+				if s.SiteID < 0 || s.SiteID >= len(c.Letters[li].Sites) {
+					r.addf("letter %s recursive %d: site %d out of range (%d sites deployed)",
+						c.LetterNames[li], ri, s.SiteID, len(c.Letters[li].Sites))
+				}
+				if !(s.Frac >= 0 && s.Frac <= 1+tol) {
+					r.addf("letter %s recursive %d: site %d share %v outside [0, 1]",
+						c.LetterNames[li], ri, s.SiteID, s.Frac)
+				}
+				shareSum += s.Frac
+			}
+			if len(sites) == 2 && sites[0].SiteID == sites[1].SiteID {
+				r.addf("letter %s recursive %d: duplicate site %d in the share split",
+					c.LetterNames[li], ri, sites[0].SiteID)
+			}
+			if !near(shareSum, 1, tol) {
+				r.addf("letter %s recursive %d: site shares sum to %v, want 1 (queries %s)",
+					c.LetterNames[li], ri, shareSum,
+					map[bool]string{true: "over-counted", false: "lost"}[shareSum > 1])
+			}
+			if sites[0].SiteID != a.Route.SiteID {
+				r.addf("letter %s recursive %d: favorite site %d disagrees with BGP catchment %d",
+					c.LetterNames[li], ri, sites[0].SiteID, a.Route.SiteID)
+			}
+		}
+		switch {
+		case reachable == 0 && weightSum != 0:
+			r.addf("recursive %d: letter weights sum to %v with no reachable letter", ri, weightSum)
+		case reachable > 0 && !near(weightSum, 1, tol):
+			r.addf("recursive %d: letter weights sum to %v, want 1", ri, weightSum)
+		}
+	}
+	return r.violations()
+}

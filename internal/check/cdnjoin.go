@@ -1,0 +1,70 @@
+package check
+
+import (
+	"context"
+
+	"anycastctx/internal/ipaddr"
+	"anycastctx/internal/world"
+)
+
+// CDNJoinConservation asserts the DITL∩CDN join conserves rows: the
+// cached /24 join holds exactly one row per recursive satisfying the
+// public join predicate (visible in DITL and counted by the CDN), in
+// input order, with no duplicate /24 keys, and each row carries exactly
+// the recursive's valid volume and the CDN's user count — nothing scaled,
+// dropped, or invented along the way.
+type CDNJoinConservation struct{}
+
+// Name implements Checker.
+func (CDNJoinConservation) Name() string { return "cdn-join-conservation" }
+
+// Check implements Checker.
+func (CDNJoinConservation) Check(ctx context.Context, w *world.World) []Violation {
+	r := &reporter{name: CDNJoinConservation{}.Name()}
+	j := w.JoinCtx(ctx)
+	if j.ByIP {
+		r.addf("cached world join is exact-IP; the /24 join is the paper's primary dataset")
+		return r.violations()
+	}
+	c := w.Campaign
+
+	// Independent recount of the join predicate from public state.
+	want := 0
+	for ri := 0; ri < c.NumRecursives(); ri++ {
+		if w.Rates[ri].RootTotalPerDay() >= 0.5 && w.CDNCounts.By24[c.Pop.Recursives[ri].Key] > 0 {
+			want++
+		}
+	}
+	if len(j.Rows) != want {
+		r.addf("join has %d rows, predicate recount says %d", len(j.Rows), want)
+	}
+
+	seen := make(map[ipaddr.Slash24Key]bool, len(j.Rows))
+	prev := -1
+	for i, row := range j.Rows {
+		if row.RecIdx <= prev {
+			r.addf("row %d: recursive index %d not increasing after %d", i, row.RecIdx, prev)
+		}
+		prev = row.RecIdx
+		if row.RecIdx < 0 || row.RecIdx >= c.NumRecursives() {
+			r.addf("row %d: recursive index %d out of range", i, row.RecIdx)
+			continue
+		}
+		if seen[row.Key] {
+			r.addf("row %d: duplicate /24 key %v", i, row.Key)
+		}
+		seen[row.Key] = true
+		rec := &c.Pop.Recursives[row.RecIdx]
+		if row.Key != rec.Key {
+			r.addf("row %d: key %v != recursive %d's key %v", i, row.Key, row.RecIdx, rec.Key)
+		}
+		if got, want := row.QueriesPerDay, w.Rates[row.RecIdx].RootValidPerDay; got != want {
+			r.addf("row %d: joined volume %v != recursive %d's valid volume %v",
+				i, got, row.RecIdx, want)
+		}
+		if got, want := row.Users, w.CDNCounts.By24[rec.Key]; got != want {
+			r.addf("row %d: joined users %v != CDN count %v for %v", i, got, want, rec.Key)
+		}
+	}
+	return r.violations()
+}

@@ -1,0 +1,90 @@
+package check
+
+import (
+	"bytes"
+	"context"
+
+	"anycastctx/internal/ditl"
+	"anycastctx/internal/obs"
+	"anycastctx/internal/world"
+)
+
+// ObsAccounting asserts the observability layer tells the truth: the
+// ditl.filter_* gauges equal the funnel Preprocess just computed, and the
+// ditl.capture_* / ditl.pcap_* counters advance by exactly the amounts a
+// probe emit-and-summarize round trip reports. It snapshots the global
+// registry around its own probe, so the pipeline must be quiescent while
+// it runs (Run executes checkers sequentially for this reason).
+type ObsAccounting struct {
+	// Perturb, when set, runs between the before-snapshot and the probe
+	// round trip. It exists so tests can move the global counters behind
+	// the checker's back and prove the delta reconciliation actually
+	// fires; production runs leave it nil.
+	Perturb func()
+}
+
+// Name implements Checker.
+func (*ObsAccounting) Name() string { return "obs-accounting" }
+
+// Check implements Checker.
+func (o *ObsAccounting) Check(ctx context.Context, w *world.World) []Violation {
+	r := &reporter{name: o.Name()}
+	c := w.Campaign
+
+	// Funnel gauges: Preprocess sets them from the stats it returns.
+	s := c.Preprocess()
+	snap := obs.TakeSnapshot()
+	for _, g := range []struct {
+		name string
+		want float64
+	}{
+		{"ditl.filter_invalid_per_day", s.InvalidPerDay},
+		{"ditl.filter_ptr_per_day", s.PTRPerDay},
+		{"ditl.filter_private_per_day", s.PrivatePerDay},
+		{"ditl.filter_v6_per_day", s.V6PerDay},
+		{"ditl.filter_retained_per_day", s.RetainedPerDay},
+	} {
+		if got := snap.Gauges[g.name]; got != g.want {
+			r.addf("gauge %s = %v, funnel says %v", g.name, got, g.want)
+		}
+	}
+
+	// Capture counters: deltas across a probe round trip must equal the
+	// round trip's own accounting.
+	before := obs.TakeSnapshot()
+	if o.Perturb != nil {
+		o.Perturb()
+	}
+	li, siteID := probeSite(w)
+	var buf bytes.Buffer
+	written, err := c.EmitSiteCaptureCtx(ctx, &buf, li, siteID, probePackets/2, w.Cfg.Seed*7919+2027)
+	if err != nil {
+		r.addf("probe capture emission failed: %v", err)
+		return r.violations()
+	}
+	sum, err := ditl.SummarizeCapture(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		r.addf("probe capture unreadable: %v", err)
+		return r.violations()
+	}
+	d := obs.TakeSnapshot().CounterDeltas(before)
+	for _, cc := range []struct {
+		name string
+		want uint64
+	}{
+		{"ditl.pcap_packets", uint64(written)},
+		{"ditl.capture_truncated_skipped", uint64(sum.TruncatedRecords)},
+		{"ditl.capture_malformed_packets", uint64(sum.MalformedPackets)},
+		{"ditl.capture_malformed_dns", uint64(sum.MalformedDNS)},
+	} {
+		if got := d[cc.name]; got != cc.want {
+			r.addf("counter %s advanced by %d across the probe, round trip accounts for %d",
+				cc.name, got, cc.want)
+		}
+	}
+	if got := d["ditl.pcap_captures"]; got > 1 || (written > 0 && got != 1) {
+		r.addf("counter ditl.pcap_captures advanced by %d for one probe capture (%d packets)",
+			got, written)
+	}
+	return r.violations()
+}

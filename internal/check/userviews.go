@@ -1,0 +1,98 @@
+package check
+
+import (
+	"context"
+
+	"anycastctx/internal/world"
+)
+
+// UserViewConservation asserts both noisy user-count datasets are views
+// of the same ground truth within their declared noise bounds: the
+// population conserves TotalUsers exactly; every CDN /24 count is the
+// exact sum of its per-IP counts and strictly NAT-undercounts the
+// recursive's true users; every APNIC per-AS estimate sits inside its
+// U(0.6, 1.6) multiplicative noise band; and neither view contains an
+// entry with no ground-truth counterpart.
+type UserViewConservation struct{}
+
+// Name implements Checker.
+func (UserViewConservation) Name() string { return "user-view-conservation" }
+
+// Check implements Checker.
+func (UserViewConservation) Check(_ context.Context, w *world.World) []Violation {
+	r := &reporter{name: UserViewConservation{}.Name()}
+
+	// Ground truth: splitting users across recursives loses nobody.
+	if got, want := w.Pop.UsersServed(), w.Pop.TotalUsers; !near(got, want, 1e-6) {
+		r.addf("recursives serve %v users, population is %v", got, want)
+	}
+
+	// CDN view vs truth, per recursive.
+	matchedIPs, matched24s := 0, 0
+	for ri := range w.Pop.Recursives {
+		rec := &w.Pop.Recursives[ri]
+		// Per-IP counts sum to the /24 count in IP order — the builder
+		// computes the /24 total as exactly that fold, so bit-for-bit.
+		var ipSum float64
+		for _, ip := range rec.IPs {
+			if u, ok := w.CDNCounts.ByIP[ip]; ok {
+				matchedIPs++
+				ipSum += u
+				if u < 1 {
+					r.addf("recursive %d: CDN per-IP count %v below the >=1 recording floor", ri, u)
+				}
+			}
+		}
+		u24, ok := w.CDNCounts.By24[rec.Key]
+		if !ok {
+			if ipSum >= 1 {
+				r.addf("recursive %d: per-IP counts sum to %v but the /24 aggregate is missing",
+					ri, ipSum)
+			}
+			continue
+		}
+		matched24s++
+		if u24 != ipSum {
+			r.addf("recursive %d: /24 count %v != sum of its per-IP counts %v", ri, u24, ipSum)
+		}
+		if u24 >= rec.Users {
+			r.addf("recursive %d: CDN count %v >= true users %v — NAT must undercount",
+				ri, u24, rec.Users)
+		}
+	}
+	if matchedIPs != len(w.CDNCounts.ByIP) {
+		r.addf("CDN dataset has %d per-IP entries but only %d belong to known resolver IPs",
+			len(w.CDNCounts.ByIP), matchedIPs)
+	}
+	if matched24s != len(w.CDNCounts.By24) {
+		r.addf("CDN dataset has %d /24 entries but only %d belong to known recursives",
+			len(w.CDNCounts.By24), matched24s)
+	}
+	if got, want := w.CDNCounts.TotalBy24(), w.Pop.UsersServed(); got >= want {
+		r.addf("CDN dataset totals %v users, at or above ground truth %v", got, want)
+	}
+
+	// APNIC view vs truth, per eyeball AS.
+	matchedASes := 0
+	for _, asn := range w.Graph.Eyeballs() {
+		est, ok := w.APNIC.ByASN[asn]
+		if !ok {
+			continue
+		}
+		matchedASes++
+		truth := w.Graph.AS(asn).UserWeight * w.Pop.TotalUsers
+		if truth <= 0 {
+			r.addf("AS %d: APNIC estimate %v for an AS with no users", asn, est)
+			continue
+		}
+		if ratio := est / truth; ratio < 0.6-1e-9 || ratio > 1.6+1e-9 {
+			r.addf("AS %d: APNIC estimate %v is %.3fx truth %v, outside the U(0.6, 1.6) noise band",
+				asn, est, ratio, truth)
+		}
+	}
+	if matchedASes != len(w.APNIC.ByASN) {
+		r.addf("APNIC dataset has %d entries but only %d belong to eyeball ASes",
+			len(w.APNIC.ByASN), matchedASes)
+	}
+	return r.violations()
+}

@@ -490,6 +490,19 @@ func SummarizeCapture(r io.Reader) (*CaptureSummary, error) {
 	st := pr.Stats()
 	s.DroppedRecords = st.Dropped
 	s.SkippedBytes = st.BytesSkipped
+	// The summary's funnel must reconcile with the reader's: every record
+	// the reader returned sits in exactly one bucket (decoded, truncated,
+	// malformed packet, or malformed DNS — a record that is both truncated
+	// and malformed counts once, as truncated), and the truncated bucket
+	// agrees with the reader's own truncation count. A mismatch means the
+	// funnel double-counted or lost a record, which would silently skew
+	// every degradation number downstream.
+	if s.RecordsRead != st.Records || s.TruncatedRecords != st.Truncated ||
+		s.Packets+s.Skipped() != s.RecordsRead {
+		return nil, fmt.Errorf(
+			"ditl: capture funnel does not reconcile with reader stats: %d read (reader %d), %d truncated (reader %d), %d decoded + %d skipped",
+			s.RecordsRead, st.Records, s.TruncatedRecords, st.Truncated, s.Packets, s.Skipped())
+	}
 	if !first.IsZero() {
 		s.FirstToLast = last.Sub(first)
 	}

@@ -102,8 +102,15 @@ func (c *CDF) P(x float64) float64 {
 }
 
 // Quantile returns the smallest value v with P(X <= v) >= q, for q in
-// [0, 1]. Out-of-range q values are clamped.
+// [0, 1]. Out-of-range q values are clamped. A NaN q or an empty CDF
+// (the zero value — NewCDF never builds one) returns NaN: the old code
+// answered both with garbage, indexing values[-1] on an empty CDF and
+// silently returning the maximum for NaN because every `cumul >= NaN`
+// comparison is false.
 func (c *CDF) Quantile(q float64) float64 {
+	if len(c.values) == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
 	if q <= 0 {
 		return c.minimum
 	}

@@ -27,6 +27,54 @@ func TestNewCDFErrors(t *testing.T) {
 	}
 }
 
+// TestCDFQuantileEdgeCases pins the q <= 0, q > 1, NaN, and empty-CDF
+// behavior (the campaign-store invariant work surfaced the old values[-1]
+// panic on a zero-value CDF and the silent maximum returned for NaN q).
+func TestCDFQuantileEdgeCases(t *testing.T) {
+	c, err := NewCDF([]WeightedValue{{10, 1}, {20, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		q    float64
+		want float64 // NaN means "want NaN"
+	}{
+		{"negative clamps to minimum", -0.5, 10},
+		{"zero clamps to minimum", 0, 10},
+		{"negative infinity clamps to minimum", math.Inf(-1), 10},
+		{"one clamps to maximum", 1, 20},
+		{"above one clamps to maximum", 1.5, 20},
+		{"positive infinity clamps to maximum", math.Inf(1), 20},
+		{"interior", 0.25, 10},
+		{"NaN returns NaN", math.NaN(), math.NaN()},
+	}
+	for _, tc := range cases {
+		got := c.Quantile(tc.q)
+		if math.IsNaN(tc.want) {
+			if !math.IsNaN(got) {
+				t.Errorf("%s: Quantile(%v) = %v, want NaN", tc.name, tc.q, got)
+			}
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%s: Quantile(%v) = %v, want %v", tc.name, tc.q, got, tc.want)
+		}
+	}
+
+	// The zero value has no observations; before the guard, interior q
+	// panicked on values[-1] and q <= 0 silently answered 0.
+	var empty CDF
+	for _, q := range []float64{-1, 0, 0.5, 1, 2, math.NaN()} {
+		if got := empty.Quantile(q); !math.IsNaN(got) {
+			t.Errorf("empty CDF: Quantile(%v) = %v, want NaN", q, got)
+		}
+	}
+	if got := empty.Median(); !math.IsNaN(got) {
+		t.Errorf("empty CDF: Median() = %v, want NaN", got)
+	}
+}
+
 func TestCDFBasics(t *testing.T) {
 	c, err := NewCDF([]WeightedValue{{1, 1}, {2, 1}, {3, 1}, {4, 1}})
 	if err != nil {

@@ -9,6 +9,7 @@ package users
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"anycastctx/internal/geo"
 	"anycastctx/internal/ipaddr"
@@ -384,20 +385,36 @@ func BuildAPNICCounts(g *topology.Graph, p *Population, seed int64) *APNICCounts
 	return out
 }
 
-// WeightedUsers returns the total users in the APNIC dataset.
+// WeightedUsers returns the total users in the APNIC dataset. The fold
+// visits ASes in sorted order: float addition is not associative, so a
+// map-iteration-order sum varies in its low bits from run to run,
+// breaking the equal-configs-build-equal-worlds contract (caught by the
+// seed-permutation metamorphic test in internal/check).
 func (a *APNICCounts) WeightedUsers() float64 {
+	asns := make([]topology.ASN, 0, len(a.ByASN))
+	for asn := range a.ByASN {
+		asns = append(asns, asn)
+	}
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
 	var s float64
-	for _, v := range a.ByASN {
-		s += v
+	for _, asn := range asns {
+		s += a.ByASN[asn]
 	}
 	return s
 }
 
-// TotalBy24 returns the total users in the CDN dataset at /24 granularity.
+// TotalBy24 returns the total users in the CDN dataset at /24
+// granularity, folding in sorted key order for the same determinism
+// reason as WeightedUsers.
 func (c *CDNCounts) TotalBy24() float64 {
+	keys := make([]ipaddr.Slash24Key, 0, len(c.By24))
+	for k := range c.By24 {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	var s float64
-	for _, v := range c.By24 {
-		s += v
+	for _, k := range keys {
+		s += c.By24[k]
 	}
 	return s
 }

@@ -105,8 +105,10 @@ func ScaleFromEnv(def float64) float64 {
 	if s == "" {
 		return def
 	}
+	// Asserted as validity, not invalidity: `v <= 0 || v > 1` is false
+	// for NaN, which would pass an unusable scale through.
 	v, err := strconv.ParseFloat(s, 64)
-	if err != nil || v <= 0 || v > 1 {
+	if err != nil || !(v > 0 && v <= 1) {
 		scaleWarnOnce.Do(func() {
 			fmt.Fprintf(os.Stderr,
 				"world: ignoring ANYCASTCTX_TEST_SCALE=%q (want a number in (0, 1]); using %g\n", s, def)
@@ -149,7 +151,9 @@ type World struct {
 // tracing.
 func Build(ctx context.Context, cfg Config) (*World, error) {
 	cfg = cfg.withDefaults()
-	if cfg.Scale <= 0 || cfg.Scale > 1 {
+	// NaN makes `cfg.Scale <= 0 || cfg.Scale > 1` false, so the valid
+	// range is asserted directly instead.
+	if !(cfg.Scale > 0 && cfg.Scale <= 1) {
 		return nil, fmt.Errorf("world: scale %v out of (0, 1]", cfg.Scale)
 	}
 	ctx, build := obs.StartSpanCtx(ctx, "world.build")
