@@ -14,6 +14,8 @@
 //	experiments -run fig2a -cpuprofile cpu.pprof -memprofile mem.pprof
 //	experiments -run robust1 -faults 0.01     # 1% seeded fault injection
 //	experiments -run all -check               # gate on pipeline-wide invariants
+//	experiments -scenario withdraw-b-site     # what-if: before/after deltas
+//	experiments -scenario spec.json -scenario-oracle -check
 //
 // The observability flags never change experiment output: instrumented
 // runs are byte-identical to uninstrumented runs. -check writes only to
@@ -56,6 +58,8 @@ func main() {
 		report     = flag.String("report", "", "write a machine-readable JSON run report")
 		serve      = flag.String("serve", "", "serve /metrics (OpenMetrics), /progress (JSON), and /debug/pprof on this address (e.g. :9090) for the duration of the run")
 		checkInv   = flag.Bool("check", false, "run pipeline-wide invariant checkers after the world build and after the experiments; violations go to stderr and exit 1")
+		scnName    = flag.String("scenario", "", "evaluate a what-if scenario (builtin name or JSON spec file) instead of running experiments")
+		scnOracle  = flag.Bool("scenario-oracle", false, "with -scenario: also evaluate via full rebuild and exit 1 unless the reports are byte-identical")
 		verbose    = flag.Bool("v", false, "log one line per experiment completion to stderr")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile")
 		memprofile = flag.String("memprofile", "", "write a heap profile")
@@ -171,6 +175,24 @@ func main() {
 		runChecks("after world build")
 	}
 
+	// Scenario mode replaces the experiment run: evaluate the what-if,
+	// print its before/after report, and still honor the observability
+	// outputs (spans from the evaluation land in the same trace files).
+	if *scnName != "" {
+		scnErr := runScenario(ctx, w, *scnName, *scnOracle, *checkInv)
+		if err := writeObsArtifacts(*traceFile, *chromeFile, *metrics); err != nil {
+			fatal(err)
+		}
+		if scnErr != nil {
+			fatal(scnErr)
+		}
+		if checkFailed {
+			fmt.Fprintln(os.Stderr, "invariant check failed")
+			os.Exit(1)
+		}
+		return
+	}
+
 	var results []anycastctx.Result
 	var runErr error
 	if *run == "all" {
@@ -210,34 +232,8 @@ func main() {
 		}
 	}
 
-	if *traceFile != "" {
-		f, err := os.Create(*traceFile)
-		if err != nil {
-			fatal(err)
-		}
-		if err := obs.WriteTrace(f); err != nil {
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-	}
-	if *chromeFile != "" {
-		f, err := os.Create(*chromeFile)
-		if err != nil {
-			fatal(err)
-		}
-		if err := obs.WriteChromeTrace(f); err != nil {
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-	}
-	if *metrics != "" {
-		if err := writeJSON(*metrics, obs.TakeSnapshot()); err != nil {
-			fatal(err)
-		}
+	if err := writeObsArtifacts(*traceFile, *chromeFile, *metrics); err != nil {
+		fatal(err)
 	}
 	if *report != "" {
 		rep := buildReport(cfg, *year, *faultRate, results, runErr, buildSpan, time.Since(runStart))
@@ -373,6 +369,43 @@ func buildReport(cfg anycastctx.Config, year int, faultRate float64, results []a
 		rep.Failures = append(rep.Failures, runErr.Error())
 	}
 	return rep
+}
+
+// writeObsArtifacts writes the -trace/-trace-chrome/-metrics outputs;
+// empty paths are skipped. Shared by the experiment and scenario paths.
+func writeObsArtifacts(traceFile, chromeFile, metrics string) error {
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if chromeFile != "" {
+		f, err := os.Create(chromeFile)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if metrics != "" {
+		if err := writeJSON(metrics, obs.TakeSnapshot()); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func writeJSON(path string, v any) error {

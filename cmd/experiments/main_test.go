@@ -103,3 +103,34 @@ func TestValidateFlags(t *testing.T) {
 		}
 	}
 }
+
+// TestResolveScenarioSpec covers the -scenario argument mapping: builtin
+// names, spec files, and the error listing for everything else.
+func TestResolveScenarioSpec(t *testing.T) {
+	spec, err := resolveScenarioSpec("withdraw-b-site")
+	if err != nil {
+		t.Fatalf("builtin lookup: %v", err)
+	}
+	if spec.Name != "withdraw-b-site" || len(spec.Mutations) == 0 {
+		t.Errorf("builtin spec wrong: %+v", spec)
+	}
+
+	p := filepath.Join(t.TempDir(), "surge.json")
+	if err := os.WriteFile(p, []byte(`{"name":"from-file","mutations":[{"kind":"traffic_surge","factor":2}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec, err = resolveScenarioSpec(p)
+	if err != nil {
+		t.Fatalf("spec file: %v", err)
+	}
+	if spec.Name != "from-file" {
+		t.Errorf("file spec name = %q", spec.Name)
+	}
+
+	if _, err := resolveScenarioSpec("no-such-scenario"); err == nil {
+		t.Error("bogus scenario accepted")
+	}
+	if _, err := resolveScenarioSpec(t.TempDir()); err == nil {
+		t.Error("directory accepted as spec file")
+	}
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strings"
+
+	"anycastctx"
+	"anycastctx/internal/check"
+	"anycastctx/internal/scenario"
+)
+
+// resolveScenarioSpec maps the -scenario argument to a spec: a path to a
+// JSON spec file if one exists there, otherwise a builtin name.
+func resolveScenarioSpec(arg string) (scenario.Spec, error) {
+	if st, err := os.Stat(arg); err == nil && !st.IsDir() {
+		return scenario.ParseFile(arg)
+	}
+	if spec, ok := scenario.Builtin(arg); ok {
+		return spec, nil
+	}
+	return scenario.Spec{}, fmt.Errorf("unknown scenario %q: not a spec file, and builtins are %s",
+		arg, strings.Join(scenario.BuiltinNames(), ", "))
+}
+
+// runScenario evaluates one what-if scenario against the built world and
+// prints the before/after report to stdout. With oracle set it also
+// evaluates via full rebuild and errors unless the two reports are
+// byte-identical (the engine's correctness contract). With checkInv set
+// the pipeline invariant checkers run on the mutated world; like -check
+// on the base world, their output goes to stderr only.
+func runScenario(ctx context.Context, w *anycastctx.World, arg string, oracle, checkInv bool) error {
+	spec, err := resolveScenarioSpec(arg)
+	if err != nil {
+		return err
+	}
+	b := scenario.NewBaseline(w)
+	res, err := scenario.Eval(ctx, b, spec, scenario.Options{})
+	if err != nil {
+		return fmt.Errorf("scenario %s: %w", spec.Name, err)
+	}
+	rep := res.Report(ctx)
+	if oracle {
+		full, err := scenario.Eval(ctx, b, spec, scenario.Options{FullRebuild: true})
+		if err != nil {
+			return fmt.Errorf("scenario %s (full rebuild): %w", spec.Name, err)
+		}
+		if fullRep := full.Report(ctx); fullRep != rep {
+			fmt.Fprintf(os.Stderr, "--- incremental ---\n%s--- full rebuild ---\n%s", rep, fullRep)
+			return fmt.Errorf("scenario %s: incremental report differs from full rebuild", spec.Name)
+		}
+		fmt.Fprintf(os.Stderr, "scenario oracle: incremental evaluation byte-identical to full rebuild\n")
+	}
+	fmt.Print(rep)
+	if checkInv {
+		vs := check.Run(ctx, res.World)
+		fmt.Fprintf(os.Stderr, "invariants on scenario world: %s", check.Render(vs, len(check.All())))
+		if len(vs) > 0 {
+			return fmt.Errorf("invariant check failed on scenario world")
+		}
+	}
+	return nil
+}

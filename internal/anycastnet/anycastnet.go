@@ -75,6 +75,38 @@ func (d *Deployment) CatchmentsCtx(ctx context.Context, srcs []topology.ASN) map
 	return d.resolver.CatchmentsCtx(ctx, srcs)
 }
 
+// ForEachCachedRoute exposes the deployment's memoized route decisions
+// (see bgp.Resolver.ForEachCached): one call per cached source, positive
+// and negative entries alike, in unspecified order.
+func (d *Deployment) ForEachCachedRoute(fn func(src topology.ASN, rt bgp.Route, ok bool)) {
+	d.resolver.ForEachCached(fn)
+}
+
+// Derive builds a deployment for a mutated variant of base: the same
+// service on a new graph and site set, with base's memoized routes
+// carried over for every source keep approves (see
+// bgp.Resolver.SeedFrom; remap translates base site IDs to the new site
+// set, negative = withdrawn). Sources not kept re-resolve lazily against
+// g — this is how scenario overlays avoid recomputing the whole
+// catchment.
+func Derive(base *Deployment, g *topology.Graph, name string, sites []bgp.Site,
+	remap []int, keep func(src topology.ASN, rt bgp.Route, ok bool) bool) (*Deployment, error) {
+	res, err := bgp.NewResolver(g, sites)
+	if err != nil {
+		return nil, fmt.Errorf("anycastnet: derive %s: %w", name, err)
+	}
+	res.SeedFrom(base.resolver, remap, keep)
+	return &Deployment{Name: name, Sites: sites, resolver: res}, nil
+}
+
+// Renamed returns a view of d under a different name, sharing d's sites
+// and resolver (and therefore its route cache). Scenario letter swaps
+// use it: the deployment at a position changes while the position keeps
+// its letter name.
+func Renamed(d *Deployment, name string) *Deployment {
+	return &Deployment{Name: name, Sites: d.Sites, resolver: d.resolver}
+}
+
 // ClosestGlobalSite returns the ID and great-circle distance (km) of the
 // global site nearest to loc, or (-1, 0) if the deployment has none.
 func (d *Deployment) ClosestGlobalSite(loc geo.Coord) (int, float64) {
@@ -225,6 +257,19 @@ func NewDeployment(g *topology.Graph, name string, sites []bgp.Site) (*Deploymen
 		return nil, fmt.Errorf("anycastnet: %s: %w", name, err)
 	}
 	return &Deployment{Name: name, Sites: sites, resolver: res}, nil
+}
+
+// NearbyUpstreams picks the provider mix BuildLetter gives site hosts:
+// 1-2 transits with presence near loc plus one tier-1. Exported for
+// what-if scenario mutations that add sites to a built deployment.
+func NearbyUpstreams(g *topology.Graph, loc geo.Coord, rng *rand.Rand) []topology.ASN {
+	return nearbyUpstreams(g, loc, rng)
+}
+
+// HeaviestRegions returns regions sorted by population weight, heaviest
+// first — the order BuildLetter places global sites in.
+func HeaviestRegions(regions []geo.Region) []geo.Region {
+	return regionsByWeight(regions)
 }
 
 // nearbyUpstreams picks 1-2 transits with presence near loc plus one

@@ -52,6 +52,7 @@ var (
 	obsCacheHits     = obs.NewCounter("bgp.route_cache_hits")
 	obsCacheMisses   = obs.NewCounter("bgp.route_cache_misses")
 	obsCacheEntries  = obs.NewGauge("bgp.route_cache_entries")
+	obsCacheSeeded   = obs.NewCounter("bgp.route_cache_seeded")
 )
 
 // Site is one anycast site of a deployment.
@@ -273,6 +274,71 @@ func (r *Resolver) WarmCtx(ctx context.Context, srcs []topology.ASN) {
 			r.Route(s)
 		}
 	})
+}
+
+// ForEachCached calls fn once per memoized route decision, including
+// negative (unreachable) entries. Iteration order is unspecified (it
+// follows the shard maps), so callers must fold results
+// order-independently — the scenario engine builds dirty *sets*, which
+// are. Must not run concurrently with cache fills.
+func (r *Resolver) ForEachCached(fn func(src topology.ASN, rt Route, ok bool)) {
+	for i := range r.cache {
+		sh := &r.cache[i]
+		sh.mu.RLock()
+		for src, c := range sh.m {
+			fn(src, c.rt, c.ok)
+		}
+		sh.mu.RUnlock()
+	}
+}
+
+// SeedFrom copies base's memoized decisions into r's cache for every
+// source keep returns true for, translating site IDs through remap
+// (remap[oldID] = newID in r's site set, negative = site withdrawn).
+// A nil remap is the identity; a nil keep keeps everything.
+//
+// This is the scenario engine's cache-invalidation primitive: keep
+// encodes the mutation's dirty-set rule, so entries whose decision the
+// mutation could change are left unseeded and re-resolve lazily against
+// r's own graph and sites. A kept positive entry whose site was
+// withdrawn indicates a dirty-rule bug; such entries are skipped (they
+// re-resolve, which is always sound) and excluded from the returned
+// seeded count, so equivalence tests can still see the discrepancy as a
+// performance signal rather than a corruption.
+//
+// Route values are copied shallowly: the Waypoints backing arrays stay
+// shared with base, which is safe because Routes are read-only
+// everywhere by contract.
+func (r *Resolver) SeedFrom(base *Resolver, remap []int, keep func(src topology.ASN, rt Route, ok bool) bool) int {
+	seeded := 0
+	for i := range base.cache {
+		bsh := &base.cache[i]
+		sh := &r.cache[i] // same shard function on both resolvers
+		bsh.mu.RLock()
+		sh.mu.Lock()
+		for src, c := range bsh.m {
+			if keep != nil && !keep(src, c.rt, c.ok) {
+				continue
+			}
+			e := c
+			if c.ok && remap != nil {
+				if c.rt.SiteID < 0 || c.rt.SiteID >= len(remap) || remap[c.rt.SiteID] < 0 {
+					continue
+				}
+				e.rt.SiteID = remap[c.rt.SiteID]
+			}
+			if e.ok && (e.rt.SiteID < 0 || e.rt.SiteID >= len(r.sites)) {
+				continue
+			}
+			sh.m[src] = e
+			seeded++
+		}
+		sh.mu.Unlock()
+		bsh.mu.RUnlock()
+	}
+	obsCacheSeeded.Add(uint64(seeded))
+	obsCacheEntries.Add(float64(seeded))
+	return seeded
 }
 
 // resolveRoute computes the BGP decision for src (the uncached path; see

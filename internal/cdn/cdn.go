@@ -127,7 +127,17 @@ func Build(ctx context.Context, g *topology.Graph, model *latency.Model, cfg Con
 	_, span := obs.StartSpanCtx(ctx, "cdn.build")
 	defer span.End()
 	cfg = cfg.withDefaults()
-	sort.Slice(cfg.Rings, func(i, j int) bool { return cfg.Rings[i].Size < cfg.Rings[j].Size })
+	// Sort a copy (the caller's slice stays untouched), stably, with a
+	// name tie-break: two equal-size rings must order the same way every
+	// run, or ring construction order — and with it stdout — wobbles.
+	rings := append([]RingSpec(nil), cfg.Rings...)
+	sort.SliceStable(rings, func(i, j int) bool {
+		if rings[i].Size != rings[j].Size {
+			return rings[i].Size < rings[j].Size
+		}
+		return rings[i].Name < rings[j].Name
+	})
+	cfg.Rings = rings
 	maxSize := cfg.Rings[len(cfg.Rings)-1].Size
 	if maxSize < 1 {
 		return nil, fmt.Errorf("cdn: largest ring has no sites")
@@ -190,6 +200,21 @@ func Build(ctx context.Context, g *topology.Graph, model *latency.Model, cfg Con
 	}
 	obsBuilds.Inc()
 	return c, nil
+}
+
+// Overlay returns a copy of c bound to graph g with its ring list
+// replaced; the PoP set, AS number, latency model, and fault policy
+// carry over. The scenario engine uses it to swap mutated rings into an
+// otherwise shared CDN without rebuilding PoPs or re-rolling peering.
+func (c *CDN) Overlay(g *topology.Graph, rings []*Ring) *CDN {
+	return &CDN{
+		ASN:    c.ASN,
+		PoPs:   c.PoPs,
+		Rings:  rings,
+		Faults: c.Faults,
+		g:      g,
+		model:  c.model,
+	}
 }
 
 // Ring returns the ring by name, or nil.

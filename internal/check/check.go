@@ -85,6 +85,7 @@ func All() []Checker {
 		UserViewConservation{},
 		&CaptureAccounting{},
 		&ObsAccounting{},
+		RouteCacheCoherence{},
 	}
 }
 

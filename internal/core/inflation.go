@@ -167,6 +167,34 @@ func CDNGeoInflation(rows []cdn.ServerLogRow, ring *cdn.Ring) []stats.WeightedVa
 	return out
 }
 
+// CDNGeoInflationRoutes computes Eq. 1 for one ring straight from its
+// routing catchments, weighted by location users. Unlike CDNGeoInflation
+// it involves no server-side log sampling (whose noise streams are keyed
+// by ring index, not ring identity), so it is comparable across worlds
+// that renumber rings — the scenario engine's before/after deltas use it.
+func CDNGeoInflationRoutes(ring *cdn.Ring, locs []cdn.Location) []stats.WeightedValue {
+	out := make([]stats.WeightedValue, 0, len(locs))
+	for _, l := range locs {
+		rt, ok := ring.Deployment.Route(l.ASN)
+		if !ok {
+			continue
+		}
+		chosen := geo.DistanceKm(l.Loc, ring.SiteLocs[rt.SiteID])
+		minD := math.Inf(1)
+		for _, loc := range ring.SiteLocs {
+			if d := geo.DistanceKm(l.Loc, loc); d < minD {
+				minD = d
+			}
+		}
+		gi := geo.GeoRTTMs(chosen - minD)
+		if gi < 0 {
+			gi = 0
+		}
+		out = append(out, stats.WeightedValue{Value: gi, Weight: l.Users})
+	}
+	return out
+}
+
 // CDNLatencyInflation computes Eq. 2 per RTT for one ring from server-side
 // logs (Fig 5b).
 func CDNLatencyInflation(rows []cdn.ServerLogRow, ring *cdn.Ring) []stats.WeightedValue {

@@ -156,6 +156,30 @@ const (
 	noAltSite = ^uint32(0) // altSite: all queries go to the favorite site
 )
 
+// routeTableIndex validates dedup-table length n before narrowing it to
+// the next entry's uint32 index: ^uint32(0) is reserved as the noRoute
+// sentinel, so a table of that length would make its next entry
+// indistinguishable from "unreachable", and one more would wrap to index
+// 0 — either way every cell referencing the entry is silently corrupted.
+func routeTableIndex(n int) (uint32, error) {
+	if uint64(n) >= uint64(noRoute) {
+		return 0, fmt.Errorf("ditl: route dedup table full: entry %d would collide with the noRoute sentinel %d", n, noRoute)
+	}
+	return uint32(n), nil
+}
+
+// appendRoute adds one deduplicated ⟨route, base RTT⟩ table entry and
+// returns its index, refusing to grow into sentinel territory.
+func (c *Campaign) appendRoute(rt bgp.Route, rttMs float64) (uint32, error) {
+	ix, err := routeTableIndex(len(c.routes))
+	if err != nil {
+		return 0, err
+	}
+	c.routes = append(c.routes, rt)
+	c.routeRTT = append(c.routeRTT, rttMs)
+	return ix, nil
+}
+
 // Campaign is the assembled measurement campaign.
 //
 // The assignment matrix is stored as struct-of-arrays rather than
@@ -282,14 +306,7 @@ func Build(ctx context.Context, g *topology.Graph, letters []*anycastnet.Deploym
 	// one AS share routes, and each (letter, AS) route is computed exactly
 	// once in the resolver's memo, so the assembly fan-out below only ever
 	// hits warm caches.
-	srcs := make([]topology.ASN, 0, len(pop.Recursives))
-	seenSrc := make(map[topology.ASN]bool, len(pop.Recursives))
-	for ri := range pop.Recursives {
-		if asn := pop.Recursives[ri].ASN; !seenSrc[asn] {
-			seenSrc[asn] = true
-			srcs = append(srcs, asn)
-		}
-	}
+	srcs := uniqueSources(pop)
 	warmCtx, warm := obs.StartSpanCtx(ctx, "ditl.warm_routes")
 	for _, l := range letters {
 		l.WarmRoutesCtx(warmCtx, srcs)
@@ -311,18 +328,9 @@ func Build(ctx context.Context, g *topology.Graph, letters []*anycastnet.Deploym
 	// Route dedup tables, built serially per ⟨letter, AS⟩ in
 	// first-appearance AS order: every recursive in an AS shares one
 	// entry per letter, so the parallel pass below only reads them.
-	routeIx := make([]map[topology.ASN]uint32, nl)
-	for li := range letters {
-		routeIx[li] = make(map[topology.ASN]uint32, len(srcs))
-		for _, asn := range srcs {
-			rt, ok := letters[li].Route(asn)
-			if !ok {
-				continue
-			}
-			routeIx[li][asn] = uint32(len(c.routes))
-			c.routes = append(c.routes, rt)
-			c.routeRTT = append(c.routeRTT, model.BaseRTTMs(asn, rt))
-		}
+	routeIx, err := c.buildRouteTables(srcs)
+	if err != nil {
+		return nil, err
 	}
 
 	// The egress count per recursive depends only on rates, so the flat
@@ -336,88 +344,14 @@ func Build(ctx context.Context, g *topology.Graph, letters []*anycastnet.Deploym
 	}
 	c.egressFlat = make([]ipaddr.Addr, totalEgress)
 
+	asm := &assembler{c: c, routeIx: routeIx, seed: seed, fillEgress: true}
 	par.DoCtx(assembleCtx, n, func(ctx context.Context, lo, hi int) {
 		_, sp := obs.StartSpanCtx(ctx, "ditl.assemble.shard")
 		defer sp.End()
 		rtts := make([]float64, nl)
 		weights := make([]float64, nl)
 		for ri := lo; ri < hi; ri++ {
-			rec := &pop.Recursives[ri]
-			siteStream := rng.Split(seed, rng.PhaseDITLSites, uint64(ri))
-			prefStream := rng.Split(seed, rng.PhaseDITLPref, uint64(ri))
-			tcpStream := rng.Split(seed, rng.PhaseDITLTCP, uint64(ri))
-			for li := range letters {
-				k := li*n + ri
-				c.routeIdx[k] = noRoute
-				c.altSite[k] = noAltSite
-				rix, ok := routeIx[li][rec.ASN]
-				if !ok {
-					rtts[li] = math.Inf(1)
-					continue
-				}
-				obsAssignReachable.Inc()
-				c.routeIdx[k] = rix
-				rtts[li] = c.routeRTT[rix]
-
-				// Site shares: favorite plus an occasional secondary.
-				cell := siteStream.Fork(uint64(li))
-				if cell.Float64() < cfg.SecondarySiteProb {
-					if alt, ok := alternateSite(letters[li], c.routes[rix].SiteID); ok {
-						c.altSite[k] = uint32(alt)
-						c.altFrac[k] = cell.Float64() * cfg.SecondaryShareMax
-					}
-				}
-			}
-
-			// Letter preference: softmax over per-recursive jittered RTTs.
-			var sum float64
-			for li := range weights {
-				weights[li] = 0
-			}
-			for li := range letters {
-				if math.IsInf(rtts[li], 1) {
-					continue
-				}
-				cell := prefStream.Fork(uint64(li))
-				jitter := 1 + 0.1*cell.NormFloat64()
-				weights[li] = math.Exp(-rtts[li] * jitter / cfg.TauMs)
-				if weights[li] < 0.005 {
-					weights[li] = 0.005 // exploration floor
-				}
-				sum += weights[li]
-			}
-			if sum > 0 {
-				for li := range letters {
-					c.letterWeight[li*n+ri] = weights[li] / sum
-				}
-			}
-
-			// TCP medians where volume suffices.
-			for li := range letters {
-				k := li*n + ri
-				c.tcpMedian[k] = math.NaN()
-				if c.routeIdx[k] == noRoute {
-					continue
-				}
-				tcpVol := rates[ri].RootValidPerDay * c.letterWeight[k] * rates[ri].TCPShare
-				if tcpVol >= cfg.MinTCPSamples {
-					cell := tcpStream.Fork(uint64(li))
-					c.tcpMedian[k] = model.MedianOfSamples(&cell, c.routeRTT[c.routeIdx[k]]+0.5, 11)
-				}
-			}
-
-			// Egress IPs: high offsets in the /24, with a small chance of
-			// reusing the CDN-observable resolver IPs. Forwarders never
-			// appear as DITL sources.
-			egStream := rng.Split(seed, rng.PhaseDITLEgress, uint64(ri))
-			off := int(c.egressOff[ri])
-			for k := 0; k < numEgress(rates[ri]); k++ {
-				if egStream.Float64() < cfg.EgressOverlapProb && k < len(rec.IPs) {
-					c.egressFlat[off+k] = rec.IPs[k]
-				} else {
-					c.egressFlat[off+k] = rec.Key.Prefix().Nth(uint64(100 + k))
-				}
-			}
+			asm.recursive(ri, rtts, weights)
 		}
 	})
 
@@ -445,6 +379,143 @@ func Build(ctx context.Context, g *topology.Graph, letters []*anycastnet.Deploym
 	obsAssignments.Add(uint64(len(letters) * len(pop.Recursives)))
 	obsJunk24s.Add(uint64(len(c.JunkSources)))
 	return c, nil
+}
+
+// uniqueSources lists the distinct ASes of pop's recursives in
+// first-appearance order — the deterministic ordering the route dedup
+// tables key on.
+func uniqueSources(pop *users.Population) []topology.ASN {
+	srcs := make([]topology.ASN, 0, len(pop.Recursives))
+	seen := make(map[topology.ASN]bool, len(pop.Recursives))
+	for ri := range pop.Recursives {
+		if asn := pop.Recursives[ri].ASN; !seen[asn] {
+			seen[asn] = true
+			srcs = append(srcs, asn)
+		}
+	}
+	return srcs
+}
+
+// buildRouteTables fills the per-⟨letter, AS⟩ dedup tables serially in
+// srcs order. Route caches should be warm; misses resolve inline.
+func (c *Campaign) buildRouteTables(srcs []topology.ASN) ([]map[topology.ASN]uint32, error) {
+	routeIx := make([]map[topology.ASN]uint32, len(c.Letters))
+	for li := range c.Letters {
+		routeIx[li] = make(map[topology.ASN]uint32, len(srcs))
+		for _, asn := range srcs {
+			rt, ok := c.Letters[li].Route(asn)
+			if !ok {
+				continue
+			}
+			ix, err := c.appendRoute(rt, c.Model.BaseRTTMs(asn, rt))
+			if err != nil {
+				return nil, err
+			}
+			routeIx[li][asn] = ix
+		}
+	}
+	return routeIx, nil
+}
+
+// assembler carries the immutable inputs of per-recursive column
+// assembly. Build (all recursives) and Rebase (only the affected set)
+// share it: every random draw is keyed by ⟨seed, phase, recursive,
+// letter⟩ alone, so assembling any subset of recursives writes cells
+// byte-identical to a full pass.
+type assembler struct {
+	c       *Campaign
+	routeIx []map[topology.ASN]uint32
+	seed    int64
+	// fillEgress is false when Rebase shares the base campaign's egress
+	// store (rates unchanged ⇒ egress identical), in which case the
+	// assembly must not write into the shared backing array.
+	fillEgress bool
+}
+
+// recursive fills every column of recursive ri across all letters.
+// rtts and weights are caller-owned scratch of length len(c.Letters).
+func (as *assembler) recursive(ri int, rtts, weights []float64) {
+	c := as.c
+	n := c.numRecs
+	rec := &c.Pop.Recursives[ri]
+	siteStream := rng.Split(as.seed, rng.PhaseDITLSites, uint64(ri))
+	prefStream := rng.Split(as.seed, rng.PhaseDITLPref, uint64(ri))
+	tcpStream := rng.Split(as.seed, rng.PhaseDITLTCP, uint64(ri))
+	for li := range c.Letters {
+		k := li*n + ri
+		c.routeIdx[k] = noRoute
+		c.altSite[k] = noAltSite
+		rix, ok := as.routeIx[li][rec.ASN]
+		if !ok {
+			rtts[li] = math.Inf(1)
+			continue
+		}
+		obsAssignReachable.Inc()
+		c.routeIdx[k] = rix
+		rtts[li] = c.routeRTT[rix]
+
+		// Site shares: favorite plus an occasional secondary.
+		cell := siteStream.Fork(uint64(li))
+		if cell.Float64() < c.Cfg.SecondarySiteProb {
+			if alt, ok := alternateSite(c.Letters[li], c.routes[rix].SiteID); ok {
+				c.altSite[k] = uint32(alt)
+				c.altFrac[k] = cell.Float64() * c.Cfg.SecondaryShareMax
+			}
+		}
+	}
+
+	// Letter preference: softmax over per-recursive jittered RTTs.
+	var sum float64
+	for li := range weights {
+		weights[li] = 0
+	}
+	for li := range c.Letters {
+		if math.IsInf(rtts[li], 1) {
+			continue
+		}
+		cell := prefStream.Fork(uint64(li))
+		jitter := 1 + 0.1*cell.NormFloat64()
+		weights[li] = math.Exp(-rtts[li] * jitter / c.Cfg.TauMs)
+		if weights[li] < 0.005 {
+			weights[li] = 0.005 // exploration floor
+		}
+		sum += weights[li]
+	}
+	if sum > 0 {
+		for li := range c.Letters {
+			c.letterWeight[li*n+ri] = weights[li] / sum
+		}
+	}
+
+	// TCP medians where volume suffices.
+	for li := range c.Letters {
+		k := li*n + ri
+		c.tcpMedian[k] = math.NaN()
+		if c.routeIdx[k] == noRoute {
+			continue
+		}
+		tcpVol := c.Rates[ri].RootValidPerDay * c.letterWeight[k] * c.Rates[ri].TCPShare
+		if tcpVol >= c.Cfg.MinTCPSamples {
+			cell := tcpStream.Fork(uint64(li))
+			c.tcpMedian[k] = c.Model.MedianOfSamples(&cell, c.routeRTT[c.routeIdx[k]]+0.5, 11)
+		}
+	}
+
+	// Egress IPs: high offsets in the /24, with a small chance of
+	// reusing the CDN-observable resolver IPs. Forwarders never
+	// appear as DITL sources.
+	if !as.fillEgress {
+		return
+	}
+	egStream := rng.Split(as.seed, rng.PhaseDITLEgress, uint64(ri))
+	off := int(c.egressOff[ri])
+	for k := 0; k < numEgress(c.Rates[ri]); k++ {
+		if egStream.Float64() < c.Cfg.EgressOverlapProb && k < len(rec.IPs) {
+			c.egressFlat[off+k] = rec.IPs[k]
+		} else {
+			c.egressFlat[off+k] = rec.Key.Prefix().Nth(uint64(100 + k))
+		}
+	}
 }
 
 // numEgress returns how many DITL egress addresses a recursive exposes:

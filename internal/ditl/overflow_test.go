@@ -1,0 +1,38 @@
+package ditl
+
+import "testing"
+
+// TestRouteTableIndexBoundary pins the overflow guard: the dedup table
+// may grow right up to the noRoute sentinel and no further. (Building
+// 4 billion real entries is not feasible in a test, so the guard is
+// exercised directly.)
+func TestRouteTableIndexBoundary(t *testing.T) {
+	cases := []struct {
+		n  int
+		ok bool
+	}{
+		{0, true},
+		{1, true},
+		{int(noRoute) - 1, true},
+		{int(noRoute), false},     // would BE the sentinel
+		{int(noRoute) + 1, false}, // would wrap to 0
+		{1 << 40, false},
+	}
+	for _, c := range cases {
+		ix, err := routeTableIndex(c.n)
+		if c.ok {
+			if err != nil {
+				t.Errorf("routeTableIndex(%d): unexpected error %v", c.n, err)
+			} else if ix != uint32(c.n) {
+				t.Errorf("routeTableIndex(%d) = %d", c.n, ix)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("routeTableIndex(%d): expected sentinel-collision error, got index %d", c.n, ix)
+		}
+	}
+	if noRoute != ^uint32(0) || noAltSite != ^uint32(0) {
+		t.Fatalf("sentinel values moved; the guard above must move with them")
+	}
+}

@@ -1,0 +1,220 @@
+package ditl
+
+import (
+	"context"
+	"fmt"
+
+	"anycastctx/internal/anycastnet"
+	"anycastctx/internal/dnssim"
+	"anycastctx/internal/ipaddr"
+	"anycastctx/internal/obs"
+	"anycastctx/internal/par"
+	"anycastctx/internal/topology"
+)
+
+var (
+	obsRebases        = obs.NewCounter("ditl.campaigns_rebased")
+	obsRebaseAssembly = obs.NewCounter("ditl.rebase_recursives_reassembled")
+)
+
+// Rebase derives the campaign for a mutated world from an already-built
+// base campaign. letters are the mutated deployments (same count and
+// order as base.Letters; pass anycastnet.Renamed wrappers to keep
+// position names for unmutated letters), siteRemap maps each letter's
+// base site IDs to mutated ones (-1 = withdrawn; nil slice = identity),
+// rates is nil to reuse the base query rates or a full replacement
+// slice, and affected flags the recursives whose columns must be
+// reassembled from their RNG streams; everything else is copied from
+// base with route-table indices and secondary-site IDs remapped.
+//
+// The contract — and what the scenario equivalence suite enforces — is
+// that the result is byte-identical to building from scratch on the
+// mutated world, because every random draw in assembly is keyed by
+// ⟨seed, phase, recursive, letter⟩ and never by which subset is being
+// assembled. Copies that contradict the affected set (a reachability
+// flip, or a secondary site that was withdrawn) are contract violations
+// and return an error rather than carrying stale cells.
+//
+// Junk sources are shared with base, not re-derived: their draws depend
+// only on ⟨seed, block⟩ and the address-pool allocation Build made, and
+// the pool is stateful so allocating again would hand out different
+// blocks.
+func (base *Campaign) Rebase(ctx context.Context, letters []*anycastnet.Deployment, siteRemap [][]int,
+	rates []dnssim.Rates, affected []bool, seed int64) (*Campaign, error) {
+	ctx, span := obs.StartSpanCtx(ctx, "ditl.rebase")
+	defer span.End()
+	n := base.numRecs
+	nl := len(base.Letters)
+	if len(letters) != nl {
+		return nil, fmt.Errorf("ditl: rebase with %d letters, base has %d", len(letters), nl)
+	}
+	if siteRemap != nil && len(siteRemap) != nl {
+		return nil, fmt.Errorf("ditl: rebase with %d site remaps for %d letters", len(siteRemap), nl)
+	}
+	if rates != nil && len(rates) != n {
+		return nil, fmt.Errorf("ditl: rebase with %d rates for %d recursives", len(rates), n)
+	}
+	if len(affected) != n {
+		return nil, fmt.Errorf("ditl: rebase with %d affected flags for %d recursives", len(affected), n)
+	}
+
+	c := &Campaign{
+		Letters: letters,
+		Pop:     base.Pop,
+		Zone:    base.Zone,
+		Rates:   base.Rates,
+		Model:   base.Model,
+		Cfg:     base.Cfg,
+		Faults:  base.Faults,
+		numRecs: n,
+	}
+	if rates != nil {
+		c.Rates = rates
+	}
+	for _, l := range letters {
+		c.LetterNames = append(c.LetterNames, l.Name)
+	}
+
+	// Warm every letter's route cache across all CPUs. Seeded entries
+	// make this a read-through; only the dirty set actually resolves.
+	srcs := uniqueSources(base.Pop)
+	warmCtx, warm := obs.StartSpanCtx(ctx, "ditl.warm_routes")
+	for _, l := range letters {
+		l.WarmRoutesCtx(warmCtx, srcs)
+	}
+	warm.End()
+
+	_, tables := obs.StartSpanCtx(ctx, "ditl.rebase.tables")
+	routeIx, err := c.buildRouteTables(srcs)
+	tables.End()
+	if err != nil {
+		return nil, err
+	}
+
+	c.routeIdx = make([]uint32, nl*n)
+	c.altSite = make([]uint32, nl*n)
+	c.altFrac = make([]float64, nl*n)
+	c.tcpMedian = make([]float64, nl*n)
+	c.letterWeight = make([]float64, nl*n)
+
+	// Egress store: identical when rates are unchanged, so it is shared
+	// outright; otherwise reallocated and refilled/copied per recursive.
+	if rates == nil {
+		c.egressOff = base.egressOff
+		c.egressFlat = base.egressFlat
+	} else {
+		c.egressOff = make([]uint32, n+1)
+		total := 0
+		for ri := range rates {
+			total += numEgress(rates[ri])
+			c.egressOff[ri+1] = uint32(total)
+		}
+		c.egressFlat = make([]ipaddr.Addr, total)
+	}
+
+	nAffected := 0
+	for _, a := range affected {
+		if a {
+			nAffected++
+		}
+	}
+
+	asm := &assembler{c: c, routeIx: routeIx, seed: seed, fillEgress: rates != nil}
+	errs := make([]error, n)
+	assembleCtx, assemble := obs.StartSpanCtx(ctx, "ditl.rebase.assemble")
+	par.DoCtx(assembleCtx, n, func(ctx context.Context, lo, hi int) {
+		_, sp := obs.StartSpanCtx(ctx, "ditl.rebase.shard")
+		defer sp.End()
+		rtts := make([]float64, nl)
+		weights := make([]float64, nl)
+		for ri := lo; ri < hi; ri++ {
+			if affected[ri] {
+				asm.recursive(ri, rtts, weights)
+				continue
+			}
+			errs[ri] = c.carryRecursive(base, ri, routeIx, siteRemap, rates != nil)
+		}
+	})
+	assemble.End()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	c.JunkSources = base.JunkSources
+	c.JunkQueriesPerDay = base.JunkQueriesPerDay
+	obsRebases.Inc()
+	obsRebaseAssembly.Add(uint64(nAffected))
+	return c, nil
+}
+
+// carryRecursive copies recursive ri's cells from base, remapping route
+// table indices (the rebuilt dedup tables renumber entries) and
+// secondary-site IDs (mutations renumber sites). It errors when the copy
+// contradicts the affected-set contract: an unaffected recursive whose
+// reachability flipped, whose secondary site was withdrawn, or whose
+// egress count changed was mis-classified upstream and would otherwise
+// silently carry stale cells.
+func (c *Campaign) carryRecursive(base *Campaign, ri int, routeIx []map[topology.ASN]uint32,
+	siteRemap [][]int, copyEgress bool) error {
+	n := c.numRecs
+	asn := c.Pop.Recursives[ri].ASN
+	for li := range c.Letters {
+		k := li*n + ri
+		c.altFrac[k] = base.altFrac[k]
+		c.tcpMedian[k] = base.tcpMedian[k]
+		c.letterWeight[k] = base.letterWeight[k]
+		if base.routeIdx[k] == noRoute {
+			c.routeIdx[k] = noRoute
+			c.altSite[k] = noAltSite
+			if _, ok := routeIx[li][asn]; ok {
+				return fmt.Errorf("ditl: rebase: AS%d became reachable on %s but recursive %d was not marked affected",
+					asn, c.LetterNames[li], ri)
+			}
+			continue
+		}
+		nix, ok := routeIx[li][asn]
+		if !ok {
+			return fmt.Errorf("ditl: rebase: AS%d lost its route on %s but recursive %d was not marked affected",
+				asn, c.LetterNames[li], ri)
+		}
+		c.routeIdx[k] = nix
+		alt := base.altSite[k]
+		if alt != noAltSite && siteRemap != nil && siteRemap[li] != nil {
+			m := siteRemap[li]
+			if int(alt) >= len(m) || m[alt] < 0 {
+				return fmt.Errorf("ditl: rebase: secondary site %d withdrawn on %s but recursive %d was not marked affected",
+					alt, c.LetterNames[li], ri)
+			}
+			alt = uint32(m[alt])
+		}
+		c.altSite[k] = alt
+	}
+	if copyEgress {
+		dst := c.egressFlat[c.egressOff[ri]:c.egressOff[ri+1]]
+		src := base.Egress(ri)
+		if len(dst) != len(src) {
+			return fmt.Errorf("ditl: rebase: egress count for recursive %d changed (%d -> %d) but it was not marked affected",
+				ri, len(src), len(dst))
+		}
+		copy(dst, src)
+	}
+	return nil
+}
+
+// MarkSecondarySite flags, in affected, every recursive whose cached
+// secondary site on letter li satisfies removed — those cells drew an
+// alternate that no longer exists, so the whole recursive must be
+// reassembled rather than remapped.
+func (base *Campaign) MarkSecondarySite(li int, removed func(site int) bool, affected []bool) {
+	n := base.numRecs
+	for ri := 0; ri < n; ri++ {
+		if affected[ri] {
+			continue
+		}
+		if alt := base.altSite[li*n+ri]; alt != noAltSite && removed(int(alt)) {
+			affected[ri] = true
+		}
+	}
+}

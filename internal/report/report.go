@@ -26,6 +26,16 @@ func (t *Table) AddRow(cells ...string) {
 	t.Rows = append(t.Rows, cells)
 }
 
+// AddDelta appends a before/after/delta row for one metric. format is
+// the fmt verb for the values (e.g. "%.2f"); the delta column renders
+// with an explicit sign.
+func (t *Table) AddDelta(metric, format string, before, after float64) {
+	t.AddRow(metric,
+		fmt.Sprintf(format, before),
+		fmt.Sprintf(format, after),
+		fmt.Sprintf("%+"+strings.TrimPrefix(format, "%"), after-before))
+}
+
 // Render returns the aligned text form.
 func (t *Table) Render() string {
 	widths := make([]int, len(t.Headers))

@@ -55,6 +55,7 @@ const (
 	PhaseMangle        Phase = 26 // faults.Mangler per-record fates
 	PhaseExperiment    Phase = 27 // per-experiment scratch randomness
 	PhaseWebModel      Phase = 28 // webmodel page-load draws
+	PhaseScenario      Phase = 29 // scenario mutations (added-site placement)
 )
 
 // gamma is the Weyl-sequence increment from Steele et al.'s SplitMix64:

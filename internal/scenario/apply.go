@@ -1,0 +1,592 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"anycastctx/internal/anycastnet"
+	"anycastctx/internal/bgp"
+	"anycastctx/internal/cdn"
+	"anycastctx/internal/dnssim"
+	"anycastctx/internal/geo"
+	"anycastctx/internal/obs"
+	"anycastctx/internal/rng"
+	"anycastctx/internal/topology"
+	"anycastctx/internal/world"
+)
+
+var (
+	obsApplied       = obs.NewCounter("scenario.mutations_applied")
+	obsAffectedRecs  = obs.NewCounter("scenario.recursives_affected")
+	obsCampaignShare = obs.NewCounter("scenario.campaigns_shared")
+)
+
+// keepFn decides whether one cached route survives a mutation, in base
+// site-ID space (SeedFrom applies keeps before remapping).
+type keepFn func(src topology.ASN, rt bgp.Route, ok bool) bool
+
+func andKeep(keeps []keepFn) keepFn {
+	if len(keeps) == 0 {
+		return nil
+	}
+	return func(src topology.ASN, rt bgp.Route, ok bool) bool {
+		for _, k := range keeps {
+			if !k(src, rt, ok) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// addedSite is one site appended by add_site, with its freshly created
+// host AS.
+type addedSite struct {
+	loc  geo.Coord
+	host topology.ASN
+}
+
+// letterMut accumulates every mutation touching one letter position.
+type letterMut struct {
+	removed  map[int]bool
+	added    []addedSite
+	dirtySrc map[topology.ASN]bool
+	swapWith int // position index, -1 when not swapped
+}
+
+// applied is one spec applied to a base world: the overlay plus the
+// remapping metadata the report and campaign rebase need.
+type applied struct {
+	ov      *world.World
+	letters []*anycastnet.Deployment
+	// letterRemap[li] maps base site IDs to mutated ones (-1 =
+	// withdrawn); nil means identity.
+	letterRemap [][]int
+	// mutatedLetters / mutatedRings are the positions the SPEC mutated
+	// (not the full-rebuild everything), ascending — they drive which
+	// report sections render, so they must match across both paths.
+	mutatedLetters []int
+	mutatedRings   []int
+	surge          float64 // 0 when no traffic_surge with factor != 1
+	campaignShared bool
+}
+
+// apply builds the mutated overlay world. With full set it ignores every
+// incremental shortcut: fresh resolvers for all deployments and a
+// campaign rebase with every recursive reassembled — the from-scratch
+// oracle the incremental path must match byte-for-byte.
+func apply(ctx context.Context, base *world.World, spec Spec, full bool) (*applied, error) {
+	ctx, span := obs.StartSpanCtx(ctx, "scenario.apply")
+	defer span.End()
+	seed := base.Cfg.Seed
+	g2 := base.Graph.Clone()
+
+	letterIndex := func(name string) int {
+		for i, l := range base.Letters {
+			if l.Name == name {
+				return i
+			}
+		}
+		return -1
+	}
+	ringIndex := func(name string) int {
+		for i, r := range base.CDN.Rings {
+			if r.Name == name {
+				return i
+			}
+		}
+		return -1
+	}
+
+	muts := make(map[int]*letterMut)
+	letter := func(li int) *letterMut {
+		if m := muts[li]; m != nil {
+			return m
+		}
+		m := &letterMut{removed: map[int]bool{}, dirtySrc: map[topology.ASN]bool{}, swapWith: -1}
+		muts[li] = m
+		return m
+	}
+	ringSizes := make(map[int]int)
+	cdnDirty := map[topology.ASN]bool{}
+	cdnPeer := false
+	surge := 0.0
+
+	for mi, m := range spec.Mutations {
+		switch m.Kind {
+		case KindWithdrawSite:
+			li := letterIndex(m.Target)
+			if li < 0 {
+				return nil, fmt.Errorf("scenario %s: withdraw_site: no letter %q", spec.Name, m.Target)
+			}
+			lm := letter(li)
+			sites := base.Letters[li].Sites
+			if m.Site < 0 || m.Site >= len(sites) {
+				return nil, fmt.Errorf("scenario %s: withdraw_site: %s has no site %d (0..%d)",
+					spec.Name, m.Target, m.Site, len(sites)-1)
+			}
+			if lm.removed[m.Site] {
+				return nil, fmt.Errorf("scenario %s: site %d of %s withdrawn twice", spec.Name, m.Site, m.Target)
+			}
+			lm.removed[m.Site] = true
+
+		case KindAddSite:
+			li := letterIndex(m.Target)
+			if li < 0 {
+				return nil, fmt.Errorf("scenario %s: add_site: no letter %q (rings resize instead)", spec.Name, m.Target)
+			}
+			lm := letter(li)
+			st := rng.NewRand(seed, rng.PhaseScenario, uint64(mi))
+			loc := placeSite(g2, base.Letters[li].Sites, lm.added, st.Float64(), st.Float64())
+			// The new host mirrors BuildLetter's global-site hosts: the
+			// openness of the letter's first (always global) site's host,
+			// nearby transit upstreams, single-point presence.
+			richness := g2.AS(base.Letters[li].Sites[0].Host).PeeringRichness
+			h := g2.AddHostAS(fmt.Sprintf("root-%s-scn-%d", m.Target, len(lm.added)),
+				loc, anycastnet.NearbyUpstreams(g2, loc, st), richness)
+			lm.added = append(lm.added, addedSite{loc: loc, host: h.ASN})
+
+		case KindUpgradePeering:
+			n := m.TopEyeballs
+			if n == 0 {
+				n = DefaultTopEyeballs
+			}
+			if n < 0 {
+				return nil, fmt.Errorf("scenario %s: upgrade_peering: top_eyeballs %d < 0", spec.Name, n)
+			}
+			var hosts []topology.ASN
+			var dirty map[topology.ASN]bool
+			if li := letterIndex(m.Target); li >= 0 {
+				seen := map[topology.ASN]bool{}
+				for _, s := range base.Letters[li].Sites {
+					if !seen[s.Host] {
+						seen[s.Host] = true
+						hosts = append(hosts, s.Host)
+					}
+				}
+				dirty = letter(li).dirtySrc
+			} else if strings.EqualFold(m.Target, "cdn") || ringIndex(m.Target) >= 0 {
+				// All rings share the CDN's network, so any CDN-flavored
+				// target upgrades every ring.
+				hosts = []topology.ASN{base.CDN.ASN}
+				dirty = cdnDirty
+				cdnPeer = true
+			} else {
+				return nil, fmt.Errorf("scenario %s: upgrade_peering: no letter or ring %q", spec.Name, m.Target)
+			}
+			for _, e := range topEyeballs(g2, n) {
+				for _, h := range hosts {
+					if e == h || g2.Peered(e, h) {
+						continue
+					}
+					g2.Peer(e, h)
+					dirty[e] = true
+				}
+			}
+
+		case KindResizeRing:
+			ci := ringIndex(m.Target)
+			if ci < 0 {
+				return nil, fmt.Errorf("scenario %s: resize_ring: no ring %q", spec.Name, m.Target)
+			}
+			if m.Size < 1 || m.Size > len(base.CDN.PoPs) {
+				return nil, fmt.Errorf("scenario %s: resize_ring: size %d out of 1..%d",
+					spec.Name, m.Size, len(base.CDN.PoPs))
+			}
+			if _, dup := ringSizes[ci]; dup {
+				return nil, fmt.Errorf("scenario %s: ring %s resized twice", spec.Name, m.Target)
+			}
+			ringSizes[ci] = m.Size
+
+		case KindSwapLetters:
+			li, lj := letterIndex(m.Target), letterIndex(m.With)
+			if li < 0 || lj < 0 || li == lj {
+				return nil, fmt.Errorf("scenario %s: swap_letters: bad pair %q/%q", spec.Name, m.Target, m.With)
+			}
+			letter(li).swapWith = lj
+			letter(lj).swapWith = li
+
+		case KindTrafficSurge:
+			if !(m.Factor > 0) {
+				return nil, fmt.Errorf("scenario %s: traffic_surge: factor %g must be > 0", spec.Name, m.Factor)
+			}
+			if m.Factor != 1 {
+				surge = m.Factor
+			}
+
+		default:
+			return nil, fmt.Errorf("scenario %s: unknown mutation kind %q", spec.Name, m.Kind)
+		}
+	}
+	obsApplied.Add(uint64(len(spec.Mutations)))
+
+	// Swaps move whole deployments; composing them with shape or peering
+	// mutations on the same letter would make the remap ambiguous.
+	for li, lm := range muts {
+		if lm.swapWith >= 0 && (len(lm.removed) > 0 || len(lm.added) > 0 || len(lm.dirtySrc) > 0) {
+			return nil, fmt.Errorf("scenario %s: swap_letters cannot combine with other mutations on letter %s",
+				spec.Name, base.Letters[li].Name)
+		}
+	}
+
+	app := &applied{
+		letters:     make([]*anycastnet.Deployment, len(base.Letters)),
+		letterRemap: make([][]int, len(base.Letters)),
+		surge:       surge,
+	}
+	for li := range muts {
+		app.mutatedLetters = append(app.mutatedLetters, li)
+	}
+	sort.Ints(app.mutatedLetters)
+
+	_, routes := obs.StartSpanCtx(ctx, "scenario.routes")
+	for li, baseDep := range base.Letters {
+		lm := muts[li]
+		switch {
+		case lm == nil:
+			if full {
+				d, err := anycastnet.NewDeployment(g2, baseDep.Name, baseDep.Sites)
+				if err != nil {
+					return nil, err
+				}
+				app.letters[li] = d
+			} else {
+				app.letters[li] = baseDep
+			}
+		case lm.swapWith >= 0:
+			src := base.Letters[lm.swapWith]
+			if full {
+				d, err := anycastnet.NewDeployment(g2, baseDep.Name, src.Sites)
+				if err != nil {
+					return nil, err
+				}
+				app.letters[li] = d
+			} else {
+				// The swapped-in deployment keeps its resolver (the route
+				// cache is keyed by sites, not by position) under this
+				// position's name.
+				app.letters[li] = anycastnet.Renamed(src, baseDep.Name)
+			}
+		default:
+			sites, remap, keeps, err := mutateLetterSites(g2, spec.Name, baseDep, lm)
+			if err != nil {
+				return nil, err
+			}
+			app.letterRemap[li] = remap
+			var d *anycastnet.Deployment
+			if full {
+				d, err = anycastnet.NewDeployment(g2, baseDep.Name, sites)
+			} else {
+				d, err = anycastnet.Derive(baseDep, g2, baseDep.Name, sites, remap, andKeep(keeps))
+			}
+			if err != nil {
+				return nil, err
+			}
+			app.letters[li] = d
+		}
+	}
+
+	// Rings: always rebuilt as a fresh ring slice on the overlay graph;
+	// untouched rings share the base deployment (and with it the cache).
+	newRings := make([]*cdn.Ring, len(base.CDN.Rings))
+	for ci, ring := range base.CDN.Rings {
+		newSize, resized := ringSizes[ci]
+		if resized || cdnPeer {
+			app.mutatedRings = append(app.mutatedRings, ci)
+		}
+		if !resized && !cdnPeer && !full {
+			newRings[ci] = ring
+			continue
+		}
+		if !resized {
+			newSize = ring.Size()
+		}
+		sites := make([]bgp.Site, newSize)
+		locs := make([]geo.Coord, newSize)
+		for i := 0; i < newSize; i++ {
+			sites[i] = bgp.Site{ID: i, Loc: base.CDN.PoPs[i], Host: base.CDN.ASN, Global: true}
+			locs[i] = base.CDN.PoPs[i]
+		}
+		var dep *anycastnet.Deployment
+		var err error
+		if full {
+			dep, err = anycastnet.NewDeployment(g2, ring.Name, sites)
+		} else {
+			keeps := ringKeeps(base.CDN, ring.Size(), newSize, cdnPeer, cdnDirty)
+			// Ring sites are a PoP prefix, so surviving IDs never shift:
+			// the remap is always identity.
+			dep, err = anycastnet.Derive(ring.Deployment, g2, ring.Name, sites, nil, andKeep(keeps))
+		}
+		if err != nil {
+			return nil, err
+		}
+		newRings[ci] = &cdn.Ring{Name: ring.Name, Deployment: dep, SiteLocs: locs}
+	}
+	routes.End()
+
+	ov := base.Overlay()
+	ov.Graph = g2
+	ov.Letters = app.letters
+	ov.CDN = base.CDN.Overlay(g2, newRings)
+	app.ov = ov
+
+	// Campaign: ring-only scenarios leave it untouched — share it, and
+	// the join with it. Anything touching letters or rates rebases.
+	lettersMutated := len(app.mutatedLetters) > 0
+	if !lettersMutated && surge == 0 && !full {
+		ov.SeedJoin(base.JoinCtx(ctx))
+		app.campaignShared = true
+		obsCampaignShare.Inc()
+		return app, nil
+	}
+
+	camp := base.Campaign
+	n := len(base.Pop.Recursives)
+	affected := make([]bool, n)
+	allAffected := full || surge != 0
+	for _, li := range app.mutatedLetters {
+		lm := muts[li]
+		if lm.swapWith >= 0 || len(lm.added) > 0 {
+			// Swapping changes the deployment at a position outright, and
+			// appending a site moves alternateSite's cyclic wrap point
+			// (and can consume an extra draw where none was before), so
+			// no cell is safely copyable.
+			allAffected = true
+		}
+	}
+	if allAffected {
+		for ri := range affected {
+			affected[ri] = true
+		}
+	} else {
+		for _, li := range app.mutatedLetters {
+			lm := muts[li]
+			if len(lm.removed) > 0 {
+				// Renumbering shifts every site ID >= the lowest removed
+				// one, and BaseRTTMs is keyed by site ID (circuity), so
+				// any recursive routed at or beyond it gets a different
+				// RTT — which feeds its softmax across ALL letters.
+				w := len(base.Letters[li].Sites)
+				for s := range lm.removed {
+					if s < w {
+						w = s
+					}
+				}
+				for ri := 0; ri < n; ri++ {
+					if affected[ri] {
+						continue
+					}
+					if a := camp.At(li, ri); a.Reachable && a.Route.SiteID >= w {
+						affected[ri] = true
+					}
+				}
+				camp.MarkSecondarySite(li, func(s int) bool { return lm.removed[s] }, affected)
+			}
+			for ri := 0; ri < n; ri++ {
+				if !affected[ri] && lm.dirtySrc[base.Pop.Recursives[ri].ASN] {
+					affected[ri] = true
+				}
+			}
+		}
+	}
+	nAff := 0
+	for _, a := range affected {
+		if a {
+			nAff++
+		}
+	}
+	obsAffectedRecs.Add(uint64(nAff))
+
+	var rates []dnssim.Rates
+	if surge != 0 {
+		rates = surgeRates(base.Rates, surge)
+		ov.Rates = rates
+	}
+
+	campCtx, campSpan := obs.StartSpanCtx(ctx, "scenario.campaign")
+	newCamp, err := camp.Rebase(campCtx, app.letters, app.letterRemap, rates, affected, seed)
+	campSpan.End()
+	if err != nil {
+		return nil, err
+	}
+	ov.Campaign = newCamp
+	return app, nil
+}
+
+// mutateLetterSites composes withdrawals and additions on one letter into
+// the mutated site list, the base→mutated site remap, and the cache-keep
+// rules.
+func mutateLetterSites(g2 *topology.Graph, specName string, baseDep *anycastnet.Deployment,
+	lm *letterMut) ([]bgp.Site, []int, []keepFn, error) {
+	baseSites := baseDep.Sites
+	var remap []int
+	sites := append([]bgp.Site(nil), baseSites...)
+	if len(lm.removed) > 0 {
+		remap = make([]int, len(baseSites))
+		sites = sites[:0]
+		for i, s := range baseSites {
+			if lm.removed[i] {
+				remap[i] = -1
+				continue
+			}
+			remap[i] = len(sites)
+			s.ID = len(sites)
+			sites = append(sites, s)
+		}
+	}
+	for _, a := range lm.added {
+		sites = append(sites, bgp.Site{ID: len(sites), Loc: a.loc, Host: a.host, Global: true})
+	}
+	global := 0
+	for _, s := range sites {
+		if s.Global {
+			global++
+		}
+	}
+	if global == 0 {
+		return nil, nil, nil, fmt.Errorf("scenario %s: letter %s left with no global site", specName, baseDep.Name)
+	}
+
+	var keeps []keepFn
+	if len(lm.removed) > 0 {
+		// A withdrawal only re-decides sources that were ON a withdrawn
+		// site: for everyone else the strict-< winner (or the
+		// lowest-index tie-winner) survives with its relative order
+		// intact, so the decision is unchanged up to renumbering.
+		removed := lm.removed
+		keeps = append(keeps, func(src topology.ASN, rt bgp.Route, ok bool) bool {
+			return !ok || !removed[rt.SiteID]
+		})
+	}
+	if len(lm.added) > 0 {
+		// A new site can only (a) give an unreachable source a path,
+		// (b) offer a transit path that beats a transit route, or
+		// (c) win the direct-peering phase for sources peered with its
+		// host. Cached direct routes from sources not peered with any
+		// new host are untouchable.
+		added := lm.added
+		keeps = append(keeps, func(src topology.ASN, rt bgp.Route, ok bool) bool {
+			if !ok || !rt.Direct {
+				return false
+			}
+			for _, a := range added {
+				if g2.Peered(src, a.host) {
+					return false
+				}
+			}
+			return true
+		})
+	}
+	if len(lm.dirtySrc) > 0 {
+		// A new peering edge e↔host changes only e's own decision: no
+		// other source's candidate set mentions that edge.
+		dirty := lm.dirtySrc
+		keeps = append(keeps, func(src topology.ASN, rt bgp.Route, ok bool) bool {
+			return !dirty[src]
+		})
+	}
+	return sites, remap, keeps, nil
+}
+
+// ringKeeps builds the cache-keep rules for a mutated ring.
+func ringKeeps(c *cdn.CDN, oldSize, newSize int, cdnPeer bool, cdnDirty map[topology.ASN]bool) []keepFn {
+	var keeps []keepFn
+	if newSize < oldSize {
+		// Shrinking drops a PoP suffix; surviving front-ends keep their
+		// IDs, so only routes onto dropped ones re-decide.
+		keeps = append(keeps, func(src topology.ASN, rt bgp.Route, ok bool) bool {
+			return !ok || rt.SiteID < newSize
+		})
+	}
+	if newSize > oldSize {
+		// Growing appends PoPs on the same host. Every decision branch
+		// for a same-host deployment picks the site nearest (strict <)
+		// to one reference point — the route's second-to-last waypoint
+		// (peering entry or egress) — so a cached route survives unless
+		// some new front-end is strictly nearer to that point. (The all-
+		// tie d≥3 branch always keeps site 0; over-dirtying there only
+		// costs a re-resolution, never correctness.)
+		pops := c.PoPs
+		keeps = append(keeps, func(src topology.ASN, rt bgp.Route, ok bool) bool {
+			if !ok {
+				return false
+			}
+			ref := rt.Waypoints[len(rt.Waypoints)-2]
+			cur := geo.DistanceKm(ref, pops[rt.SiteID])
+			for i := oldSize; i < newSize; i++ {
+				if geo.DistanceKm(ref, pops[i]) < cur {
+					return false
+				}
+			}
+			return true
+		})
+	}
+	if cdnPeer {
+		keeps = append(keeps, func(src topology.ASN, rt bgp.Route, ok bool) bool {
+			return !cdnDirty[src]
+		})
+	}
+	return keeps
+}
+
+// placeSite picks the heaviest region with no global site of the letter
+// within 1000 km (operators deploy where uncovered users are), jittered
+// like BuildLetter's global sites.
+func placeSite(g2 *topology.Graph, baseSites []bgp.Site, added []addedSite, u1, u2 float64) geo.Coord {
+	regions := anycastnet.HeaviestRegions(g2.Regions)
+	pick := regions[0]
+	for _, r := range regions {
+		covered := false
+		for _, s := range baseSites {
+			if s.Global && geo.DistanceKm(r.Center, s.Loc) < 1000 {
+				covered = true
+				break
+			}
+		}
+		for _, a := range added {
+			if geo.DistanceKm(r.Center, a.loc) < 1000 {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			pick = r
+			break
+		}
+	}
+	return geo.Jitter(pick.Center, 60, u1, u2)
+}
+
+// topEyeballs returns the n heaviest eyeball ASes by user weight
+// (ASN-ascending tie-break).
+func topEyeballs(g *topology.Graph, n int) []topology.ASN {
+	eyes := append([]topology.ASN(nil), g.Eyeballs()...)
+	sort.SliceStable(eyes, func(i, j int) bool {
+		wi, wj := g.AS(eyes[i]).UserWeight, g.AS(eyes[j]).UserWeight
+		if wi != wj {
+			return wi > wj
+		}
+		return eyes[i] < eyes[j]
+	})
+	if n > len(eyes) {
+		n = len(eyes)
+	}
+	return eyes[:n]
+}
+
+// surgeRates scales the realized query volumes by factor. IdealPerDay is
+// left alone: it is the once-per-TTL hypothetical, a property of the
+// zone, not of demand.
+func surgeRates(base []dnssim.Rates, factor float64) []dnssim.Rates {
+	rates := append([]dnssim.Rates(nil), base...)
+	for i := range rates {
+		r := &rates[i]
+		r.UserQueriesPerDay *= factor
+		r.RootValidPerDay *= factor
+		r.RootInvalidPerDay *= factor
+		r.RootPTRPerDay *= factor
+	}
+	return rates
+}

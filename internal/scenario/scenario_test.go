@@ -1,0 +1,274 @@
+package scenario_test
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"runtime"
+	"testing"
+
+	"anycastctx/internal/anycastnet"
+	"anycastctx/internal/ditl"
+	"anycastctx/internal/scenario"
+	"anycastctx/internal/world"
+)
+
+func buildWorld(t *testing.T, scale float64) *world.World {
+	t.Helper()
+	w, err := world.Build(context.Background(), world.Config{Seed: 1, Scale: scale})
+	if err != nil {
+		t.Fatalf("world build at scale %g: %v", scale, err)
+	}
+	return w
+}
+
+// campaignDigest folds every assignment cell and egress address into one
+// hash: two campaigns with equal digests assign every ⟨recursive,
+// letter⟩ pair identically.
+func campaignDigest(c *ditl.Campaign) uint64 {
+	h := fnv.New64a()
+	buf := make([]byte, 8)
+	u64 := func(v uint64) { binary.LittleEndian.PutUint64(buf, v); h.Write(buf) }
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+	n := len(c.Pop.Recursives)
+	for li := range c.Letters {
+		for ri := 0; ri < n; ri++ {
+			a := c.At(li, ri)
+			if !a.Reachable {
+				u64(^uint64(0))
+				continue
+			}
+			u64(uint64(a.Route.SiteID))
+			u64(uint64(a.Route.PathLen))
+			if a.Route.Direct {
+				u64(1)
+			} else {
+				u64(0)
+			}
+			u64(uint64(a.Route.Via))
+			f64(a.BaseRTTMs)
+			f64(a.TCPMedianRTTMs)
+			f64(a.LetterWeight)
+			for _, s := range a.Sites() {
+				u64(uint64(s.SiteID))
+				f64(s.Frac)
+			}
+		}
+	}
+	for ri := 0; ri < n; ri++ {
+		for _, ip := range c.Egress(ri) {
+			h.Write([]byte(ip.String()))
+		}
+	}
+	for _, ip := range c.JunkSources {
+		h.Write([]byte(ip.String()))
+	}
+	f64(c.JunkQueriesPerDay)
+	return h.Sum64()
+}
+
+// catchmentDigest folds every eyeball's route on every deployment
+// (letters and rings) of w.
+func catchmentDigest(w *world.World) uint64 {
+	h := fnv.New64a()
+	buf := make([]byte, 8)
+	u64 := func(v uint64) { binary.LittleEndian.PutUint64(buf, v); h.Write(buf) }
+	deps := append([]*anycastnet.Deployment(nil), w.Letters...)
+	for _, ring := range w.CDN.Rings {
+		deps = append(deps, ring.Deployment)
+	}
+	for _, d := range deps {
+		h.Write([]byte(d.Name))
+		for _, src := range w.Graph.Eyeballs() {
+			rt, ok := d.Route(src)
+			if !ok {
+				u64(^uint64(0))
+				continue
+			}
+			u64(uint64(rt.SiteID))
+			u64(uint64(rt.PathLen))
+			u64(uint64(rt.Via))
+			u64(uint64(len(rt.Waypoints)))
+		}
+	}
+	return h.Sum64()
+}
+
+func withProcs(t *testing.T, procs int, fn func()) {
+	t.Helper()
+	if procs > 0 {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+	}
+	fn()
+}
+
+// TestScenarioEquivalence is the engine's oracle: for every builtin
+// scenario (all six mutation kinds), at two scales and two GOMAXPROCS
+// settings, the incremental evaluation must match a from-scratch rebuild
+// byte-for-byte — report text, campaign cells, and catchments.
+func TestScenarioEquivalence(t *testing.T) {
+	scales := []float64{0.05, 0.12}
+	if testing.Short() {
+		scales = scales[:1]
+	}
+	for _, scale := range scales {
+		w := buildWorld(t, scale)
+		b := scenario.NewBaseline(w)
+		baseDigest := campaignDigest(w.Campaign)
+		for _, procs := range []int{1, 0} {
+			for _, spec := range scenario.Builtins() {
+				spec := spec
+				t.Run(fmt.Sprintf("scale%g/j%d/%s", scale, procs, spec.Name), func(t *testing.T) {
+					withProcs(t, procs, func() {
+						ctx := context.Background()
+						inc, err := scenario.Eval(ctx, b, spec, scenario.Options{})
+						if err != nil {
+							t.Fatalf("incremental eval: %v", err)
+						}
+						full, err := scenario.Eval(ctx, b, spec, scenario.Options{FullRebuild: true})
+						if err != nil {
+							t.Fatalf("full-rebuild eval: %v", err)
+						}
+						incRep, fullRep := inc.Report(ctx), full.Report(ctx)
+						if incRep != fullRep {
+							t.Errorf("report mismatch:\n--- incremental ---\n%s\n--- full rebuild ---\n%s", incRep, fullRep)
+						}
+						if di, df := campaignDigest(inc.World.Campaign), campaignDigest(full.World.Campaign); di != df {
+							t.Errorf("campaign digest mismatch: incremental %x, full %x", di, df)
+						}
+						if di, df := catchmentDigest(inc.World), catchmentDigest(full.World); di != df {
+							t.Errorf("catchment digest mismatch: incremental %x, full %x", di, df)
+						}
+					})
+				})
+			}
+		}
+		if d := campaignDigest(w.Campaign); d != baseDigest {
+			t.Errorf("scale %g: base campaign mutated by scenario evaluation: %x != %x", scale, d, baseDigest)
+		}
+	}
+}
+
+// TestScenarioNoop: an empty mutation list must share the base campaign
+// outright and still render identically to a full rebuild.
+func TestScenarioNoop(t *testing.T) {
+	w := buildWorld(t, world.ScaleFromEnv(0.05))
+	b := scenario.NewBaseline(w)
+	ctx := context.Background()
+	noop := scenario.Spec{Name: "noop"}
+	inc, err := scenario.Eval(ctx, b, noop, scenario.Options{})
+	if err != nil {
+		t.Fatalf("noop eval: %v", err)
+	}
+	if !inc.CampaignShared() {
+		t.Errorf("noop scenario did not share the base campaign")
+	}
+	if inc.World.Campaign != w.Campaign {
+		t.Errorf("noop scenario rebuilt the campaign")
+	}
+	full, err := scenario.Eval(ctx, b, noop, scenario.Options{FullRebuild: true})
+	if err != nil {
+		t.Fatalf("noop full eval: %v", err)
+	}
+	if ir, fr := inc.Report(ctx), full.Report(ctx); ir != fr {
+		t.Errorf("noop report mismatch:\n--- incremental ---\n%s\n--- full ---\n%s", ir, fr)
+	}
+	if di, df := campaignDigest(inc.World.Campaign), campaignDigest(full.World.Campaign); di != df {
+		t.Errorf("noop campaign digest mismatch")
+	}
+}
+
+// TestSpecParse covers the JSON surface: round-trip, unknown-field
+// rejection, and builtin lookup.
+func TestSpecParse(t *testing.T) {
+	s, err := scenario.Parse([]byte(`{"name":"x","mutations":[{"kind":"withdraw_site","target":"B","site":1}]}`))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if s.Name != "x" || len(s.Mutations) != 1 || s.Mutations[0].Kind != scenario.KindWithdrawSite {
+		t.Errorf("parsed spec wrong: %+v", s)
+	}
+	if _, err := scenario.Parse([]byte(`{"name":"x","mutations":[{"kind":"withdraw_site","sight":3}]}`)); err == nil {
+		t.Errorf("unknown field accepted")
+	}
+	if _, err := scenario.Parse([]byte(`{"mutations":[]}`)); err == nil {
+		t.Errorf("nameless spec accepted")
+	}
+	for _, name := range scenario.BuiltinNames() {
+		if _, ok := scenario.Builtin(name); !ok {
+			t.Errorf("builtin %s not found by name", name)
+		}
+	}
+	if _, ok := scenario.Builtin("no-such-scenario"); ok {
+		t.Errorf("bogus builtin found")
+	}
+}
+
+// TestScenarioValidation: specs that must be rejected.
+func TestScenarioValidation(t *testing.T) {
+	w := buildWorld(t, world.ScaleFromEnv(0.05))
+	b := scenario.NewBaseline(w)
+	ctx := context.Background()
+	bad := []scenario.Spec{
+		{Name: "no-letter", Mutations: []scenario.Mutation{{Kind: scenario.KindWithdrawSite, Target: "Z", Site: 0}}},
+		{Name: "site-range", Mutations: []scenario.Mutation{{Kind: scenario.KindWithdrawSite, Target: "B", Site: 99}}},
+		{Name: "no-global", Mutations: []scenario.Mutation{
+			{Kind: scenario.KindWithdrawSite, Target: "B", Site: 0},
+			{Kind: scenario.KindWithdrawSite, Target: "B", Site: 1},
+		}},
+		{Name: "twice", Mutations: []scenario.Mutation{
+			{Kind: scenario.KindWithdrawSite, Target: "B", Site: 1},
+			{Kind: scenario.KindWithdrawSite, Target: "B", Site: 1},
+		}},
+		{Name: "ring-add", Mutations: []scenario.Mutation{{Kind: scenario.KindAddSite, Target: "R28"}}},
+		{Name: "ring-size", Mutations: []scenario.Mutation{{Kind: scenario.KindResizeRing, Target: "R28", Size: 0}}},
+		{Name: "ring-huge", Mutations: []scenario.Mutation{{Kind: scenario.KindResizeRing, Target: "R28", Size: 9999}}},
+		{Name: "swap-self", Mutations: []scenario.Mutation{{Kind: scenario.KindSwapLetters, Target: "B", With: "B"}}},
+		{Name: "swap-combine", Mutations: []scenario.Mutation{
+			{Kind: scenario.KindSwapLetters, Target: "B", With: "F"},
+			{Kind: scenario.KindWithdrawSite, Target: "B", Site: 0},
+		}},
+		{Name: "surge-zero", Mutations: []scenario.Mutation{{Kind: scenario.KindTrafficSurge, Factor: 0}}},
+		{Name: "unknown-kind", Mutations: []scenario.Mutation{{Kind: "reboot_internet"}}},
+	}
+	for _, spec := range bad {
+		if _, err := scenario.Eval(ctx, b, spec, scenario.Options{}); err == nil {
+			t.Errorf("spec %s: expected error, got none", spec.Name)
+		}
+	}
+}
+
+// TestCatchmentShiftDirection sanity-checks one concrete scenario: after
+// withdrawing one of B's two sites, the survivor must carry every
+// reachable source.
+func TestCatchmentShiftDirection(t *testing.T) {
+	w := buildWorld(t, world.ScaleFromEnv(0.05))
+	b := scenario.NewBaseline(w)
+	ctx := context.Background()
+	spec, _ := scenario.Builtin("withdraw-b-site")
+	res, err := scenario.Eval(ctx, b, spec, scenario.Options{})
+	if err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	var li int = -1
+	for i, l := range w.Letters {
+		if l.Name == "B" {
+			li = i
+		}
+	}
+	if li < 0 {
+		t.Fatalf("no letter B")
+	}
+	mut := res.World.Letters[li]
+	if got := len(mut.Sites); got != 1 {
+		t.Fatalf("B has %d sites after withdrawal, want 1", got)
+	}
+	for _, src := range w.Graph.Eyeballs() {
+		if rt, ok := mut.Route(src); ok && rt.SiteID != 0 {
+			t.Fatalf("AS%d routed to site %d of a 1-site deployment", src, rt.SiteID)
+		}
+	}
+}

@@ -511,6 +511,49 @@ func (g *Graph) AddCDNAS(name string, pops []geo.Coord) *AS {
 	return as
 }
 
+// Clone returns a deep copy of g for overlay mutation: the copy shares no
+// mutable state with g, so callers may add ASes, peering edges, and
+// presence points (what-if scenarios) without disturbing the original.
+// Deterministic generation state carries over — peerSalt, nextASN, and
+// insertion order — so identical mutation sequences applied to identical
+// clones produce identical graphs. The construction rng does not carry
+// over: post-construction mutators (AddHostAS, AddCDNAS, Peer) draw no
+// randomness, and New is never re-run on a clone.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		Regions:  g.Regions,
+		byASN:    make(map[ASN]*AS, len(g.byASN)),
+		order:    append([]ASN(nil), g.order...),
+		tier1s:   append([]ASN(nil), g.tier1s...),
+		transits: append([]ASN(nil), g.transits...),
+		eyeballs: append([]ASN(nil), g.eyeballs...),
+		peers:    make(map[[2]ASN]bool, len(g.peers)),
+		peerSalt: g.peerSalt,
+		nextASN:  g.nextASN,
+	}
+	for k, v := range g.peers {
+		c.peers[k] = v
+	}
+	for _, asn := range g.order {
+		a := g.byASN[asn]
+		// Field-by-field copy: AS embeds an atomic presence-index cache
+		// that must not be struct-copied; the clone rebuilds it lazily.
+		c.byASN[asn] = &AS{
+			ASN:             a.ASN,
+			Class:           a.Class,
+			Name:            a.Name,
+			Org:             a.Org,
+			Region:          a.Region,
+			Loc:             a.Loc,
+			Presence:        append([]geo.Coord(nil), a.Presence...),
+			Providers:       append([]ASN(nil), a.Providers...),
+			PeeringRichness: a.PeeringRichness,
+			UserWeight:      a.UserWeight,
+		}
+	}
+	return c
+}
+
 // Peer records an explicit settlement-free peering between a and b.
 func (g *Graph) Peer(a, b ASN) { g.addPeer(a, b) }
 

@@ -268,6 +268,36 @@ func scaleInt(v int, scale float64, floor int) int {
 	return s
 }
 
+// Overlay returns a shallow copy of w with its own empty join cache.
+// Scenario evaluation mutates the copy's fields (Graph, Letters, CDN,
+// Campaign, Rates) while sharing everything untouched with the base
+// world; the fresh once-guard keeps the overlay's join from aliasing the
+// base campaign's.
+func (w *World) Overlay() *World {
+	return &World{
+		Cfg:       w.Cfg,
+		Regions:   w.Regions,
+		Graph:     w.Graph,
+		Model:     w.Model,
+		Pop:       w.Pop,
+		Zone:      w.Zone,
+		Rates:     w.Rates,
+		Letters:   w.Letters,
+		Campaign:  w.Campaign,
+		CDN:       w.CDN,
+		CDNCounts: w.CDNCounts,
+		APNIC:     w.APNIC,
+		Atlas:     w.Atlas,
+		Locations: w.Locations,
+	}
+}
+
+// SeedJoin pre-fills the lazy join cache with j (a join already computed
+// for an identical campaign). A no-op if the cache is already filled.
+func (w *World) SeedJoin(j *ditl.Join) {
+	w.joinOnce.Do(func() { w.join = j })
+}
+
 // Join returns the /24-level DITL∩CDN join, computed lazily and cached.
 // The once-guard makes the lazy fill safe when experiments run
 // concurrently (RunAllParallel); the join itself is deterministic, so
