@@ -19,6 +19,7 @@ import (
 	"anycastctx/internal/geo"
 	"anycastctx/internal/latency"
 	"anycastctx/internal/report"
+	"anycastctx/internal/stage"
 	"anycastctx/internal/stats"
 	"anycastctx/internal/topology"
 	"anycastctx/internal/users"
@@ -53,6 +54,7 @@ func init() {
 		ID:         "abl-localroot",
 		Title:      "Ablation: RFC 8806 local root vs normal resolution",
 		PaperClaim: "serving the root locally reaches the paper's Ideal querying behavior (§4.1)",
+		Needs:      []stage.ID{stage.Zone},
 		Run:        runAblLocalRoot,
 	})
 }
@@ -288,7 +290,7 @@ func runAblTau(ctx context.Context, w *World, _ int64) (Result, error) {
 }
 
 func runAblLocalRoot(ctx context.Context, w *World, seed int64) (Result, error) {
-	zone := w.Zone
+	zone := w.Zone()
 	run := func(localRoot bool, seed int64) (dnssim.Counters, error) {
 		r, err := dnssim.NewResolver(zone,
 			dnssim.ResolverConfig{NumLetters: 13, Bug: true, LocalRoot: localRoot},

@@ -18,6 +18,7 @@ import (
 
 	"anycastctx/internal/ditl"
 	"anycastctx/internal/obs"
+	"anycastctx/internal/stage"
 	"anycastctx/internal/world"
 )
 
@@ -38,6 +39,12 @@ func getBenchWorld(b *testing.B) *World {
 	b.Helper()
 	benchWorldOnce.Do(func() {
 		benchWorld, benchWorldErr = BuildWorld(Config{Seed: 1, Scale: benchScale()})
+		if benchWorldErr == nil {
+			// Materialize every stage up front: experiment benchmarks
+			// measure experiment compute, not first-touch stage builds
+			// (BenchmarkWorldColdBuild/WarmLoad own those costs).
+			benchWorldErr = benchWorld.Demand(context.Background(), stage.All()...)
+		}
 	})
 	if benchWorldErr != nil {
 		b.Fatal(benchWorldErr)
@@ -126,8 +133,8 @@ func benchCampaignAssembly(b *testing.B) {
 	w := getBenchWorld(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ditl.Build(context.Background(), w.Graph, w.Letters, w.Pop,
-			w.Zone, w.Rates, w.Model, ditl.Config{}, w.Cfg.Seed); err != nil {
+		if _, err := ditl.Build(context.Background(), w.Graph(), w.Letters(), w.Pop(),
+			w.Zone(), w.Rates(), w.Model(), ditl.Config{}, w.Cfg.Seed); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -143,7 +150,7 @@ func benchCaptureEmission(b *testing.B) {
 	li, site := busiestLetterSite(w)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := w.Campaign.EmitSiteCapture(io.Discard, li, site, 5000, 7); err != nil {
+		if _, err := w.Campaign().EmitSiteCapture(io.Discard, li, site, 5000, 7); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -158,7 +165,7 @@ func benchPingSampling(b *testing.B) {
 	w := getBenchWorld(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if res := w.Atlas.Ping(w.Letters[0], 3, 11); len(res) == 0 {
+		if res := w.Atlas().Ping(w.Letters()[0], 3, 11); len(res) == 0 {
 			b.Fatal("no ping results")
 		}
 	}

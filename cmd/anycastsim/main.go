@@ -38,15 +38,15 @@ func main() {
 	}
 
 	fmt.Printf("world: seed %d scale %.2f\n", *seed, *scale)
-	fmt.Printf("  regions:    %d\n", len(w.Regions))
+	fmt.Printf("  regions:    %d\n", len(w.Regions()))
 	fmt.Printf("  ASes:       %d (%d tier-1, %d transit, %d eyeball)\n",
-		w.Graph.Len(), len(w.Graph.Tier1s()), len(w.Graph.Transits()), len(w.Graph.Eyeballs()))
+		w.Graph().Len(), len(w.Graph().Tier1s()), len(w.Graph().Transits()), len(w.Graph().Eyeballs()))
 	fmt.Printf("  users:      %.0fM across %d recursive /24s\n",
-		w.Pop.TotalUsers/1e6, len(w.Pop.Recursives))
-	fmt.Printf("  root zone:  %d TLDs\n", w.Zone.Len())
-	fmt.Printf("  atlas:      %d probes in %d ASes\n", len(w.Atlas.Probes), w.Atlas.ASCount())
+		w.Pop().TotalUsers/1e6, len(w.Pop().Recursives))
+	fmt.Printf("  root zone:  %d TLDs\n", w.Zone().Len())
+	fmt.Printf("  atlas:      %d probes in %d ASes\n", len(w.Atlas().Probes), w.Atlas().ASCount())
 
-	pre := w.Campaign.Preprocess()
+	pre := w.Campaign().Preprocess()
 	fmt.Printf("\nDITL pre-processing funnel (queries/day):\n")
 	fmt.Printf("  raw:       %14.0f\n", pre.RawPerDay)
 	fmt.Printf("  - invalid: %14.0f\n", pre.InvalidPerDay)
@@ -56,19 +56,19 @@ func main() {
 	fmt.Printf("  retained:  %14.0f\n", pre.RetainedPerDay)
 
 	fmt.Printf("\nroot letters:\n")
-	for li, letter := range w.Letters {
+	for li, letter := range w.Letters() {
 		fmt.Printf("  %-2s %3d global / %3d total sites", letter.Name, letter.NumGlobalSites(), letter.NumSites())
 		if *catchment {
 			// Catchment concentration: share of user weight on the single
 			// busiest site.
 			load := map[int]float64{}
 			var total float64
-			for ri := range w.Pop.Recursives {
-				a := w.Campaign.At(li, ri)
+			for ri := range w.Pop().Recursives {
+				a := w.Campaign().At(li, ri)
 				if !a.Reachable {
 					continue
 				}
-				u := w.Pop.Recursives[ri].Users
+				u := w.Pop().Recursives[ri].Users
 				for _, s := range a.Sites() {
 					load[s.SiteID] += u * s.Frac
 				}
@@ -87,11 +87,11 @@ func main() {
 	}
 
 	fmt.Printf("\nCDN rings:\n")
-	for _, ring := range w.CDN.Rings {
+	for _, ring := range w.CDN().Rings {
 		var rtts []float64
-		for _, p := range w.Atlas.Probes[:min(len(w.Atlas.Probes), 200)] {
+		for _, p := range w.Atlas().Probes[:min(len(w.Atlas().Probes), 200)] {
 			if rt, ok := ring.Deployment.Route(p.ASN); ok {
-				rtts = append(rtts, w.Model.BaseRTTMs(p.ASN, rt))
+				rtts = append(rtts, w.Model().BaseRTTMs(p.ASN, rt))
 			}
 		}
 		fmt.Printf("  %-5s %3d front-ends, probe median RTT %.1f ms\n",
@@ -120,24 +120,24 @@ func dumpDatasets(w *anycastctx.World, dir string) error {
 	// Locations.
 	var b []byte
 	b = append(b, "asn,region,lat,lon,users\n"...)
-	for _, loc := range w.Locations {
+	for _, loc := range w.Locations() {
 		b = append(b, fmt.Sprintf("%d,%s,%.4f,%.4f,%.0f\n",
-			loc.ASN, w.Regions[loc.Region].Name, loc.Loc.Lat, loc.Loc.Lon, loc.Users)...)
+			loc.ASN, w.Regions()[loc.Region].Name, loc.Loc.Lat, loc.Loc.Lon, loc.Users)...)
 	}
 	if err := write("locations.csv", string(b)); err != nil {
 		return err
 	}
 
 	// Per-letter assignments (one file per letter).
-	for li, name := range w.Campaign.LetterNames {
+	for li, name := range w.Campaign().LetterNames {
 		var rows []byte
 		rows = append(rows, "slash24,asn,site,path_len,base_rtt_ms,tcp_median_ms,letter_weight\n"...)
-		for ri := range w.Pop.Recursives {
-			a := w.Campaign.At(li, ri)
+		for ri := range w.Pop().Recursives {
+			a := w.Campaign().At(li, ri)
 			if !a.Reachable {
 				continue
 			}
-			rec := w.Pop.Recursives[ri]
+			rec := w.Pop().Recursives[ri]
 			tcp := "-"
 			if !math.IsNaN(a.TCPMedianRTTMs) {
 				tcp = fmt.Sprintf("%.2f", a.TCPMedianRTTMs)
@@ -151,12 +151,12 @@ func dumpDatasets(w *anycastctx.World, dir string) error {
 	}
 
 	// CDN server-side logs.
-	logs := w.CDN.ServerSideLogs(w.Locations, w.Cfg.Seed*13)
+	logs := w.CDN().ServerSideLogs(w.Locations(), w.Cfg.Seed*13)
 	var lg []byte
 	lg = append(lg, "ring,asn,region,front_end,path_len,direct,median_rtt_ms,users\n"...)
 	for _, r := range logs {
 		lg = append(lg, fmt.Sprintf("%s,%d,%s,%d,%d,%t,%.2f,%.0f\n",
-			r.Ring, r.Location.ASN, w.Regions[r.Location.Region].Name,
+			r.Ring, r.Location.ASN, w.Regions()[r.Location.Region].Name,
 			r.FrontEnd, r.PathLen, r.Direct, r.MedianRTTMs, r.Location.Users)...)
 	}
 	if err := write("serverlogs.csv", string(lg)); err != nil {
@@ -166,7 +166,7 @@ func dumpDatasets(w *anycastctx.World, dir string) error {
 	// Recursive query rates.
 	var rt []byte
 	rt = append(rt, "slash24,users,user_q_per_day,root_valid,root_invalid,root_ptr,tcp_share,anomalous,forwarder\n"...)
-	for _, r := range w.Rates {
+	for _, r := range w.Rates() {
 		rt = append(rt, fmt.Sprintf("%s,%.0f,%.0f,%.1f,%.1f,%.1f,%.3f,%t,%t\n",
 			r.Rec.Key, r.Rec.Users, r.UserQueriesPerDay, r.RootValidPerDay,
 			r.RootInvalidPerDay, r.RootPTRPerDay, r.TCPShare, r.Anomalous, r.Forwarder)...)

@@ -28,12 +28,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	li := w.Campaign.LetterIndex(*letter)
+	li := w.Campaign().LetterIndex(*letter)
 	if li < 0 {
-		fmt.Fprintf(os.Stderr, "unknown letter %q (have %v)\n", *letter, w.Campaign.LetterNames)
+		fmt.Fprintf(os.Stderr, "unknown letter %q (have %v)\n", *letter, w.Campaign().LetterNames)
 		os.Exit(2)
 	}
-	dep := w.Letters[li]
+	dep := w.Letters()[li]
 	n := *sites
 	if n > dep.NumSites() {
 		n = dep.NumSites()
@@ -45,7 +45,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		written, err := w.Campaign.EmitSiteCapture(f, li, s, *maxPkts, *seed*31)
+		written, err := w.Campaign().EmitSiteCapture(f, li, s, *maxPkts, *seed*31)
 		cerr := f.Close()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -16,6 +16,9 @@
 //	experiments -run all -check               # gate on pipeline-wide invariants
 //	experiments -scenario withdraw-b-site     # what-if: before/after deltas
 //	experiments -scenario spec.json -scenario-oracle -check
+//	experiments -run all -cache-dir /tmp/acx  # persist stage artifacts; rerun is warm
+//	experiments -stages -cache-dir /tmp/acx   # show the stage DAG and store state
+//	experiments -explain fig2a                # which stages fig2a demands
 //
 // The observability flags never change experiment output: instrumented
 // runs are byte-identical to uninstrumented runs. -check writes only to
@@ -40,6 +43,7 @@ import (
 	"anycastctx/internal/check"
 	"anycastctx/internal/faults"
 	"anycastctx/internal/obs"
+	"anycastctx/internal/world"
 )
 
 func main() {
@@ -60,6 +64,9 @@ func main() {
 		checkInv   = flag.Bool("check", false, "run pipeline-wide invariant checkers after the world build and after the experiments; violations go to stderr and exit 1")
 		scnName    = flag.String("scenario", "", "evaluate a what-if scenario (builtin name or JSON spec file) instead of running experiments")
 		scnOracle  = flag.Bool("scenario-oracle", false, "with -scenario: also evaluate via full rebuild and exit 1 unless the reports are byte-identical")
+		cacheDir   = flag.String("cache-dir", "", "persist stage artifacts under this directory; reruns with the same config load instead of recomputing")
+		stagesFlag = flag.Bool("stages", false, "print the stage DAG (keys, dependencies, artifact-store state) and exit")
+		explain    = flag.String("explain", "", "print which stages an experiment demands (declared needs plus transitive closure) and exit")
 		verbose    = flag.Bool("v", false, "log one line per experiment completion to stderr")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile")
 		memprofile = flag.String("memprofile", "", "write a heap profile")
@@ -92,7 +99,7 @@ func main() {
 		obs.Enable()
 	}
 
-	cfg := anycastctx.Config{Seed: *seed, Scale: *scale}
+	cfg := anycastctx.Config{Seed: *seed, Scale: *scale, CacheDir: *cacheDir}
 	if err := validateFlags(*scale, *faultRate, *jobs); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -108,6 +115,19 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unsupported year %d\n", *year)
 		os.Exit(2)
+	}
+
+	if *stagesFlag {
+		if err := printStages(cfg); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *explain != "" {
+		if err := printExplain(cfg, *explain); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	// The progress hook feeds both -v logging and the -serve /progress
@@ -152,8 +172,16 @@ func main() {
 	runStart := time.Now()
 	fmt.Fprintf(os.Stderr, "building world (seed %d, scale %.2f, year %d)...\n", *seed, *scale, *year)
 	ctx := context.Background()
+	w, err := anycastctx.NewWorld(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	// Demand-driven build: materialize only the stages this invocation
+	// needs. A single experiment pulls in just its declared Needs;
+	// scenario and -check runs walk the whole world, so they demand the
+	// full classic set up front.
 	buildCtx, buildSpan := obs.StartSpanCtx(ctx, "run.build_world")
-	w, err := anycastctx.BuildWorldCtx(buildCtx, cfg)
+	err = w.Demand(buildCtx, neededStages(*run, *scnName != "", *checkInv)...)
 	buildSpan.End()
 	if err != nil {
 		fatal(err)
@@ -180,6 +208,7 @@ func main() {
 	// outputs (spans from the evaluation land in the same trace files).
 	if *scnName != "" {
 		scnErr := runScenario(ctx, w, *scnName, *scnOracle, *checkInv)
+		printCacheSummary(w, *cacheDir)
 		if err := writeObsArtifacts(*traceFile, *chromeFile, *metrics); err != nil {
 			fatal(err)
 		}
@@ -232,11 +261,13 @@ func main() {
 		}
 	}
 
+	printCacheSummary(w, *cacheDir)
 	if err := writeObsArtifacts(*traceFile, *chromeFile, *metrics); err != nil {
 		fatal(err)
 	}
 	if *report != "" {
 		rep := buildReport(cfg, *year, *faultRate, results, runErr, buildSpan, time.Since(runStart))
+		rep.Stages = w.StageStatuses()
 		if err := writeJSON(*report, rep); err != nil {
 			fatal(err)
 		}
@@ -319,8 +350,11 @@ type runReport struct {
 	PeakRSSBytes  uint64 `json:"peak_rss_bytes,omitempty"`
 	// Metrics is the end-of-run snapshot of every registered pipeline
 	// metric (world, bgp, dnssim, ditl, cdn, ...).
-	Metrics  obs.Snapshot `json:"metrics"`
-	Failures []string     `json:"failures,omitempty"`
+	Metrics obs.Snapshot `json:"metrics"`
+	// Stages records each world stage's materialization: key, whether it
+	// loaded from the artifact store or computed, bytes, and timings.
+	Stages   []world.StageStatus `json:"stages,omitempty"`
+	Failures []string            `json:"failures,omitempty"`
 }
 
 type stageStat struct {

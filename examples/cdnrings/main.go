@@ -20,13 +20,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	logs := w.CDN.ServerSideLogs(w.Locations, 99)
-	client := w.CDN.ClientMeasurements(w.Locations, 99)
+	logs := w.CDN().ServerSideLogs(w.Locations(), 99)
+	client := w.CDN().ClientMeasurements(w.Locations(), 99)
 
 	fmt.Println("per-ring latency and inflation (user-weighted):")
 	fmt.Printf("  %-6s %6s %14s %16s %12s %12s\n",
 		"ring", "sites", "median ms/RTT", "ms/page load", "zero-infl", "infl>30ms")
-	for _, ring := range w.CDN.Rings {
+	for _, ring := range w.CDN().Rings {
 		var obs []stats.WeightedValue
 		for _, r := range logs {
 			if r.Ring == ring.Name {
@@ -48,8 +48,8 @@ func main() {
 	}
 
 	// Fig 4b: does growing the ring ever hurt a location?
-	names := make([]string, len(w.CDN.Rings))
-	for i, r := range w.CDN.Rings {
+	names := make([]string, len(w.CDN().Rings))
+	for i, r := range w.CDN().Rings {
 		names[i] = r.Name
 	}
 	deltas := cdn.RingDeltas(client, names, rttsPerPage)

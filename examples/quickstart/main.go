@@ -20,11 +20,11 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("world: %d ASes, %d root letters, CDN with %d rings, %.0fM users\n\n",
-		w.Graph.Len(), len(w.Letters), len(w.CDN.Rings), w.Pop.TotalUsers/1e6)
+		w.Graph().Len(), len(w.Letters()), len(w.CDN().Rings), w.Pop().TotalUsers/1e6)
 
 	// Root DNS: geographic inflation per query, averaged over each
 	// recursive's letter preference (Fig 2a's All Roots line).
-	rootObs := core.GeoInflationAllRoots(w.Campaign, w.Join())
+	rootObs := core.GeoInflationAllRoots(w.Campaign(), w.Join())
 	rootCDF, err := stats.NewCDF(rootObs)
 	if err != nil {
 		log.Fatal(err)
@@ -35,8 +35,8 @@ func main() {
 	fmt.Printf("  users above 20 ms:           %5.1f%%\n\n", 100*rootCDF.FractionAbove(20))
 
 	// CDN: the same methodology over the largest ring's server-side logs.
-	logs := w.CDN.ServerSideLogs(w.Locations, w.Cfg.Seed)
-	r110 := w.CDN.Rings[len(w.CDN.Rings)-1]
+	logs := w.CDN().ServerSideLogs(w.Locations(), w.Cfg.Seed)
+	r110 := w.CDN().Rings[len(w.CDN().Rings)-1]
 	cdnObs := core.CDNGeoInflation(logs, r110)
 	cdnCDF, err := stats.NewCDF(cdnObs)
 	if err != nil {
@@ -49,7 +49,7 @@ func main() {
 
 	// ...but context matters: how often does each system's latency reach
 	// a user? (queries/day for roots vs ~10 RTTs per page load for CDN)
-	q, err := stats.NewCDF(core.QueriesPerUserCDN(w.Campaign, w.Join(), core.ValidOnly))
+	q, err := stats.NewCDF(core.QueriesPerUserCDN(w.Campaign(), w.Join(), core.ValidOnly))
 	if err != nil {
 		log.Fatal(err)
 	}

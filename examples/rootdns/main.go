@@ -22,22 +22,22 @@ func main() {
 
 	fmt.Println("per-letter geographic inflation (Eq. 1), user-weighted:")
 	fmt.Printf("  %-8s %6s %12s %12s %12s\n", "letter", "sites", "zero-infl", "median(ms)", ">20ms")
-	for li, name := range w.Campaign.LetterNames {
-		obs := core.GeoInflationLetter(w.Campaign, li, j)
+	for li, name := range w.Campaign().LetterNames {
+		obs := core.GeoInflationLetter(w.Campaign(), li, j)
 		cdf, err := stats.NewCDF(obs)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("  %-8s %6d %11.1f%% %12.1f %11.1f%%\n",
-			name, w.Campaign.Letters[li].NumGlobalSites(),
+			name, w.Campaign().Letters[li].NumGlobalSites(),
 			100*core.Efficiency(obs, 1), cdf.Median(), 100*cdf.FractionAbove(20))
 	}
-	all, err := stats.NewCDF(core.GeoInflationAllRoots(w.Campaign, j))
+	all, err := stats.NewCDF(core.GeoInflationAllRoots(w.Campaign(), j))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("  %-8s %6s %11.1f%% %12.1f %11.1f%%\n\n", "ALL", "-",
-		100*core.Efficiency(core.GeoInflationAllRoots(w.Campaign, j), 1),
+		100*core.Efficiency(core.GeoInflationAllRoots(w.Campaign(), j), 1),
 		all.Median(), 100*all.FractionAbove(20))
 
 	fmt.Println("...yet users barely notice (queries amortized over caching):")
@@ -49,7 +49,7 @@ func main() {
 		{"measured + junk", core.IncludingInvalid},
 		{"ideal once-per-TTL", core.IdealOncePerTTL},
 	} {
-		cdf, err := stats.NewCDF(core.QueriesPerUserCDN(w.Campaign, j, line.class))
+		cdf, err := stats.NewCDF(core.QueriesPerUserCDN(w.Campaign(), j, line.class))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -57,7 +57,7 @@ func main() {
 			line.name, cdf.Median(), cdf.Quantile(0.9))
 	}
 
-	apnic, err := stats.NewCDF(core.QueriesPerUserAPNIC(w.Campaign, w.APNIC, core.ValidOnly))
+	apnic, err := stats.NewCDF(core.QueriesPerUserAPNIC(w.Campaign(), w.APNIC(), core.ValidOnly))
 	if err != nil {
 		log.Fatal(err)
 	}

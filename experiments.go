@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"anycastctx/internal/obs"
+	"anycastctx/internal/stage"
 	"anycastctx/internal/stats"
 	"anycastctx/internal/world"
 )
@@ -49,6 +50,14 @@ type Experiment struct {
 	ID         string
 	Title      string
 	PaperClaim string
+	// Needs declares which world stages the experiment reads, so a
+	// demand-driven world materializes exactly those (plus their
+	// transitive dependencies) before Run starts. An experiment that
+	// touches no world stage — or builds its own world, like fig11 —
+	// leaves Needs nil. runMeasured demands these before the
+	// measurement snapshot, so stage build work never pollutes an
+	// experiment's counter deltas.
+	Needs []stage.ID
 	// Run executes the experiment on a built world. ctx carries the
 	// caller's span for trace parentage (never cancellation — experiments
 	// are deterministic and run to completion); seed derives the
@@ -173,6 +182,14 @@ func runOne(ctx context.Context, w *World, e Experiment, withDeltas bool) (Resul
 // "experiment.<id>" span, and stat attachment.
 func runMeasured(ctx context.Context, w *World, e Experiment, withDeltas bool) (Result, error) {
 	seed := w.Cfg.Seed * 7919
+	// Materialize the declared stage needs first, outside the
+	// experiment's span and snapshot window: stage builds are world
+	// work, not experiment work, and attributing a cache miss's compute
+	// to whichever experiment happened to run first would make counter
+	// deltas depend on execution order.
+	if err := w.Demand(ctx, e.Needs...); err != nil {
+		return Result{}, fmt.Errorf("materializing stages for %s: %w", e.ID, err)
+	}
 	if !obs.Enabled() {
 		return e.Run(ctx, w, seed)
 	}

@@ -12,6 +12,7 @@ import (
 	"anycastctx/internal/geo"
 	"anycastctx/internal/report"
 	"anycastctx/internal/rng"
+	"anycastctx/internal/stage"
 	"anycastctx/internal/stats"
 	"anycastctx/internal/topology"
 	"anycastctx/internal/webmodel"
@@ -26,60 +27,70 @@ func init() {
 		ID:         "fig1",
 		Title:      "Fig 1: CDN rings and user populations",
 		PaperClaim: "front-ends concentrate where users concentrate",
+		Needs:      []stage.ID{stage.CDN, stage.Locations, stage.Regions},
 		Run:        runFig1,
 	})
 	register(Experiment{
 		ID:         "fig4a",
 		Title:      "Fig 4a: CDN latency per page load per ring (Atlas)",
 		PaperClaim: "R28 vs R110 median gap ~100 ms/page; rings group as {R28,R47} vs {R74,R95,R110}",
+		Needs:      []stage.ID{stage.Atlas, stage.CDN},
 		Run:        runFig4a,
 	})
 	register(Experiment{
 		ID:         "fig4b",
 		Title:      "Fig 4b: latency change between consecutive rings",
 		PaperClaim: "larger rings almost never hurt: 90% of locations regress <= a few ms, 99% <10 ms per RTT",
+		Needs:      []stage.ID{stage.CDN, stage.ClientRows},
 		Run:        runFig4b,
 	})
 	register(Experiment{
 		ID:         "fig5a",
 		Title:      "Fig 5a: CDN geographic inflation per RTT",
 		PaperClaim: "most users zero inflation; 85% <10 ms; far better than the roots' 97%-inflated",
+		Needs:      []stage.ID{stage.CDN, stage.Campaign, stage.Join, stage.ServerLogs},
 		Run:        runFig5a,
 	})
 	register(Experiment{
 		ID:         "fig5b",
 		Title:      "Fig 5b: CDN latency inflation per RTT",
 		PaperClaim: "<30 ms for 70% and <60 ms for 90% of users; 99% <100 ms; All-Roots per-query is comparable",
+		Needs:      []stage.ID{stage.CDN, stage.Campaign, stage.Join, stage.ServerLogs},
 		Run:        runFig5b,
 	})
 	register(Experiment{
 		ID:         "fig6a",
 		Title:      "Fig 6a: AS path length distributions",
 		PaperClaim: "69% of CDN paths are 2 ASes; letters span 5-44%",
+		Needs:      []stage.ID{stage.Atlas, stage.CDN, stage.Letters},
 		Run:        runFig6a,
 	})
 	register(Experiment{
 		ID:         "fig6b",
 		Title:      "Fig 6b: geographic inflation vs AS path length",
 		PaperClaim: "shorter AS paths are less inflated",
+		Needs:      []stage.ID{stage.Atlas, stage.CDN, stage.Letters},
 		Run:        runFig6b,
 	})
 	register(Experiment{
 		ID:         "fig7a",
 		Title:      "Fig 7a: median latency and efficiency vs deployment size",
 		PaperClaim: "bigger deployments: lower latency, lower efficiency; F bucks the efficiency trend",
+		Needs:      []stage.ID{stage.Atlas, stage.CDN, stage.Campaign, stage.Join, stage.Letters, stage.ServerLogs},
 		Run:        runFig7a,
 	})
 	register(Experiment{
 		ID:         "fig7b",
 		Title:      "Fig 7b: coverage radius of sites",
 		PaperClaim: "All-Roots covers 91% of users within 500 km; large letters rival R110",
+		Needs:      []stage.ID{stage.CDN, stage.Letters, stage.Locations},
 		Run:        runFig7b,
 	})
 	register(Experiment{
 		ID:         "fig14",
 		Title:      "Fig 14: relative latency to R110 by region",
 		PaperClaim: "latency falls with proximity to a front-end",
+		Needs:      []stage.ID{stage.CDN, stage.ClientRows, stage.Regions},
 		Run:        runFig14,
 	})
 	register(Experiment{
@@ -96,8 +107,8 @@ func runFig1(ctx context.Context, w *World, seed int64) (Result, error) {
 		Headers: []string{"Ring", "Front-ends", "Users within 500km", "Users within 1000km"},
 	}
 	radii := []float64{500, 1000}
-	for _, ring := range w.CDN.Rings {
-		curve := core.CoverageCurve(ring.SiteLocs, w.Locations, radii)
+	for _, ring := range w.CDN().Rings {
+		curve := core.CoverageCurve(ring.SiteLocs, w.Locations(), radii)
 		t.AddRow(ring.Name, fmt.Sprintf("%d", ring.Size()),
 			fmt.Sprintf("%.1f%%", 100*curve[0].P), fmt.Sprintf("%.1f%%", 100*curve[1].P))
 	}
@@ -111,8 +122,8 @@ func runFig1(ctx context.Context, w *World, seed int64) (Result, error) {
 		regions map[int]bool
 	}
 	byCont := map[geo.Continent]*agg{}
-	for _, loc := range w.Locations {
-		c := w.Regions[loc.Region].Continent
+	for _, loc := range w.Locations() {
+		c := w.Regions()[loc.Region].Continent
 		a := byCont[c]
 		if a == nil {
 			a = &agg{regions: map[int]bool{}}
@@ -128,8 +139,8 @@ func runFig1(ctx context.Context, w *World, seed int64) (Result, error) {
 		}
 		cont.AddRow(c.String(), fmt.Sprintf("%.0f", a.users/1e6), fmt.Sprintf("%d", len(a.regions)))
 	}
-	big := w.CDN.Rings[len(w.CDN.Rings)-1]
-	curve := core.CoverageCurve(big.SiteLocs, w.Locations, []float64{500})
+	big := w.CDN().Rings[len(w.CDN().Rings)-1]
+	curve := core.CoverageCurve(big.SiteLocs, w.Locations(), []float64{500})
 	return Result{
 		ID:         "fig1",
 		Title:      "Fig 1: CDN rings and user populations",
@@ -142,8 +153,8 @@ func runFig1(ctx context.Context, w *World, seed int64) (Result, error) {
 func runFig4a(ctx context.Context, w *World, seed int64) (Result, error) {
 	var series []report.Series
 	medians := map[string]float64{}
-	for _, ring := range w.CDN.Rings {
-		pings := w.Atlas.Ping(ring.Deployment, 3, seed)
+	for _, ring := range w.CDN().Rings {
+		pings := w.Atlas().Ping(ring.Deployment, 3, seed)
 		if len(pings) == 0 {
 			return Result{}, fmt.Errorf("no pings for ring %s", ring.Name)
 		}
@@ -170,9 +181,12 @@ func runFig4a(ctx context.Context, w *World, seed int64) (Result, error) {
 }
 
 func runFig4b(ctx context.Context, w *World, seed int64) (Result, error) {
-	rows := w.CDN.ClientMeasurementsCtx(ctx, w.Locations, seed)
-	names := make([]string, len(w.CDN.Rings))
-	for i, r := range w.CDN.Rings {
+	rows, err := w.ClientRowsCtx(ctx)
+	if err != nil {
+		return Result{}, err
+	}
+	names := make([]string, len(w.CDN().Rings))
+	for i, r := range w.CDN().Rings {
 		names[i] = r.Name
 	}
 	deltas := cdn.RingDeltas(rows, names, RTTsPerPageLoad)
@@ -211,17 +225,20 @@ func runFig4b(ctx context.Context, w *World, seed int64) (Result, error) {
 	}, nil
 }
 
-// serverLogsFor caches server-side logs per run (several figures share
-// them).
-func serverLogsFor(ctx context.Context, w *World, seed int64) []cdn.ServerLogRow {
-	return w.CDN.ServerSideLogsCtx(ctx, w.Locations, seed)
+// serverLogsFor returns the server-side log table — the server_logs
+// stage, so several figures (and a warm cache) share one computation.
+func serverLogsFor(ctx context.Context, w *World) ([]cdn.ServerLogRow, error) {
+	return w.ServerLogsCtx(ctx)
 }
 
 func runFig5a(ctx context.Context, w *World, seed int64) (Result, error) {
-	logs := serverLogsFor(ctx, w, seed)
+	logs, err := serverLogsFor(ctx, w)
+	if err != nil {
+		return Result{}, err
+	}
 	var series []report.Series
 	var r110Eff float64
-	for _, ring := range w.CDN.Rings {
+	for _, ring := range w.CDN().Rings {
 		obs := core.CDNGeoInflation(logs, ring)
 		cdf, err := newCDF(obs)
 		if err != nil {
@@ -233,7 +250,7 @@ func runFig5a(ctx context.Context, w *World, seed int64) (Result, error) {
 		}
 	}
 	// Root DNS comparison line (All Roots, same methodology).
-	rootObs := core.GeoInflationAllRoots(w.Campaign, w.JoinCtx(ctx))
+	rootObs := core.GeoInflationAllRoots(w.Campaign(), w.JoinCtx(ctx))
 	rootCDF, err := newCDF(rootObs)
 	if err != nil {
 		return Result{}, err
@@ -251,10 +268,13 @@ func runFig5a(ctx context.Context, w *World, seed int64) (Result, error) {
 }
 
 func runFig5b(ctx context.Context, w *World, seed int64) (Result, error) {
-	logs := serverLogsFor(ctx, w, seed)
+	logs, err := serverLogsFor(ctx, w)
+	if err != nil {
+		return Result{}, err
+	}
 	var series []report.Series
 	var r110 *stats.CDF
-	for _, ring := range w.CDN.Rings {
+	for _, ring := range w.CDN().Rings {
 		cdf, err := newCDF(core.CDNLatencyInflation(logs, ring))
 		if err != nil {
 			return Result{}, err
@@ -264,7 +284,7 @@ func runFig5b(ctx context.Context, w *World, seed int64) (Result, error) {
 			r110 = cdf
 		}
 	}
-	rootCDF, err := newCDF(core.LatencyInflationAllRoots(w.Campaign, w.JoinCtx(ctx), anycastnet.TCPLatencyLetters2018))
+	rootCDF, err := newCDF(core.LatencyInflationAllRoots(w.Campaign(), w.JoinCtx(ctx), anycastnet.TCPLatencyLetters2018))
 	if err != nil {
 		return Result{}, err
 	}
@@ -283,7 +303,7 @@ func runFig5b(ctx context.Context, w *World, seed int64) (Result, error) {
 // pathLenDist measures the traceroute path-length distribution toward a
 // deployment, grouped by ⟨region, AS⟩ location with equal weight.
 func pathLenDist(w *World, dep *anycastnet.Deployment) map[int]float64 {
-	traces := w.Atlas.Traceroute(dep)
+	traces := w.Atlas().Traceroute(dep)
 	type locKey struct {
 		asn    topology.ASN
 		region int
@@ -332,7 +352,7 @@ func runFig6a(ctx context.Context, w *World, seed int64) (Result, error) {
 		Title:   "Fig 6a: AS path length distribution (share of locations)",
 		Headers: []string{"Destination", "2 ASes", "3 ASes", "4 ASes", "5+ ASes"},
 	}
-	big := w.CDN.Rings[len(w.CDN.Rings)-1]
+	big := w.CDN().Rings[len(w.CDN().Rings)-1]
 	cdnDist := pathLenDist(w, big.Deployment)
 	addRow := func(name string, d map[int]float64) {
 		t.AddRow(name,
@@ -341,7 +361,7 @@ func runFig6a(ctx context.Context, w *World, seed int64) (Result, error) {
 	}
 	addRow("CDN", cdnDist)
 	letterShares := map[string]float64{}
-	for _, letter := range w.Letters {
+	for _, letter := range w.Letters() {
 		d := pathLenDist(w, letter)
 		addRow("root "+letter.Name, d)
 		letterShares[letter.Name] = d[2]
@@ -374,7 +394,7 @@ func runFig6b(ctx context.Context, w *World, seed int64) (Result, error) {
 	inflByLen := func(dep *anycastnet.Deployment) map[int][]float64 {
 		out := map[int][]float64{}
 		seen := map[topology.ASN]bool{}
-		for _, pr := range w.Atlas.Probes {
+		for _, pr := range w.Atlas().Probes {
 			if seen[pr.ASN] {
 				continue
 			}
@@ -383,7 +403,7 @@ func runFig6b(ctx context.Context, w *World, seed int64) (Result, error) {
 			if !ok {
 				continue
 			}
-			src := w.Graph.AS(pr.ASN)
+			src := w.Graph().AS(pr.ASN)
 			chosen := geo.DistanceKm(src.Loc, dep.Sites[rt.SiteID].Loc)
 			_, minD := dep.ClosestGlobalSite(src.Loc)
 			gi := geo.GeoRTTMs(chosen - minD)
@@ -408,12 +428,12 @@ func runFig6b(ctx context.Context, w *World, seed int64) (Result, error) {
 		}
 		return fmt.Sprintf("%.1f", b.Median)
 	}
-	big := w.CDN.Rings[len(w.CDN.Rings)-1]
+	big := w.CDN().Rings[len(w.CDN().Rings)-1]
 	var cdnRow, rootAgg map[int][]float64
 	cdnRow = inflByLen(big.Deployment)
 	t.AddRow("CDN", med(cdnRow[2]), med(cdnRow[3]), med(cdnRow[4]))
 	rootAgg = map[int][]float64{}
-	for _, letter := range w.Letters {
+	for _, letter := range w.Letters() {
 		d := inflByLen(letter)
 		t.AddRow("root "+letter.Name, med(d[2]), med(d[3]), med(d[4]))
 		for k, v := range d {
@@ -444,17 +464,20 @@ func runFig7a(ctx context.Context, w *World, seed int64) (Result, error) {
 		eff  float64
 	}
 	var rows []row
-	for li, letter := range w.Letters {
-		pings := w.Atlas.Ping(letter, 3, seed)
+	for li, letter := range w.Letters() {
+		pings := w.Atlas().Ping(letter, 3, seed)
 		vals := make([]float64, len(pings))
 		for i, p := range pings {
 			vals[i] = p.RTTMs
 		}
-		eff := core.Efficiency(core.GeoInflationLetter(w.Campaign, li, j), 1)
+		eff := core.Efficiency(core.GeoInflationLetter(w.Campaign(), li, j), 1)
 		rows = append(rows, row{"root " + letter.Name, letter.NumGlobalSites(), stats.Median(vals), eff})
 	}
-	logs := serverLogsFor(ctx, w, seed)
-	for _, ring := range w.CDN.Rings {
+	logs, err := serverLogsFor(ctx, w)
+	if err != nil {
+		return Result{}, err
+	}
+	for _, ring := range w.CDN().Rings {
 		var obs []stats.WeightedValue
 		for _, lr := range logs {
 			if lr.Ring == ring.Name {
@@ -490,7 +513,7 @@ func runFig7b(ctx context.Context, w *World, seed int64) (Result, error) {
 		t.Headers = append(t.Headers, fmt.Sprintf("%.0fkm", r))
 	}
 	addCurve := func(name string, locs []geo.Coord) []stats.Point {
-		curve := core.CoverageCurve(locs, w.Locations, radii)
+		curve := core.CoverageCurve(locs, w.Locations(), radii)
 		row := []string{name}
 		for _, p := range curve {
 			row = append(row, fmt.Sprintf("%.2f", p.P))
@@ -499,14 +522,14 @@ func runFig7b(ctx context.Context, w *World, seed int64) (Result, error) {
 		return curve
 	}
 	var allSites []geo.Coord
-	for _, l := range w.Letters {
+	for _, l := range w.Letters() {
 		allSites = append(allSites, core.GlobalSiteLocs(l.Sites)...)
 	}
 	allCurve := addCurve("All Roots", allSites)
-	for _, ring := range w.CDN.Rings {
+	for _, ring := range w.CDN().Rings {
 		addCurve(ring.Name, ring.SiteLocs)
 	}
-	for _, letter := range w.Letters {
+	for _, letter := range w.Letters() {
 		if letter.NumGlobalSites() >= 20 {
 			addCurve("root "+letter.Name, core.GlobalSiteLocs(letter.Sites))
 		}
@@ -521,8 +544,11 @@ func runFig7b(ctx context.Context, w *World, seed int64) (Result, error) {
 }
 
 func runFig14(ctx context.Context, w *World, seed int64) (Result, error) {
-	big := w.CDN.Rings[len(w.CDN.Rings)-1]
-	rows := w.CDN.ClientMeasurementsCtx(ctx, w.Locations, seed)
+	big := w.CDN().Rings[len(w.CDN().Rings)-1]
+	rows, err := w.ClientRowsCtx(ctx)
+	if err != nil {
+		return Result{}, err
+	}
 	// Aggregate per region: user-weighted mean of medians to R110.
 	type agg struct {
 		lat, users float64
@@ -570,7 +596,7 @@ func runFig14(ctx context.Context, w *World, seed int64) (Result, error) {
 		rel := (a.lat / a.users) / maxLat
 		minD := 1e18
 		for _, s := range big.SiteLocs {
-			if d := geo.DistanceKm(w.Regions[rr.id].Center, s); d < minD {
+			if d := geo.DistanceKm(w.Regions()[rr.id].Center, s); d < minD {
 				minD = d
 			}
 		}
@@ -580,7 +606,7 @@ func runFig14(ctx context.Context, w *World, seed int64) (Result, error) {
 			corrFar = append(corrFar, rel)
 		}
 		if i < 25 {
-			t.AddRow(w.Regions[rr.id].Name, fmt.Sprintf("%.0f", rr.users/1e6),
+			t.AddRow(w.Regions()[rr.id].Name, fmt.Sprintf("%.0f", rr.users/1e6),
 				fmt.Sprintf("%.2f", rel), fmt.Sprintf("%.0f", minD))
 		}
 	}

@@ -15,6 +15,7 @@ import (
 	"anycastctx/internal/geo"
 	"anycastctx/internal/latency"
 	"anycastctx/internal/report"
+	"anycastctx/internal/stage"
 	"anycastctx/internal/topology"
 )
 
@@ -23,6 +24,7 @@ func init() {
 		ID:         "affinity",
 		Title:      "§8: anycast site affinity over the capture window",
 		PaperClaim: "site affinity is high over the DITL window (confirming Ballani & Francis)",
+		Needs:      []stage.ID{stage.Campaign},
 		Run:        runAffinity,
 	})
 	register(Experiment{
@@ -39,8 +41,8 @@ func runAffinity(ctx context.Context, w *World, seed int64) (Result, error) {
 		Headers: []string{"Letter", "Stable /24s", "Mean affinity", "Flaps"},
 	}
 	var worstStable float64 = 1
-	for li, name := range w.Campaign.LetterNames {
-		res, err := w.Campaign.Affinity(li, 0.005, 48, seed)
+	for li, name := range w.Campaign().LetterNames {
+		res, err := w.Campaign().Affinity(li, 0.005, 48, seed)
 		if err != nil {
 			return Result{}, fmt.Errorf("letter %s: %w", name, err)
 		}
@@ -137,12 +139,13 @@ func init() {
 		ID:         "apps",
 		Title:      "§2.2: regulatory rings and application latency",
 		PaperClaim: "applications are pinned to the largest allowed ring; performance differences are not taken into account",
+		Needs:      []stage.ID{stage.CDN, stage.Locations},
 		Run:        runApps,
 	})
 }
 
 func runApps(ctx context.Context, w *World, seed int64) (Result, error) {
-	rows, err := w.CDN.AppLatencies(w.Locations, cdn.PaperApps(), seed)
+	rows, err := w.CDN().AppLatencies(w.Locations(), cdn.PaperApps(), seed)
 	if err != nil {
 		return Result{}, err
 	}
@@ -176,14 +179,18 @@ func init() {
 		ID:         "continents",
 		Title:      "Appendix F: inflation and latency by continent",
 		PaperClaim: "latency falls near front-ends; performance varies regionally with infrastructure density",
+		Needs:      []stage.ID{stage.CDN, stage.Campaign, stage.Join, stage.Locations, stage.ServerLogs},
 		Run:        runContinents,
 	})
 }
 
 func runContinents(ctx context.Context, w *World, seed int64) (Result, error) {
-	logs := w.CDN.ServerSideLogsCtx(ctx, w.Locations, seed)
-	big := w.CDN.Rings[len(w.CDN.Rings)-1]
-	rootObs := core.GeoInflationAllRoots(w.Campaign, w.JoinCtx(ctx))
+	logs, err := w.ServerLogsCtx(ctx)
+	if err != nil {
+		return Result{}, err
+	}
+	big := w.CDN().Rings[len(w.CDN().Rings)-1]
+	rootObs := core.GeoInflationAllRoots(w.Campaign(), w.JoinCtx(ctx))
 
 	// Per-continent aggregates for the CDN (largest ring).
 	type agg struct {
@@ -194,7 +201,7 @@ func runContinents(ctx context.Context, w *World, seed int64) (Result, error) {
 		if r.Ring != big.Name {
 			continue
 		}
-		cont := w.Regions[r.Location.Region].Continent
+		cont := w.Regions()[r.Location.Region].Continent
 		a := cdnByCont[cont]
 		if a == nil {
 			a = &agg{}
@@ -206,12 +213,12 @@ func runContinents(ctx context.Context, w *World, seed int64) (Result, error) {
 	// Root inflation per continent: map joined recursives to continents.
 	rootByCont := map[geo.Continent]*agg{}
 	for i, row := range w.JoinCtx(ctx).Rows {
-		rec := w.Pop.Recursives[row.RecIdx]
-		host := w.Graph.AS(rec.ASN)
+		rec := w.Pop().Recursives[row.RecIdx]
+		host := w.Graph().AS(rec.ASN)
 		if host == nil || host.Region < 0 {
 			continue
 		}
-		cont := w.Regions[host.Region].Continent
+		cont := w.Regions()[host.Region].Continent
 		a := rootByCont[cont]
 		if a == nil {
 			a = &agg{}

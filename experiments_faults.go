@@ -16,6 +16,7 @@ import (
 	"anycastctx/internal/ditl"
 	"anycastctx/internal/faults"
 	"anycastctx/internal/report"
+	"anycastctx/internal/stage"
 )
 
 func init() {
@@ -23,6 +24,7 @@ func init() {
 		ID:         "robust1",
 		Title:      "Robustness: capture pipeline under seeded fault injection",
 		PaperClaim: "the DITL pipeline survives hostile input (§2.1 discards ~64% of 51.9B raw queries before analysis)",
+		Needs:      []stage.ID{stage.Campaign, stage.Rates},
 		Run:        runRobust1,
 	})
 }
@@ -40,13 +42,13 @@ func runRobust1(ctx context.Context, w *World, seed int64) (Result, error) {
 	// fault mix lands on a representative packet stream.
 	li, site := busiestLetterSite(w)
 	var buf bytes.Buffer
-	n, err := w.Campaign.EmitSiteCaptureCtx(ctx, &buf, li, site, robustCapturePackets, seed)
+	n, err := w.Campaign().EmitSiteCaptureCtx(ctx, &buf, li, site, robustCapturePackets, seed)
 	if err != nil {
 		return Result{}, fmt.Errorf("robust1: emitting capture: %w", err)
 	}
 	if n == 0 {
 		return Result{}, fmt.Errorf("robust1: letter %s site %d emitted no packets",
-			w.Campaign.LetterNames[li], site)
+			w.Campaign().LetterNames[li], site)
 	}
 
 	m := faults.NewMangler(pol)
@@ -58,7 +60,7 @@ func runRobust1(ctx context.Context, w *World, seed int64) (Result, error) {
 	st := m.Stats()
 
 	t := report.Table{
-		Title:   fmt.Sprintf("Degradation funnel: %s site %d, seeded fault injection", w.Campaign.LetterNames[li], site),
+		Title:   fmt.Sprintf("Degradation funnel: %s site %d, seeded fault injection", w.Campaign().LetterNames[li], site),
 		Headers: []string{"stage", "event", "count"},
 	}
 	t.AddRow("inject", "records in capture", fmt.Sprintf("%d", st.Records))
@@ -92,15 +94,15 @@ func runRobust1(ctx context.Context, w *World, seed int64) (Result, error) {
 // query volume in the campaign.
 func busiestLetterSite(w *World) (li, site int) {
 	best := -1.0
-	for l := range w.Campaign.Letters {
+	for l := range w.Campaign().Letters {
 		load := map[int]float64{}
-		for ri := range w.Pop.Recursives {
-			a := w.Campaign.At(l, ri)
+		for ri := range w.Pop().Recursives {
+			a := w.Campaign().At(l, ri)
 			if !a.Reachable {
 				continue
 			}
 			for _, s := range a.Sites() {
-				load[s.SiteID] += w.Rates[ri].RootTotalPerDay() * a.LetterWeight * s.Frac
+				load[s.SiteID] += w.Rates()[ri].RootTotalPerDay() * a.LetterWeight * s.Frac
 			}
 		}
 		for id, v := range load {

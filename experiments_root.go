@@ -10,6 +10,7 @@ import (
 	"anycastctx/internal/dnssim"
 	"anycastctx/internal/report"
 	"anycastctx/internal/rng"
+	"anycastctx/internal/stage"
 	"anycastctx/internal/stats"
 	"anycastctx/internal/webmodel"
 )
@@ -19,36 +20,42 @@ func init() {
 		ID:         "fig2a",
 		Title:      "Fig 2a: geographic inflation per root query",
 		PaperClaim: "larger deployments inflate more users; All-Roots intercept lowest (>95% of users see some inflation); ~10.8% of users >20 ms",
+		Needs:      []stage.ID{stage.Campaign, stage.Join},
 		Run:        runFig2a,
 	})
 	register(Experiment{
 		ID:         "fig2b",
 		Title:      "Fig 2b: latency inflation per root query (TCP)",
 		PaperClaim: "20-40% of users >100 ms to individual letters; All-Roots ~10% >100 ms",
+		Needs:      []stage.ID{stage.Campaign, stage.Join},
 		Run:        runFig2b,
 	})
 	register(Experiment{
 		ID:         "fig3",
 		Title:      "Fig 3: root queries per user per day",
 		PaperClaim: "median ~1 query/user/day for CDN and APNIC user counts; Ideal median ~0.007",
+		Needs:      []stage.ID{stage.Campaign, stage.UserCounts, stage.Join},
 		Run:        runFig3,
 	})
 	register(Experiment{
 		ID:         "fig8",
 		Title:      "Fig 8: queries per user per day including invalid TLDs",
 		PaperClaim: "counting junk raises the CDN-line median ~20x (to ~22/day) and APNIC ~6x",
+		Needs:      []stage.ID{stage.Campaign, stage.UserCounts, stage.Join},
 		Run:        runFig8,
 	})
 	register(Experiment{
 		ID:         "fig9",
 		Title:      "Fig 9: queries per user per day without the /24 join",
 		PaperClaim: "exact-IP joining drops the median ~30x (to ~0.036/day)",
+		Needs:      []stage.ID{stage.Campaign, stage.UserCounts, stage.Join},
 		Run:        runFig9,
 	})
 	register(Experiment{
 		ID:         "fig10",
 		Title:      "Fig 10: fraction of /24 queries missing the favorite site",
 		PaperClaim: ">80% of /24s send all queries to one site per letter",
+		Needs:      []stage.ID{stage.Campaign},
 		Run:        runFig10,
 	})
 	register(Experiment{
@@ -61,12 +68,14 @@ func init() {
 		ID:         "fig12",
 		Title:      "Fig 12: resolver query latency CDF (ISI-style)",
 		PaperClaim: "three regimes: >50% sub-millisecond cache hits, a low-latency band, and a distant tail",
+		Needs:      []stage.ID{stage.Atlas, stage.Letters, stage.Zone},
 		Run:        runFig12,
 	})
 	register(Experiment{
 		ID:         "fig13",
 		Title:      "Fig 13: root DNS latency per user query (ISI-style)",
 		PaperClaim: "<1% of user queries generate a root query; <0.1% wait >100 ms on roots",
+		Needs:      []stage.ID{stage.Atlas, stage.Letters, stage.Zone},
 		Run:        runFig13,
 	})
 	register(Experiment{
@@ -79,24 +88,28 @@ func init() {
 		ID:         "tab23",
 		Title:      "Tables 2-3: dataset inventory",
 		PaperClaim: "multiple datasets with complementary strengths (global DITL, CDN telemetry, local traces)",
+		Needs:      []stage.ID{stage.Campaign, stage.UserCounts, stage.Atlas, stage.CDN, stage.Locations, stage.Join},
 		Run:        runTab23,
 	})
 	register(Experiment{
 		ID:         "tab4",
 		Title:      "Table 4: DITL∩CDN overlap with and without the /24 join",
 		PaperClaim: "join lifts DITL recursive overlap 2.45%→29.3% and volume 8.4%→72.2%",
+		Needs:      []stage.ID{stage.Campaign, stage.UserCounts},
 		Run:        runTab4,
 	})
 	register(Experiment{
 		ID:         "tab5",
 		Title:      "Table 5: redundant root query trace (BIND bug)",
 		PaperClaim: "a timed-out authoritative triggers redundant root AAAA queries for each out-of-glue NS name",
+		Needs:      []stage.ID{stage.Letters, stage.Zone},
 		Run:        runTab5,
 	})
 	register(Experiment{
 		ID:         "local",
 		Title:      "§4.3 local perspective: cache miss rates and latency shares",
 		PaperClaim: "ISI miss rate ~0.5% (shared cache), personal ~1.5%; root latency ~1.6% of page-load time, ~0.05% of browsing",
+		Needs:      []stage.ID{stage.Atlas, stage.Letters, stage.Zone},
 		Run:        runLocal,
 	})
 }
@@ -105,18 +118,18 @@ func runFig2a(ctx context.Context, w *World, seed int64) (Result, error) {
 	j := w.JoinCtx(ctx)
 	var series []report.Series
 	var allRootsAbove20 float64
-	for li, name := range w.Campaign.LetterNames {
-		obs := core.GeoInflationLetter(w.Campaign, li, j)
+	for li, name := range w.Campaign().LetterNames {
+		obs := core.GeoInflationLetter(w.Campaign(), li, j)
 		cdf, err := newCDF(obs)
 		if err != nil {
 			return Result{}, fmt.Errorf("letter %s: %w", name, err)
 		}
 		series = append(series, report.Series{
-			Name: fmt.Sprintf("%s-%d", name, w.Campaign.Letters[li].NumGlobalSites()),
+			Name: fmt.Sprintf("%s-%d", name, w.Campaign().Letters[li].NumGlobalSites()),
 			CDF:  cdf,
 		})
 	}
-	all, err := newCDF(core.GeoInflationAllRoots(w.Campaign, j))
+	all, err := newCDF(core.GeoInflationAllRoots(w.Campaign(), j))
 	if err != nil {
 		return Result{}, err
 	}
@@ -128,7 +141,7 @@ func runFig2a(ctx context.Context, w *World, seed int64) (Result, error) {
 		PaperClaim: "y-intercepts fall with deployment size; All-Roots lowest; " +
 			"10.8% of users >20 ms",
 		Measured: fmt.Sprintf("All-Roots zero-inflation share %.1f%%; %.1f%% of users >20 ms",
-			100*core.Efficiency(core.GeoInflationAllRoots(w.Campaign, j), 1), 100*allRootsAbove20),
+			100*core.Efficiency(core.GeoInflationAllRoots(w.Campaign(), j), 1), 100*allRootsAbove20),
 		Output: report.RenderCDFs("Fig 2a: CDF of users vs geographic inflation (ms)",
 			"ms", msGrid(140, 10), series),
 	}, nil
@@ -138,21 +151,21 @@ func runFig2b(ctx context.Context, w *World, seed int64) (Result, error) {
 	j := w.JoinCtx(ctx)
 	usable := anycastnet.TCPLatencyLetters2018
 	var series []report.Series
-	for li, name := range w.Campaign.LetterNames {
+	for li, name := range w.Campaign().LetterNames {
 		if !usable[name] {
 			continue
 		}
-		obs := core.LatencyInflationLetter(w.Campaign, li, j)
+		obs := core.LatencyInflationLetter(w.Campaign(), li, j)
 		cdf, err := newCDF(obs)
 		if err != nil {
 			return Result{}, fmt.Errorf("letter %s: %w", name, err)
 		}
 		series = append(series, report.Series{
-			Name: fmt.Sprintf("%s-%d", name, w.Campaign.Letters[li].NumGlobalSites()),
+			Name: fmt.Sprintf("%s-%d", name, w.Campaign().Letters[li].NumGlobalSites()),
 			CDF:  cdf,
 		})
 	}
-	all, err := newCDF(core.LatencyInflationAllRoots(w.Campaign, j, usable))
+	all, err := newCDF(core.LatencyInflationAllRoots(w.Campaign(), j, usable))
 	if err != nil {
 		return Result{}, err
 	}
@@ -177,15 +190,15 @@ func runFig2b(ctx context.Context, w *World, seed int64) (Result, error) {
 
 func runFig3(ctx context.Context, w *World, seed int64) (Result, error) {
 	j := w.JoinCtx(ctx)
-	cdnLine, err := newCDF(core.QueriesPerUserCDN(w.Campaign, j, core.ValidOnly))
+	cdnLine, err := newCDF(core.QueriesPerUserCDN(w.Campaign(), j, core.ValidOnly))
 	if err != nil {
 		return Result{}, err
 	}
-	apnicLine, err := newCDF(core.QueriesPerUserAPNIC(w.Campaign, w.APNIC, core.ValidOnly))
+	apnicLine, err := newCDF(core.QueriesPerUserAPNIC(w.Campaign(), w.APNIC(), core.ValidOnly))
 	if err != nil {
 		return Result{}, err
 	}
-	ideal, err := newCDF(core.QueriesPerUserCDN(w.Campaign, j, core.IdealOncePerTTL))
+	ideal, err := newCDF(core.QueriesPerUserCDN(w.Campaign(), j, core.IdealOncePerTTL))
 	if err != nil {
 		return Result{}, err
 	}
@@ -207,19 +220,19 @@ func runFig3(ctx context.Context, w *World, seed int64) (Result, error) {
 
 func runFig8(ctx context.Context, w *World, seed int64) (Result, error) {
 	j := w.JoinCtx(ctx)
-	validCDN, err := newCDF(core.QueriesPerUserCDN(w.Campaign, j, core.ValidOnly))
+	validCDN, err := newCDF(core.QueriesPerUserCDN(w.Campaign(), j, core.ValidOnly))
 	if err != nil {
 		return Result{}, err
 	}
-	invCDN, err := newCDF(core.QueriesPerUserCDN(w.Campaign, j, core.IncludingInvalid))
+	invCDN, err := newCDF(core.QueriesPerUserCDN(w.Campaign(), j, core.IncludingInvalid))
 	if err != nil {
 		return Result{}, err
 	}
-	validAP, err := newCDF(core.QueriesPerUserAPNIC(w.Campaign, w.APNIC, core.ValidOnly))
+	validAP, err := newCDF(core.QueriesPerUserAPNIC(w.Campaign(), w.APNIC(), core.ValidOnly))
 	if err != nil {
 		return Result{}, err
 	}
-	invAP, err := newCDF(core.QueriesPerUserAPNIC(w.Campaign, w.APNIC, core.IncludingInvalid))
+	invAP, err := newCDF(core.QueriesPerUserAPNIC(w.Campaign(), w.APNIC(), core.IncludingInvalid))
 	if err != nil {
 		return Result{}, err
 	}
@@ -240,12 +253,12 @@ func runFig8(ctx context.Context, w *World, seed int64) (Result, error) {
 }
 
 func runFig9(ctx context.Context, w *World, seed int64) (Result, error) {
-	joined, err := newCDF(core.QueriesPerUserCDN(w.Campaign, w.JoinCtx(ctx), core.ValidOnly))
+	joined, err := newCDF(core.QueriesPerUserCDN(w.Campaign(), w.JoinCtx(ctx), core.ValidOnly))
 	if err != nil {
 		return Result{}, err
 	}
-	byIPJoin := w.Campaign.JoinCDNCtx(ctx, w.CDNCounts, true)
-	byIP, err := newCDF(core.QueriesPerUserCDN(w.Campaign, byIPJoin, core.ValidOnly))
+	byIPJoin := w.Campaign().JoinCDNCtx(ctx, w.CDNCounts(), true)
+	byIP, err := newCDF(core.QueriesPerUserCDN(w.Campaign(), byIPJoin, core.ValidOnly))
 	if err != nil {
 		return Result{}, err
 	}
@@ -267,14 +280,14 @@ func runFig9(ctx context.Context, w *World, seed int64) (Result, error) {
 func runFig10(ctx context.Context, w *World, seed int64) (Result, error) {
 	var series []report.Series
 	var worstSingle float64 = 1
-	for li, name := range w.Campaign.LetterNames {
-		cdf, err := newCDF(core.FavoriteSiteFractions(w.Campaign, li))
+	for li, name := range w.Campaign().LetterNames {
+		cdf, err := newCDF(core.FavoriteSiteFractions(w.Campaign(), li))
 		if err != nil {
 			return Result{}, fmt.Errorf("letter %s: %w", name, err)
 		}
 		series = append(series, report.Series{
 			Name: fmt.Sprintf("%s(%dG/%dT)", name,
-				w.Campaign.Letters[li].NumGlobalSites(), w.Campaign.Letters[li].NumSites()),
+				w.Campaign().Letters[li].NumGlobalSites(), w.Campaign().Letters[li].NumSites()),
 			CDF: cdf,
 		})
 		if p := cdf.P(0); p < worstSingle {
@@ -297,22 +310,22 @@ func runFig11(ctx context.Context, w *World, seed int64) (Result, error) {
 		return Result{}, err
 	}
 	j := w20.JoinCtx(ctx)
-	cdnLine, err := newCDF(core.QueriesPerUserCDN(w20.Campaign, j, core.ValidOnly))
+	cdnLine, err := newCDF(core.QueriesPerUserCDN(w20.Campaign(), j, core.ValidOnly))
 	if err != nil {
 		return Result{}, err
 	}
-	all, err := newCDF(core.GeoInflationAllRoots(w20.Campaign, j))
+	all, err := newCDF(core.GeoInflationAllRoots(w20.Campaign(), j))
 	if err != nil {
 		return Result{}, err
 	}
 	var series []report.Series
-	for li, name := range w20.Campaign.LetterNames {
-		cdf, err := newCDF(core.GeoInflationLetter(w20.Campaign, li, j))
+	for li, name := range w20.Campaign().LetterNames {
+		cdf, err := newCDF(core.GeoInflationLetter(w20.Campaign(), li, j))
 		if err != nil {
 			return Result{}, err
 		}
 		series = append(series, report.Series{
-			Name: fmt.Sprintf("%s-%d", name, w20.Campaign.Letters[li].NumGlobalSites()),
+			Name: fmt.Sprintf("%s-%d", name, w20.Campaign().Letters[li].NumGlobalSites()),
 			CDF:  cdf,
 		})
 	}
@@ -334,9 +347,9 @@ func runLocalResolver(ctx context.Context, w *World, seed int64, nUsers int, day
 	onResult func(dnssim.QueryKind, dnssim.QueryResult)) (*dnssim.Resolver, dnssim.RunStats, error) {
 	// Base RTTs to the letters as seen by a well-connected site: use the
 	// median Atlas ping per letter.
-	baseRTTs := make([]float64, len(w.Letters))
-	for li, letter := range w.Letters {
-		pings := w.Atlas.Ping(letter, 3, seed)
+	baseRTTs := make([]float64, len(w.Letters()))
+	for li, letter := range w.Letters() {
+		pings := w.Atlas().Ping(letter, 3, seed)
 		vals := make([]float64, len(pings))
 		for i, p := range pings {
 			vals[i] = p.RTTMs
@@ -347,13 +360,13 @@ func runLocalResolver(ctx context.Context, w *World, seed int64, nUsers int, day
 		}
 	}
 	upsRand := rng.NewRand(seed, rng.PhaseResolver, 0)
-	r, err := dnssim.NewResolver(w.Zone,
-		dnssim.ResolverConfig{NumLetters: len(w.Letters), Bug: true},
+	r, err := dnssim.NewResolver(w.Zone(),
+		dnssim.ResolverConfig{NumLetters: len(w.Letters()), Bug: true},
 		dnssim.StandardUpstreams(baseRTTs, upsRand), upsRand)
 	if err != nil {
 		return nil, dnssim.RunStats{}, err
 	}
-	client := dnssim.NewClient(w.Zone, dnssim.ClientConfig{Users: nUsers}, seed)
+	client := dnssim.NewClient(w.Zone(), dnssim.ClientConfig{Users: nUsers}, seed)
 	client.RunCtx(ctx, r, 1, nil) // warm the cache for a day
 	st := client.RunCtx(ctx, r, days, onResult)
 	return r, st, nil
@@ -422,31 +435,31 @@ func runTab1(ctx context.Context, w *World, seed int64) (Result, error) {
 }
 
 func runTab23(ctx context.Context, w *World, seed int64) (Result, error) {
-	pre := w.Campaign.Preprocess()
+	pre := w.Campaign().Preprocess()
 	t := report.Table{
 		Title:   "Tables 2-3: dataset inventory (simulated equivalents)",
 		Headers: []string{"Dataset", "Scale", "Strength", "Weakness"},
 	}
 	t.AddRow("DITL packet traces",
-		fmt.Sprintf("%.2fB raw q/day, %d recursive /24s", pre.RawPerDay/1e9, len(w.Pop.Recursives)),
+		fmt.Sprintf("%.2fB raw q/day, %d recursive /24s", pre.RawPerDay/1e9, len(w.Pop().Recursives)),
 		"global coverage", "noisy, above the recursive")
 	t.AddRow("DITL∩CDN join",
 		fmt.Sprintf("%.2fB retained q/day, %d joined /24s", pre.RetainedPerDay/1e9, len(w.JoinCtx(ctx).Rows)),
 		"attributes queries to users", "excludes v6")
 	t.AddRow("CDN server-side logs",
-		fmt.Sprintf("%d locations x %d rings", len(w.Locations), len(w.CDN.Rings)),
+		fmt.Sprintf("%d locations x %d rings", len(w.Locations()), len(w.CDN().Rings)),
 		"client-to-front-end mapping", "population varies across rings")
 	t.AddRow("CDN client measurements",
-		fmt.Sprintf("%d locations x %d rings", len(w.Locations), len(w.CDN.Rings)),
+		fmt.Sprintf("%d locations x %d rings", len(w.Locations()), len(w.CDN().Rings)),
 		"fixed population across rings", "front-end unknown")
 	t.AddRow("CDN user counts",
-		fmt.Sprintf("%.0fM users on %d /24s", w.CDNCounts.TotalBy24()/1e6, len(w.CDNCounts.By24)),
+		fmt.Sprintf("%.0fM users on %d /24s", w.CDNCounts().TotalBy24()/1e6, len(w.CDNCounts().By24)),
 		"precise per-resolver counts", "NAT undercounting")
 	t.AddRow("APNIC user counts",
-		fmt.Sprintf("%.0fM users on %d ASes", w.APNIC.WeightedUsers()/1e6, len(w.APNIC.ByASN)),
+		fmt.Sprintf("%.0fM users on %d ASes", w.APNIC().WeightedUsers()/1e6, len(w.APNIC().ByASN)),
 		"public, per-AS", "unvalidated, coarse")
 	t.AddRow("Atlas probes",
-		fmt.Sprintf("%d probes in %d ASes", len(w.Atlas.Probes), w.Atlas.ASCount()),
+		fmt.Sprintf("%d probes in %d ASes", len(w.Atlas().Probes), w.Atlas().ASCount()),
 		"reproducible", "limited, biased coverage")
 	return Result{
 		ID:         "tab23",
@@ -458,8 +471,8 @@ func runTab23(ctx context.Context, w *World, seed int64) (Result, error) {
 }
 
 func runTab4(ctx context.Context, w *World, seed int64) (Result, error) {
-	exact := w.Campaign.Overlap(w.CDNCounts, true)
-	joined := w.Campaign.Overlap(w.CDNCounts, false)
+	exact := w.Campaign().Overlap(w.CDNCounts(), true)
+	joined := w.Campaign().Overlap(w.CDNCounts(), false)
 	t := report.Table{
 		Title:   "Table 4: DITL∩CDN overlap, exact-IP (joined by /24 in parens)",
 		Headers: []string{"Statistic", "Exact-IP", "By /24"},
@@ -480,13 +493,13 @@ func runTab4(ctx context.Context, w *World, seed int64) (Result, error) {
 }
 
 func runTab5(ctx context.Context, w *World, seed int64) (Result, error) {
-	baseRTTs := make([]float64, len(w.Letters))
+	baseRTTs := make([]float64, len(w.Letters()))
 	for i := range baseRTTs {
 		baseRTTs[i] = 30 + 10*float64(i)
 	}
 	upsRand := rng.NewRand(seed, rng.PhaseResolver, 0)
-	r, err := dnssim.NewResolver(w.Zone,
-		dnssim.ResolverConfig{NumLetters: len(w.Letters), Bug: true},
+	r, err := dnssim.NewResolver(w.Zone(),
+		dnssim.ResolverConfig{NumLetters: len(w.Letters()), Bug: true},
 		dnssim.StandardUpstreams(baseRTTs, upsRand), upsRand)
 	if err != nil {
 		return Result{}, err

@@ -133,11 +133,11 @@ func TestDITL2020World(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(w.Letters) != 7 {
-		t.Errorf("2020 letters = %d, want 7", len(w.Letters))
+	if len(w.Letters()) != 7 {
+		t.Errorf("2020 letters = %d, want 7", len(w.Letters()))
 	}
 	names := map[string]bool{}
-	for _, l := range w.Letters {
+	for _, l := range w.Letters() {
 		names[l.Name] = true
 	}
 	if !names["H"] || names["B"] || names["L"] {

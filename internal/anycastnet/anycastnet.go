@@ -14,7 +14,9 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sort"
 
+	"anycastctx/internal/artifact"
 	"anycastctx/internal/bgp"
 	"anycastctx/internal/geo"
 	"anycastctx/internal/topology"
@@ -95,8 +97,24 @@ func Derive(base *Deployment, g *topology.Graph, name string, sites []bgp.Site,
 	if err != nil {
 		return nil, fmt.Errorf("anycastnet: derive %s: %w", name, err)
 	}
+	// Pin the transit tables to the graph as it stands now: a later
+	// mutation in the same scenario spec (e.g. a peering upgrade) must
+	// not leak into this deployment's route decisions.
+	res.EnsureTables()
 	res.SeedFrom(base.resolver, remap, keep)
 	return &Deployment{Name: name, Sites: sites, resolver: res}, nil
+}
+
+// AppendRouteState persists the deployment's resolved route state for
+// srcs (see bgp.Resolver.AppendState).
+func (d *Deployment) AppendRouteState(w *artifact.Writer, srcs []topology.ASN) error {
+	return d.resolver.AppendState(w, srcs)
+}
+
+// RestoreRouteState seeds the deployment's resolver from a persisted
+// artifact (see bgp.Resolver.RestoreState).
+func (d *Deployment) RestoreRouteState(r *artifact.Reader) error {
+	return d.resolver.RestoreState(r)
 }
 
 // Renamed returns a view of d under a different name, sharing d's sites
@@ -184,6 +202,12 @@ var TCPLatencyLetters2018 = map[string]bool{
 // are, Fig 7b), local sites at random regions, and each site gets a host AS
 // whose upstreams are nearby transits plus a tier-1.
 func BuildLetter(g *topology.Graph, spec LetterSpec, rng *rand.Rand) (*Deployment, error) {
+	return buildLetter(g, spec, rng, regionsByWeight(g.Regions))
+}
+
+// buildLetter is BuildLetter with the weight-sorted region list hoisted
+// out, so BuildLetters sorts once for all letters instead of per letter.
+func buildLetter(g *topology.Graph, spec LetterSpec, rng *rand.Rand, regions []geo.Region) (*Deployment, error) {
 	if spec.GlobalSites < 1 {
 		return nil, fmt.Errorf("anycastnet: letter %s has no global sites", spec.Letter)
 	}
@@ -191,7 +215,6 @@ func BuildLetter(g *topology.Graph, spec LetterSpec, rng *rand.Rand) (*Deploymen
 		return nil, fmt.Errorf("anycastnet: letter %s total %d < global %d",
 			spec.Letter, spec.TotalSites, spec.GlobalSites)
 	}
-	regions := regionsByWeight(g.Regions)
 
 	var sharedHost *topology.AS
 	nShared := int(spec.SharedHostFraction * float64(spec.GlobalSites))
@@ -238,9 +261,10 @@ func BuildLetter(g *topology.Graph, spec LetterSpec, rng *rand.Rand) (*Deploymen
 
 // BuildLetters builds all letters in spec order.
 func BuildLetters(g *topology.Graph, specs []LetterSpec, rng *rand.Rand) ([]*Deployment, error) {
+	regions := regionsByWeight(g.Regions)
 	out := make([]*Deployment, 0, len(specs))
 	for _, s := range specs {
-		d, err := BuildLetter(g, s, rng)
+		d, err := buildLetter(g, s, rng, regions)
 		if err != nil {
 			return nil, err
 		}
@@ -256,6 +280,9 @@ func NewDeployment(g *topology.Graph, name string, sites []bgp.Site) (*Deploymen
 	if err != nil {
 		return nil, fmt.Errorf("anycastnet: %s: %w", name, err)
 	}
+	// Scenario applies construct deployments mid-mutation-sequence; pin
+	// the tables so later graph mutations cannot shift earlier results.
+	res.EnsureTables()
 	return &Deployment{Name: name, Sites: sites, resolver: res}, nil
 }
 
@@ -308,12 +335,9 @@ func nearbyUpstreams(g *topology.Graph, loc geo.Coord, rng *rand.Rand) []topolog
 func regionsByWeight(regions []geo.Region) []geo.Region {
 	out := make([]geo.Region, len(regions))
 	copy(out, regions)
-	// Insertion-free stable sort by weight descending, ID ascending.
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && less(out[j], out[j-1]); j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	// Stable sort by weight descending, ID ascending — a total order, so
+	// the result is independent of the sort algorithm.
+	sort.SliceStable(out, func(a, b int) bool { return less(out[a], out[b]) })
 	return out
 }
 

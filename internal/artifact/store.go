@@ -1,0 +1,153 @@
+// Package artifact is the content-addressed on-disk store for stage
+// outputs, plus the deterministic binary codec the stages encode with.
+// Blobs are written atomically (temp file + rename in the same
+// directory) and carry a checksum header, so a torn write, bit flip, or
+// truncation is detected at load time and the caller falls back to
+// recomputing — the store can make a run faster, never wrong.
+package artifact
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// magic heads every artifact file; the trailing digit is the container
+// format version (header layout, not payload codec — payload versions
+// live in the stage keys).
+var magic = []byte("ACXART1\n")
+
+// ErrMiss reports that no artifact exists under the requested key. Every
+// other Load error means the file existed but could not be trusted.
+var ErrMiss = errors.New("artifact: miss")
+
+// Store is one artifact directory. The zero value is not usable; call
+// Open. Methods are safe for concurrent use: Save is atomic via rename
+// and Load reads whole files.
+type Store struct {
+	dir string
+}
+
+// Open returns a store rooted at dir, creating it if needed.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("artifact: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("artifact: open store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Path returns the file an artifact lives at. The name embeds the stage
+// ID for humans and a key prefix for addressing; the full key is
+// verified from the header on load.
+func (s *Store) Path(id, key string) string {
+	short := key
+	if len(short) > 32 {
+		short = short[:32]
+	}
+	return filepath.Join(s.dir, fmt.Sprintf("%s-%s.art", id, short))
+}
+
+// Stat reports whether an artifact exists and its payload size. A file
+// that exists but is too short to hold a header reports ok=false.
+func (s *Store) Stat(id, key string) (payloadBytes int64, ok bool) {
+	fi, err := os.Stat(s.Path(id, key))
+	if err != nil {
+		return 0, false
+	}
+	overhead := int64(len(magic) + 2 + len(key) + 8 + sha256.Size)
+	if fi.Size() < overhead {
+		return 0, false
+	}
+	return fi.Size() - overhead, true
+}
+
+// Load returns the verified payload stored under (id, key). A missing
+// file returns ErrMiss; a present but unreadable, truncated, mismatched,
+// or corrupt file returns a descriptive error — the caller recomputes
+// (and a later Save overwrites the bad file).
+func (s *Store) Load(id, key string) ([]byte, error) {
+	raw, err := os.ReadFile(s.Path(id, key))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, ErrMiss
+		}
+		return nil, fmt.Errorf("artifact %s: %w", id, err)
+	}
+	if len(raw) < len(magic)+2 || !bytes.Equal(raw[:len(magic)], magic) {
+		return nil, fmt.Errorf("artifact %s: bad magic", id)
+	}
+	off := len(magic)
+	keyLen := int(binary.LittleEndian.Uint16(raw[off:]))
+	off += 2
+	if len(raw) < off+keyLen+8+sha256.Size {
+		return nil, fmt.Errorf("artifact %s: truncated header", id)
+	}
+	if string(raw[off:off+keyLen]) != key {
+		return nil, fmt.Errorf("artifact %s: key mismatch (stale or colliding file)", id)
+	}
+	off += keyLen
+	payloadLen := binary.LittleEndian.Uint64(raw[off:])
+	off += 8
+	var want [sha256.Size]byte
+	copy(want[:], raw[off:off+sha256.Size])
+	off += sha256.Size
+	payload := raw[off:]
+	if uint64(len(payload)) != payloadLen {
+		return nil, fmt.Errorf("artifact %s: payload length %d, header says %d", id, len(payload), payloadLen)
+	}
+	if sha256.Sum256(payload) != want {
+		return nil, fmt.Errorf("artifact %s: checksum mismatch (corrupt blob)", id)
+	}
+	return payload, nil
+}
+
+// Save stores payload under (id, key) atomically: the bytes land in a
+// temp file in the store directory and are renamed into place, so
+// readers only ever see complete files and concurrent writers of the
+// same key are safe (identical content by construction — keys are
+// content hashes of the inputs).
+func (s *Store) Save(id, key string, payload []byte) error {
+	sum := sha256.Sum256(payload)
+	header := make([]byte, 0, len(magic)+2+len(key)+8+sha256.Size)
+	header = append(header, magic...)
+	header = binary.LittleEndian.AppendUint16(header, uint16(len(key)))
+	header = append(header, key...)
+	header = binary.LittleEndian.AppendUint64(header, uint64(len(payload)))
+	header = append(header, sum[:]...)
+
+	tmp, err := os.CreateTemp(s.dir, "."+id+"-*.tmp")
+	if err != nil {
+		return fmt.Errorf("artifact %s: save: %w", id, err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { os.Remove(tmpName) }
+	if _, err := tmp.Write(header); err != nil {
+		tmp.Close()
+		cleanup()
+		return fmt.Errorf("artifact %s: save: %w", id, err)
+	}
+	if _, err := tmp.Write(payload); err != nil {
+		tmp.Close()
+		cleanup()
+		return fmt.Errorf("artifact %s: save: %w", id, err)
+	}
+	if err := tmp.Close(); err != nil {
+		cleanup()
+		return fmt.Errorf("artifact %s: save: %w", id, err)
+	}
+	if err := os.Rename(tmpName, s.Path(id, key)); err != nil {
+		cleanup()
+		return fmt.Errorf("artifact %s: save: %w", id, err)
+	}
+	return nil
+}

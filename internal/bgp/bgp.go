@@ -122,7 +122,16 @@ type Resolver struct {
 	sites []Site
 	// transitDist[p][siteID] = AS hops from transit/tier-1 p to the site's
 	// host (1 = adjacent, 2 = via one intermediate, 3 = via tier-1 mesh).
+	// Computed lazily on the first route resolution (or seeded from a
+	// persisted artifact) under tablesOnce: a resolver whose routes are
+	// never asked for costs nothing but its site list. The values are
+	// stable against the world's post-construction graph mutations —
+	// host-AS additions and CDN peering never change the transit/tier-1
+	// membership or any transit↔host adjacency — and callers that mutate
+	// the graph after construction (the scenario engine) pin the tables
+	// at construction time via EnsureTables.
 	transitDist map[topology.ASN][]uint8
+	tablesOnce  sync.Once
 
 	cache [routeCacheShards]routeCacheShard
 }
@@ -140,27 +149,42 @@ func NewResolver(g *topology.Graph, sites []Site) (*Resolver, error) {
 			return nil, fmt.Errorf("bgp: site %d has ID %d; IDs must be dense and ordered", i, s.ID)
 		}
 	}
-	r := &Resolver{
-		g:           g,
-		sites:       sites,
-		transitDist: make(map[topology.ASN][]uint8),
-	}
+	r := &Resolver{g: g, sites: sites}
 	for i := range r.cache {
 		r.cache[i].m = make(map[topology.ASN]cachedRoute)
-	}
-	mids := make([]topology.ASN, 0, len(g.Transits())+len(g.Tier1s()))
-	mids = append(mids, g.Transits()...)
-	mids = append(mids, g.Tier1s()...)
-	for _, p := range mids {
-		dists := make([]uint8, len(sites))
-		for j, s := range sites {
-			dists[j] = r.hopsFromTransit(p, s.Host)
-		}
-		r.transitDist[p] = dists
 	}
 	obsResolvers.Inc()
 	return r, nil
 }
+
+// computeTables fills transitDist for every transit and tier-1.
+func (r *Resolver) computeTables() {
+	td := make(map[topology.ASN][]uint8, len(r.g.Transits())+len(r.g.Tier1s()))
+	mids := make([]topology.ASN, 0, len(r.g.Transits())+len(r.g.Tier1s()))
+	mids = append(mids, r.g.Transits()...)
+	mids = append(mids, r.g.Tier1s()...)
+	for _, p := range mids {
+		dists := make([]uint8, len(r.sites))
+		for j, s := range r.sites {
+			dists[j] = r.hopsFromTransit(p, s.Host)
+		}
+		td[p] = dists
+	}
+	r.transitDist = td
+}
+
+// tables returns the transit-distance tables, computing them on first use.
+func (r *Resolver) tables() map[topology.ASN][]uint8 {
+	r.tablesOnce.Do(r.computeTables)
+	return r.transitDist
+}
+
+// EnsureTables forces the transit-distance tables to be computed now,
+// against the graph's current state. The scenario engine calls this at
+// deployment construction so later graph mutations in the same spec
+// (e.g. a peering upgrade after an add_site) cannot leak into an
+// earlier deployment's tables.
+func (r *Resolver) EnsureTables() { r.tables() }
 
 // hopsFromTransit returns the valley-free AS-hop count from transit p to
 // host h: 1 if adjacent, 2 via one of h's providers, else 3 through the
@@ -408,8 +432,9 @@ func (r *Resolver) resolveRoute(src topology.ASN) (Route, bool) {
 	}
 	var opts []provOption
 	bestLen := uint8(255)
+	td := r.tables()
 	for _, p := range S.Providers {
-		dists, ok := r.transitDist[p]
+		dists, ok := td[p]
 		if !ok {
 			// Provider is not a transit (shouldn't happen); skip.
 			continue
@@ -457,7 +482,7 @@ func (r *Resolver) routeViaTransit(S *topology.AS, p topology.ASN, d uint8) Rout
 	}
 	P := r.g.AS(p)
 	entry, _ := P.NearestPresence(S.Loc)
-	dists := r.transitDist[p]
+	dists := r.tables()[p]
 
 	candidates := make([]Site, 0, len(r.sites))
 	for _, s := range r.sites {

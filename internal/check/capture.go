@@ -31,7 +31,7 @@ const probePackets = 1200
 // probeSite picks the deterministic probe target: the first letter and
 // its most popular favorite site (ties to the lowest site ID).
 func probeSite(w *world.World) (li, siteID int) {
-	c := w.Campaign
+	c := w.Campaign()
 	counts := make([]int, len(c.Letters[0].Sites))
 	for ri := 0; ri < c.NumRecursives(); ri++ {
 		if a := c.At(0, ri); a.Reachable {
@@ -52,7 +52,7 @@ func (*CaptureAccounting) Name() string { return "capture-accounting" }
 // Check implements Checker.
 func (ca *CaptureAccounting) Check(ctx context.Context, w *world.World) []Violation {
 	r := &reporter{name: ca.Name()}
-	c := w.Campaign
+	c := w.Campaign()
 	li, siteID := probeSite(w)
 	var buf bytes.Buffer
 	written, err := c.EmitSiteCaptureCtx(ctx, &buf, li, siteID, probePackets, w.Cfg.Seed*7919+1013)

@@ -19,7 +19,7 @@ func (CatchmentPartition) Name() string { return "catchment-partition" }
 // Check implements Checker.
 func (CatchmentPartition) Check(_ context.Context, w *world.World) []Violation {
 	r := &reporter{name: CatchmentPartition{}.Name()}
-	c := w.Campaign
+	c := w.Campaign()
 	const tol = 1e-9
 	for ri := 0; ri < c.NumRecursives(); ri++ {
 		var weightSum float64

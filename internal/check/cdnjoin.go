@@ -26,12 +26,12 @@ func (CDNJoinConservation) Check(ctx context.Context, w *world.World) []Violatio
 		r.addf("cached world join is exact-IP; the /24 join is the paper's primary dataset")
 		return r.violations()
 	}
-	c := w.Campaign
+	c := w.Campaign()
 
 	// Independent recount of the join predicate from public state.
 	want := 0
 	for ri := 0; ri < c.NumRecursives(); ri++ {
-		if w.Rates[ri].RootTotalPerDay() >= 0.5 && w.CDNCounts.By24[c.Pop.Recursives[ri].Key] > 0 {
+		if w.Rates()[ri].RootTotalPerDay() >= 0.5 && w.CDNCounts().By24[c.Pop.Recursives[ri].Key] > 0 {
 			want++
 		}
 	}
@@ -58,11 +58,11 @@ func (CDNJoinConservation) Check(ctx context.Context, w *world.World) []Violatio
 		if row.Key != rec.Key {
 			r.addf("row %d: key %v != recursive %d's key %v", i, row.Key, row.RecIdx, rec.Key)
 		}
-		if got, want := row.QueriesPerDay, w.Rates[row.RecIdx].RootValidPerDay; got != want {
+		if got, want := row.QueriesPerDay, w.Rates()[row.RecIdx].RootValidPerDay; got != want {
 			r.addf("row %d: joined volume %v != recursive %d's valid volume %v",
 				i, got, row.RecIdx, want)
 		}
-		if got, want := row.Users, w.CDNCounts.By24[rec.Key]; got != want {
+		if got, want := row.Users, w.CDNCounts().By24[rec.Key]; got != want {
 			r.addf("row %d: joined users %v != CDN count %v for %v", i, got, want, rec.Key)
 		}
 	}

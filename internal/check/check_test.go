@@ -66,14 +66,14 @@ type fingerprint struct {
 }
 
 func takeFingerprint(w *world.World) fingerprint {
-	s := w.Campaign.Preprocess()
+	s := w.Campaign().Preprocess()
 	return fingerprint{
 		raw: s.RawPerDay, invalid: s.InvalidPerDay, ptr: s.PTRPerDay,
 		private: s.PrivatePerDay, v6: s.V6PerDay, retained: s.RetainedPerDay,
-		recursives:  w.Campaign.NumRecursives(),
+		recursives:  w.Campaign().NumRecursives(),
 		joinRows:    len(w.Join().Rows),
-		totalBy24:   w.CDNCounts.TotalBy24(),
-		usersServed: w.Pop.UsersServed(),
+		totalBy24:   w.CDNCounts().TotalBy24(),
+		usersServed: w.Pop().UsersServed(),
 	}
 }
 
@@ -164,10 +164,10 @@ func TestZeroFaultRateMatchesNoFaults(t *testing.T) {
 	}
 	li, siteID := probeSite(clean)
 	var bufA, bufB bytes.Buffer
-	if _, err := clean.Campaign.EmitSiteCaptureCtx(ctx, &bufA, li, siteID, 400, 77); err != nil {
+	if _, err := clean.Campaign().EmitSiteCaptureCtx(ctx, &bufA, li, siteID, 400, 77); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := zeroed.Campaign.EmitSiteCaptureCtx(ctx, &bufB, li, siteID, 400, 77); err != nil {
+	if _, err := zeroed.Campaign().EmitSiteCaptureCtx(ctx, &bufB, li, siteID, 400, 77); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
@@ -206,11 +206,11 @@ func requireClean(t *testing.T, c Checker, w *world.World) {
 
 func TestFunnelCheckerFiresOnNegativeRate(t *testing.T) {
 	w := scaleWorld(t, 0.05)
-	old := w.Rates[0].RootValidPerDay
-	w.Rates[0].RootValidPerDay = -1
-	defer func() { w.Rates[0].RootValidPerDay = old }()
+	old := w.Rates()[0].RootValidPerDay
+	w.Rates()[0].RootValidPerDay = -1
+	defer func() { w.Rates()[0].RootValidPerDay = old }()
 	requireFires(t, FunnelConservation{}, w, "not finite non-negative")
-	w.Rates[0].RootValidPerDay = old
+	w.Rates()[0].RootValidPerDay = old
 	requireClean(t, FunnelConservation{}, w)
 }
 
@@ -218,11 +218,11 @@ func TestCatchmentCheckerFiresOnMissingSites(t *testing.T) {
 	w := scaleWorld(t, 0.05)
 	// Amputate a letter's site list: every stored assignment beyond site 0
 	// now points out of range, and the partition report must say so.
-	old := w.Campaign.Letters[0].Sites
-	w.Campaign.Letters[0].Sites = old[:1]
-	defer func() { w.Campaign.Letters[0].Sites = old }()
+	old := w.Campaign().Letters[0].Sites
+	w.Campaign().Letters[0].Sites = old[:1]
+	defer func() { w.Campaign().Letters[0].Sites = old }()
 	requireFires(t, CatchmentPartition{}, w, "out of range")
-	w.Campaign.Letters[0].Sites = old
+	w.Campaign().Letters[0].Sites = old
 	requireClean(t, CatchmentPartition{}, w)
 }
 
@@ -231,11 +231,11 @@ func TestStoreCheckerFiresOnConfigDrift(t *testing.T) {
 	// Shrink the declared secondary-share cap after the fact: stored
 	// secondary fractions are now out of bounds against the config they
 	// were built under, which the store self-check reports.
-	old := w.Campaign.Cfg.SecondaryShareMax
-	w.Campaign.Cfg.SecondaryShareMax = 0
-	defer func() { w.Campaign.Cfg.SecondaryShareMax = old }()
+	old := w.Campaign().Cfg.SecondaryShareMax
+	w.Campaign().Cfg.SecondaryShareMax = 0
+	defer func() { w.Campaign().Cfg.SecondaryShareMax = old }()
 	requireFires(t, CampaignStore{}, w, "outside [0, 0]")
-	w.Campaign.Cfg.SecondaryShareMax = old
+	w.Campaign().Cfg.SecondaryShareMax = old
 	requireClean(t, CampaignStore{}, w)
 }
 
@@ -246,11 +246,11 @@ func TestJoinCheckerFiresOnRewrittenCount(t *testing.T) {
 		t.Fatal("empty join")
 	}
 	key := j.Rows[0].Key
-	old := w.CDNCounts.By24[key]
-	w.CDNCounts.By24[key] = old + 1
-	defer func() { w.CDNCounts.By24[key] = old }()
+	old := w.CDNCounts().By24[key]
+	w.CDNCounts().By24[key] = old + 1
+	defer func() { w.CDNCounts().By24[key] = old }()
 	requireFires(t, CDNJoinConservation{}, w, "joined users")
-	w.CDNCounts.By24[key] = old
+	w.CDNCounts().By24[key] = old
 	requireClean(t, CDNJoinConservation{}, w)
 }
 
@@ -261,11 +261,11 @@ func TestUserViewCheckerFiresOnInflatedCount(t *testing.T) {
 		t.Fatal("empty join")
 	}
 	key := j.Rows[0].Key
-	old := w.CDNCounts.By24[key]
-	w.CDNCounts.By24[key] = old + 1
-	defer func() { w.CDNCounts.By24[key] = old }()
+	old := w.CDNCounts().By24[key]
+	w.CDNCounts().By24[key] = old + 1
+	defer func() { w.CDNCounts().By24[key] = old }()
 	requireFires(t, UserViewConservation{}, w, "sum of its per-IP counts")
-	w.CDNCounts.By24[key] = old
+	w.CDNCounts().By24[key] = old
 	requireClean(t, UserViewConservation{}, w)
 }
 
@@ -284,7 +284,7 @@ func TestObsCheckerFiresOnCounterInterference(t *testing.T) {
 	// emission between its snapshots breaks the delta reconciliation.
 	li, siteID := probeSite(w)
 	c := &ObsAccounting{Perturb: func() {
-		if _, err := w.Campaign.EmitSiteCaptureCtx(context.Background(),
+		if _, err := w.Campaign().EmitSiteCaptureCtx(context.Background(),
 			io.Discard, li, siteID, 50, 99); err != nil {
 			t.Fatal(err)
 		}

@@ -21,17 +21,17 @@ func (FunnelConservation) Name() string { return "funnel-conservation" }
 // Check implements Checker.
 func (FunnelConservation) Check(_ context.Context, w *world.World) []Violation {
 	r := &reporter{name: FunnelConservation{}.Name()}
-	c := w.Campaign
+	c := w.Campaign()
 
-	if len(w.Rates) != c.NumRecursives() {
-		r.addf("world has %d rates for %d campaign recursives", len(w.Rates), c.NumRecursives())
+	if len(w.Rates()) != c.NumRecursives() {
+		r.addf("world has %d rates for %d campaign recursives", len(w.Rates()), c.NumRecursives())
 		return r.violations()
 	}
 
 	// Oracle fold, in the same index order Preprocess uses so agreement
 	// is insensitive only to genuine value changes, not summation order.
 	var valid, invalid, ptr float64
-	for ri, rate := range w.Rates {
+	for ri, rate := range w.Rates() {
 		for _, comp := range []struct {
 			name string
 			v    float64

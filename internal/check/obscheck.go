@@ -29,7 +29,7 @@ func (*ObsAccounting) Name() string { return "obs-accounting" }
 // Check implements Checker.
 func (o *ObsAccounting) Check(ctx context.Context, w *world.World) []Violation {
 	r := &reporter{name: o.Name()}
-	c := w.Campaign
+	c := w.Campaign()
 
 	// Funnel gauges: Preprocess sets them from the stats it returns.
 	s := c.Preprocess()

@@ -36,13 +36,11 @@ func (RouteCacheCoherence) Check(ctx context.Context, w *world.World) []Violatio
 		d     *anycastnet.Deployment
 	}
 	var deps []dep
-	for _, l := range w.Letters {
+	for _, l := range w.Letters() {
 		deps = append(deps, dep{"letter " + l.Name, l})
 	}
-	if w.CDN != nil {
-		for _, ring := range w.CDN.Rings {
-			deps = append(deps, dep{"ring " + ring.Name, ring.Deployment})
-		}
+	for _, ring := range w.CDN().Rings {
+		deps = append(deps, dep{"ring " + ring.Name, ring.Deployment})
 	}
 	for _, de := range deps {
 		checkDeployment(w, de.label, de.d, r)
@@ -72,7 +70,7 @@ func checkDeployment(w *world.World, label string, d *anycastnet.Deployment, r *
 	// A fresh resolver over the same graph and sites is the oracle: its
 	// cache starts empty, so every sampled route is re-derived from
 	// scratch.
-	fresh, err := anycastnet.NewDeployment(w.Graph, d.Name+"-coherence-oracle", d.Sites)
+	fresh, err := anycastnet.NewDeployment(w.Graph(), d.Name+"-coherence-oracle", d.Sites)
 	if err != nil {
 		r.addf("%s: building oracle deployment: %v", label, err)
 		return

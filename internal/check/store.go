@@ -27,7 +27,7 @@ func (CampaignStore) Name() string { return "campaign-store" }
 // Check implements Checker.
 func (CampaignStore) Check(_ context.Context, w *world.World) []Violation {
 	r := &reporter{name: CampaignStore{}.Name()}
-	c := w.Campaign
+	c := w.Campaign()
 	for _, msg := range c.IntegrityViolations() {
 		r.addf("%s", msg)
 	}
@@ -83,7 +83,7 @@ func (CampaignStore) Check(_ context.Context, w *world.World) []Violation {
 	}
 	for ri := 0; ri < n; ri += riStride {
 		eg := len(c.Egress(ri))
-		if w.Rates[ri].RootTotalPerDay() < 0.5 {
+		if w.Rates()[ri].RootTotalPerDay() < 0.5 {
 			if eg != 0 {
 				r.addf("recursive %d: forwarder exposes %d DITL egress addresses, want 0", ri, eg)
 			}

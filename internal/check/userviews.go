@@ -23,19 +23,19 @@ func (UserViewConservation) Check(_ context.Context, w *world.World) []Violation
 	r := &reporter{name: UserViewConservation{}.Name()}
 
 	// Ground truth: splitting users across recursives loses nobody.
-	if got, want := w.Pop.UsersServed(), w.Pop.TotalUsers; !near(got, want, 1e-6) {
+	if got, want := w.Pop().UsersServed(), w.Pop().TotalUsers; !near(got, want, 1e-6) {
 		r.addf("recursives serve %v users, population is %v", got, want)
 	}
 
 	// CDN view vs truth, per recursive.
 	matchedIPs, matched24s := 0, 0
-	for ri := range w.Pop.Recursives {
-		rec := &w.Pop.Recursives[ri]
+	for ri := range w.Pop().Recursives {
+		rec := &w.Pop().Recursives[ri]
 		// Per-IP counts sum to the /24 count in IP order — the builder
 		// computes the /24 total as exactly that fold, so bit-for-bit.
 		var ipSum float64
 		for _, ip := range rec.IPs {
-			if u, ok := w.CDNCounts.ByIP[ip]; ok {
+			if u, ok := w.CDNCounts().ByIP[ip]; ok {
 				matchedIPs++
 				ipSum += u
 				if u < 1 {
@@ -43,7 +43,7 @@ func (UserViewConservation) Check(_ context.Context, w *world.World) []Violation
 				}
 			}
 		}
-		u24, ok := w.CDNCounts.By24[rec.Key]
+		u24, ok := w.CDNCounts().By24[rec.Key]
 		if !ok {
 			if ipSum >= 1 {
 				r.addf("recursive %d: per-IP counts sum to %v but the /24 aggregate is missing",
@@ -60,27 +60,27 @@ func (UserViewConservation) Check(_ context.Context, w *world.World) []Violation
 				ri, u24, rec.Users)
 		}
 	}
-	if matchedIPs != len(w.CDNCounts.ByIP) {
+	if matchedIPs != len(w.CDNCounts().ByIP) {
 		r.addf("CDN dataset has %d per-IP entries but only %d belong to known resolver IPs",
-			len(w.CDNCounts.ByIP), matchedIPs)
+			len(w.CDNCounts().ByIP), matchedIPs)
 	}
-	if matched24s != len(w.CDNCounts.By24) {
+	if matched24s != len(w.CDNCounts().By24) {
 		r.addf("CDN dataset has %d /24 entries but only %d belong to known recursives",
-			len(w.CDNCounts.By24), matched24s)
+			len(w.CDNCounts().By24), matched24s)
 	}
-	if got, want := w.CDNCounts.TotalBy24(), w.Pop.UsersServed(); got >= want {
+	if got, want := w.CDNCounts().TotalBy24(), w.Pop().UsersServed(); got >= want {
 		r.addf("CDN dataset totals %v users, at or above ground truth %v", got, want)
 	}
 
 	// APNIC view vs truth, per eyeball AS.
 	matchedASes := 0
-	for _, asn := range w.Graph.Eyeballs() {
-		est, ok := w.APNIC.ByASN[asn]
+	for _, asn := range w.Graph().Eyeballs() {
+		est, ok := w.APNIC().ByASN[asn]
 		if !ok {
 			continue
 		}
 		matchedASes++
-		truth := w.Graph.AS(asn).UserWeight * w.Pop.TotalUsers
+		truth := w.Graph().AS(asn).UserWeight * w.Pop().TotalUsers
 		if truth <= 0 {
 			r.addf("AS %d: APNIC estimate %v for an AS with no users", asn, est)
 			continue
@@ -90,9 +90,9 @@ func (UserViewConservation) Check(_ context.Context, w *world.World) []Violation
 				asn, est, ratio, truth)
 		}
 	}
-	if matchedASes != len(w.APNIC.ByASN) {
+	if matchedASes != len(w.APNIC().ByASN) {
 		r.addf("APNIC dataset has %d entries but only %d belong to eyeball ASes",
-			len(w.APNIC.ByASN), matchedASes)
+			len(w.APNIC().ByASN), matchedASes)
 	}
 	return r.violations()
 }

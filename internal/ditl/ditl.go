@@ -306,7 +306,7 @@ func Build(ctx context.Context, g *topology.Graph, letters []*anycastnet.Deploym
 	// one AS share routes, and each (letter, AS) route is computed exactly
 	// once in the resolver's memo, so the assembly fan-out below only ever
 	// hits warm caches.
-	srcs := uniqueSources(pop)
+	srcs := UniqueSources(pop)
 	warmCtx, warm := obs.StartSpanCtx(ctx, "ditl.warm_routes")
 	for _, l := range letters {
 		l.WarmRoutesCtx(warmCtx, srcs)
@@ -381,10 +381,10 @@ func Build(ctx context.Context, g *topology.Graph, letters []*anycastnet.Deploym
 	return c, nil
 }
 
-// uniqueSources lists the distinct ASes of pop's recursives in
+// UniqueSources lists the distinct ASes of pop's recursives in
 // first-appearance order — the deterministic ordering the route dedup
 // tables key on.
-func uniqueSources(pop *users.Population) []topology.ASN {
+func UniqueSources(pop *users.Population) []topology.ASN {
 	srcs := make([]topology.ASN, 0, len(pop.Recursives))
 	seen := make(map[topology.ASN]bool, len(pop.Recursives))
 	for ri := range pop.Recursives {

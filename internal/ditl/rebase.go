@@ -77,7 +77,7 @@ func (base *Campaign) Rebase(ctx context.Context, letters []*anycastnet.Deployme
 
 	// Warm every letter's route cache across all CPUs. Seeded entries
 	// make this a read-through; only the dirty set actually resolves.
-	srcs := uniqueSources(base.Pop)
+	srcs := UniqueSources(base.Pop)
 	warmCtx, warm := obs.StartSpanCtx(ctx, "ditl.warm_routes")
 	for _, l := range letters {
 		l.WarmRoutesCtx(warmCtx, srcs)

@@ -81,10 +81,10 @@ func apply(ctx context.Context, base *world.World, spec Spec, full bool) (*appli
 	ctx, span := obs.StartSpanCtx(ctx, "scenario.apply")
 	defer span.End()
 	seed := base.Cfg.Seed
-	g2 := base.Graph.Clone()
+	g2 := base.Graph().Clone()
 
 	letterIndex := func(name string) int {
-		for i, l := range base.Letters {
+		for i, l := range base.Letters() {
 			if l.Name == name {
 				return i
 			}
@@ -92,7 +92,7 @@ func apply(ctx context.Context, base *world.World, spec Spec, full bool) (*appli
 		return -1
 	}
 	ringIndex := func(name string) int {
-		for i, r := range base.CDN.Rings {
+		for i, r := range base.CDN().Rings {
 			if r.Name == name {
 				return i
 			}
@@ -122,7 +122,7 @@ func apply(ctx context.Context, base *world.World, spec Spec, full bool) (*appli
 				return nil, fmt.Errorf("scenario %s: withdraw_site: no letter %q", spec.Name, m.Target)
 			}
 			lm := letter(li)
-			sites := base.Letters[li].Sites
+			sites := base.Letters()[li].Sites
 			if m.Site < 0 || m.Site >= len(sites) {
 				return nil, fmt.Errorf("scenario %s: withdraw_site: %s has no site %d (0..%d)",
 					spec.Name, m.Target, m.Site, len(sites)-1)
@@ -139,11 +139,11 @@ func apply(ctx context.Context, base *world.World, spec Spec, full bool) (*appli
 			}
 			lm := letter(li)
 			st := rng.NewRand(seed, rng.PhaseScenario, uint64(mi))
-			loc := placeSite(g2, base.Letters[li].Sites, lm.added, st.Float64(), st.Float64())
+			loc := placeSite(g2, base.Letters()[li].Sites, lm.added, st.Float64(), st.Float64())
 			// The new host mirrors BuildLetter's global-site hosts: the
 			// openness of the letter's first (always global) site's host,
 			// nearby transit upstreams, single-point presence.
-			richness := g2.AS(base.Letters[li].Sites[0].Host).PeeringRichness
+			richness := g2.AS(base.Letters()[li].Sites[0].Host).PeeringRichness
 			h := g2.AddHostAS(fmt.Sprintf("root-%s-scn-%d", m.Target, len(lm.added)),
 				loc, anycastnet.NearbyUpstreams(g2, loc, st), richness)
 			lm.added = append(lm.added, addedSite{loc: loc, host: h.ASN})
@@ -160,7 +160,7 @@ func apply(ctx context.Context, base *world.World, spec Spec, full bool) (*appli
 			var dirty map[topology.ASN]bool
 			if li := letterIndex(m.Target); li >= 0 {
 				seen := map[topology.ASN]bool{}
-				for _, s := range base.Letters[li].Sites {
+				for _, s := range base.Letters()[li].Sites {
 					if !seen[s.Host] {
 						seen[s.Host] = true
 						hosts = append(hosts, s.Host)
@@ -170,7 +170,7 @@ func apply(ctx context.Context, base *world.World, spec Spec, full bool) (*appli
 			} else if strings.EqualFold(m.Target, "cdn") || ringIndex(m.Target) >= 0 {
 				// All rings share the CDN's network, so any CDN-flavored
 				// target upgrades every ring.
-				hosts = []topology.ASN{base.CDN.ASN}
+				hosts = []topology.ASN{base.CDN().ASN}
 				dirty = cdnDirty
 				cdnPeer = true
 			} else {
@@ -191,9 +191,9 @@ func apply(ctx context.Context, base *world.World, spec Spec, full bool) (*appli
 			if ci < 0 {
 				return nil, fmt.Errorf("scenario %s: resize_ring: no ring %q", spec.Name, m.Target)
 			}
-			if m.Size < 1 || m.Size > len(base.CDN.PoPs) {
+			if m.Size < 1 || m.Size > len(base.CDN().PoPs) {
 				return nil, fmt.Errorf("scenario %s: resize_ring: size %d out of 1..%d",
-					spec.Name, m.Size, len(base.CDN.PoPs))
+					spec.Name, m.Size, len(base.CDN().PoPs))
 			}
 			if _, dup := ringSizes[ci]; dup {
 				return nil, fmt.Errorf("scenario %s: ring %s resized twice", spec.Name, m.Target)
@@ -227,13 +227,13 @@ func apply(ctx context.Context, base *world.World, spec Spec, full bool) (*appli
 	for li, lm := range muts {
 		if lm.swapWith >= 0 && (len(lm.removed) > 0 || len(lm.added) > 0 || len(lm.dirtySrc) > 0) {
 			return nil, fmt.Errorf("scenario %s: swap_letters cannot combine with other mutations on letter %s",
-				spec.Name, base.Letters[li].Name)
+				spec.Name, base.Letters()[li].Name)
 		}
 	}
 
 	app := &applied{
-		letters:     make([]*anycastnet.Deployment, len(base.Letters)),
-		letterRemap: make([][]int, len(base.Letters)),
+		letters:     make([]*anycastnet.Deployment, len(base.Letters())),
+		letterRemap: make([][]int, len(base.Letters())),
 		surge:       surge,
 	}
 	for li := range muts {
@@ -242,7 +242,7 @@ func apply(ctx context.Context, base *world.World, spec Spec, full bool) (*appli
 	sort.Ints(app.mutatedLetters)
 
 	_, routes := obs.StartSpanCtx(ctx, "scenario.routes")
-	for li, baseDep := range base.Letters {
+	for li, baseDep := range base.Letters() {
 		lm := muts[li]
 		switch {
 		case lm == nil:
@@ -256,7 +256,7 @@ func apply(ctx context.Context, base *world.World, spec Spec, full bool) (*appli
 				app.letters[li] = baseDep
 			}
 		case lm.swapWith >= 0:
-			src := base.Letters[lm.swapWith]
+			src := base.Letters()[lm.swapWith]
 			if full {
 				d, err := anycastnet.NewDeployment(g2, baseDep.Name, src.Sites)
 				if err != nil {
@@ -290,8 +290,8 @@ func apply(ctx context.Context, base *world.World, spec Spec, full bool) (*appli
 
 	// Rings: always rebuilt as a fresh ring slice on the overlay graph;
 	// untouched rings share the base deployment (and with it the cache).
-	newRings := make([]*cdn.Ring, len(base.CDN.Rings))
-	for ci, ring := range base.CDN.Rings {
+	newRings := make([]*cdn.Ring, len(base.CDN().Rings))
+	for ci, ring := range base.CDN().Rings {
 		newSize, resized := ringSizes[ci]
 		if resized || cdnPeer {
 			app.mutatedRings = append(app.mutatedRings, ci)
@@ -306,15 +306,15 @@ func apply(ctx context.Context, base *world.World, spec Spec, full bool) (*appli
 		sites := make([]bgp.Site, newSize)
 		locs := make([]geo.Coord, newSize)
 		for i := 0; i < newSize; i++ {
-			sites[i] = bgp.Site{ID: i, Loc: base.CDN.PoPs[i], Host: base.CDN.ASN, Global: true}
-			locs[i] = base.CDN.PoPs[i]
+			sites[i] = bgp.Site{ID: i, Loc: base.CDN().PoPs[i], Host: base.CDN().ASN, Global: true}
+			locs[i] = base.CDN().PoPs[i]
 		}
 		var dep *anycastnet.Deployment
 		var err error
 		if full {
 			dep, err = anycastnet.NewDeployment(g2, ring.Name, sites)
 		} else {
-			keeps := ringKeeps(base.CDN, ring.Size(), newSize, cdnPeer, cdnDirty)
+			keeps := ringKeeps(base.CDN(), ring.Size(), newSize, cdnPeer, cdnDirty)
 			// Ring sites are a PoP prefix, so surviving IDs never shift:
 			// the remap is always identity.
 			dep, err = anycastnet.Derive(ring.Deployment, g2, ring.Name, sites, nil, andKeep(keeps))
@@ -327,9 +327,9 @@ func apply(ctx context.Context, base *world.World, spec Spec, full bool) (*appli
 	routes.End()
 
 	ov := base.Overlay()
-	ov.Graph = g2
-	ov.Letters = app.letters
-	ov.CDN = base.CDN.Overlay(g2, newRings)
+	ov.SetGraph(g2)
+	ov.SetLetters(app.letters)
+	ov.SetCDN(base.CDN().Overlay(g2, newRings))
 	app.ov = ov
 
 	// Campaign: ring-only scenarios leave it untouched — share it, and
@@ -342,8 +342,8 @@ func apply(ctx context.Context, base *world.World, spec Spec, full bool) (*appli
 		return app, nil
 	}
 
-	camp := base.Campaign
-	n := len(base.Pop.Recursives)
+	camp := base.Campaign()
+	n := len(base.Pop().Recursives)
 	affected := make([]bool, n)
 	allAffected := full || surge != 0
 	for _, li := range app.mutatedLetters {
@@ -368,7 +368,7 @@ func apply(ctx context.Context, base *world.World, spec Spec, full bool) (*appli
 				// one, and BaseRTTMs is keyed by site ID (circuity), so
 				// any recursive routed at or beyond it gets a different
 				// RTT — which feeds its softmax across ALL letters.
-				w := len(base.Letters[li].Sites)
+				w := len(base.Letters()[li].Sites)
 				for s := range lm.removed {
 					if s < w {
 						w = s
@@ -385,7 +385,7 @@ func apply(ctx context.Context, base *world.World, spec Spec, full bool) (*appli
 				camp.MarkSecondarySite(li, func(s int) bool { return lm.removed[s] }, affected)
 			}
 			for ri := 0; ri < n; ri++ {
-				if !affected[ri] && lm.dirtySrc[base.Pop.Recursives[ri].ASN] {
+				if !affected[ri] && lm.dirtySrc[base.Pop().Recursives[ri].ASN] {
 					affected[ri] = true
 				}
 			}
@@ -401,8 +401,8 @@ func apply(ctx context.Context, base *world.World, spec Spec, full bool) (*appli
 
 	var rates []dnssim.Rates
 	if surge != 0 {
-		rates = surgeRates(base.Rates, surge)
-		ov.Rates = rates
+		rates = surgeRates(base.Rates(), surge)
+		ov.SetRates(rates)
 	}
 
 	campCtx, campSpan := obs.StartSpanCtx(ctx, "scenario.campaign")
@@ -411,7 +411,7 @@ func apply(ctx context.Context, base *world.World, spec Spec, full bool) (*appli
 	if err != nil {
 		return nil, err
 	}
-	ov.Campaign = newCamp
+	ov.SetCampaign(newCamp)
 	return app, nil
 }
 

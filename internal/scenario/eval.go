@@ -46,7 +46,7 @@ func (b *Baseline) letterInflation(ctx context.Context, li int) []stats.Weighted
 	if v, ok := b.letterInfl[li]; ok {
 		return v
 	}
-	v := core.GeoInflationLetter(b.W.Campaign, li, b.W.JoinCtx(ctx))
+	v := core.GeoInflationLetter(b.W.Campaign(), li, b.W.JoinCtx(ctx))
 	b.letterInfl[li] = v
 	return v
 }
@@ -55,7 +55,7 @@ func (b *Baseline) ringInflation(ci int) []stats.WeightedValue {
 	if v, ok := b.ringInfl[ci]; ok {
 		return v
 	}
-	v := core.CDNGeoInflationRoutes(b.W.CDN.Rings[ci], b.W.Locations)
+	v := core.CDNGeoInflationRoutes(b.W.CDN().Rings[ci], b.W.Locations())
 	b.ringInfl[ci] = v
 	return v
 }
@@ -147,17 +147,17 @@ func (r *Result) renderCatchmentShift(sb *strings.Builder) {
 		Title:   "catchment shift (eyeball ASes landing on a different physical site)",
 		Headers: []string{"deployment", "sites", "moved AS %", "moved user %"},
 	}
-	srcs := r.Base.W.Graph.Eyeballs()
+	srcs := r.Base.W.Graph().Eyeballs()
 	for _, li := range r.app.mutatedLetters {
-		base, mut := r.Base.W.Letters[li], r.World.Letters[li]
-		asPct, userPct := catchmentShift(r.Base.W.Graph, srcs, base, mut, r.app.letterRemap[li])
+		base, mut := r.Base.W.Letters()[li], r.World.Letters()[li]
+		asPct, userPct := catchmentShift(r.Base.W.Graph(), srcs, base, mut, r.app.letterRemap[li])
 		t.AddRow("letter "+base.Name,
 			fmt.Sprintf("%d -> %d", len(base.Sites), len(mut.Sites)),
 			fmt.Sprintf("%.1f", asPct), fmt.Sprintf("%.1f", userPct))
 	}
 	for _, ci := range r.app.mutatedRings {
-		base, mut := r.Base.W.CDN.Rings[ci], r.World.CDN.Rings[ci]
-		asPct, userPct := catchmentShift(r.Base.W.Graph, srcs, base.Deployment, mut.Deployment, nil)
+		base, mut := r.Base.W.CDN().Rings[ci], r.World.CDN().Rings[ci]
+		asPct, userPct := catchmentShift(r.Base.W.Graph(), srcs, base.Deployment, mut.Deployment, nil)
 		t.AddRow("ring "+base.Name,
 			fmt.Sprintf("%d -> %d", base.Size(), mut.Size()),
 			fmt.Sprintf("%.1f", asPct), fmt.Sprintf("%.1f", userPct))
@@ -197,16 +197,16 @@ func catchmentShift(g *topology.Graph, srcs []topology.ASN,
 }
 
 func (r *Result) renderLetter(ctx context.Context, sb *strings.Builder, li int) {
-	name := r.Base.W.Letters[li].Name
+	name := r.Base.W.Letters()[li].Name
 	baseObs := r.Base.letterInflation(ctx, li)
-	mutObs := core.GeoInflationLetter(r.World.Campaign, li, r.World.JoinCtx(ctx))
+	mutObs := core.GeoInflationLetter(r.World.Campaign(), li, r.World.JoinCtx(ctx))
 	r.renderInflation(sb, "letter "+name, baseObs, mutObs)
 }
 
 func (r *Result) renderRing(sb *strings.Builder, ci int) {
-	name := r.Base.W.CDN.Rings[ci].Name
+	name := r.Base.W.CDN().Rings[ci].Name
 	baseObs := r.Base.ringInflation(ci)
-	mutObs := core.CDNGeoInflationRoutes(r.World.CDN.Rings[ci], r.World.Locations)
+	mutObs := core.CDNGeoInflationRoutes(r.World.CDN().Rings[ci], r.World.Locations())
 	r.renderInflation(sb, "ring "+name+" (route-only)", baseObs, mutObs)
 }
 
@@ -239,8 +239,8 @@ func (r *Result) renderInflation(sb *strings.Builder, label string, baseObs, mut
 // renderSurge renders the queries/user/day shift of a traffic surge over
 // the DITL∩CDN join.
 func (r *Result) renderSurge(ctx context.Context, sb *strings.Builder) {
-	baseObs := core.QueriesPerUserCDN(r.Base.W.Campaign, r.Base.W.JoinCtx(ctx), core.ValidOnly)
-	mutObs := core.QueriesPerUserCDN(r.World.Campaign, r.World.JoinCtx(ctx), core.ValidOnly)
+	baseObs := core.QueriesPerUserCDN(r.Base.W.Campaign(), r.Base.W.JoinCtx(ctx), core.ValidOnly)
+	mutObs := core.QueriesPerUserCDN(r.World.Campaign(), r.World.JoinCtx(ctx), core.ValidOnly)
 	cb, errB := stats.NewCDF(baseObs)
 	cm, errM := stats.NewCDF(mutObs)
 	if errB != nil || errM != nil {
@@ -265,4 +265,4 @@ func (r *Result) CampaignShared() bool { return r.app.campaignShared }
 
 // MutatedCampaign returns the scenario's campaign (the base one when
 // shared).
-func (r *Result) MutatedCampaign() *ditl.Campaign { return r.World.Campaign }
+func (r *Result) MutatedCampaign() *ditl.Campaign { return r.World.Campaign() }

@@ -75,13 +75,13 @@ func catchmentDigest(w *world.World) uint64 {
 	h := fnv.New64a()
 	buf := make([]byte, 8)
 	u64 := func(v uint64) { binary.LittleEndian.PutUint64(buf, v); h.Write(buf) }
-	deps := append([]*anycastnet.Deployment(nil), w.Letters...)
-	for _, ring := range w.CDN.Rings {
+	deps := append([]*anycastnet.Deployment(nil), w.Letters()...)
+	for _, ring := range w.CDN().Rings {
 		deps = append(deps, ring.Deployment)
 	}
 	for _, d := range deps {
 		h.Write([]byte(d.Name))
-		for _, src := range w.Graph.Eyeballs() {
+		for _, src := range w.Graph().Eyeballs() {
 			rt, ok := d.Route(src)
 			if !ok {
 				u64(^uint64(0))
@@ -117,7 +117,7 @@ func TestScenarioEquivalence(t *testing.T) {
 	for _, scale := range scales {
 		w := buildWorld(t, scale)
 		b := scenario.NewBaseline(w)
-		baseDigest := campaignDigest(w.Campaign)
+		baseDigest := campaignDigest(w.Campaign())
 		for _, procs := range []int{1, 0} {
 			for _, spec := range scenario.Builtins() {
 				spec := spec
@@ -136,7 +136,7 @@ func TestScenarioEquivalence(t *testing.T) {
 						if incRep != fullRep {
 							t.Errorf("report mismatch:\n--- incremental ---\n%s\n--- full rebuild ---\n%s", incRep, fullRep)
 						}
-						if di, df := campaignDigest(inc.World.Campaign), campaignDigest(full.World.Campaign); di != df {
+						if di, df := campaignDigest(inc.World.Campaign()), campaignDigest(full.World.Campaign()); di != df {
 							t.Errorf("campaign digest mismatch: incremental %x, full %x", di, df)
 						}
 						if di, df := catchmentDigest(inc.World), catchmentDigest(full.World); di != df {
@@ -146,7 +146,7 @@ func TestScenarioEquivalence(t *testing.T) {
 				})
 			}
 		}
-		if d := campaignDigest(w.Campaign); d != baseDigest {
+		if d := campaignDigest(w.Campaign()); d != baseDigest {
 			t.Errorf("scale %g: base campaign mutated by scenario evaluation: %x != %x", scale, d, baseDigest)
 		}
 	}
@@ -166,7 +166,7 @@ func TestScenarioNoop(t *testing.T) {
 	if !inc.CampaignShared() {
 		t.Errorf("noop scenario did not share the base campaign")
 	}
-	if inc.World.Campaign != w.Campaign {
+	if inc.World.Campaign() != w.Campaign() {
 		t.Errorf("noop scenario rebuilt the campaign")
 	}
 	full, err := scenario.Eval(ctx, b, noop, scenario.Options{FullRebuild: true})
@@ -176,7 +176,7 @@ func TestScenarioNoop(t *testing.T) {
 	if ir, fr := inc.Report(ctx), full.Report(ctx); ir != fr {
 		t.Errorf("noop report mismatch:\n--- incremental ---\n%s\n--- full ---\n%s", ir, fr)
 	}
-	if di, df := campaignDigest(inc.World.Campaign), campaignDigest(full.World.Campaign); di != df {
+	if di, df := campaignDigest(inc.World.Campaign()), campaignDigest(full.World.Campaign()); di != df {
 		t.Errorf("noop campaign digest mismatch")
 	}
 }
@@ -254,7 +254,7 @@ func TestCatchmentShiftDirection(t *testing.T) {
 		t.Fatalf("eval: %v", err)
 	}
 	var li int = -1
-	for i, l := range w.Letters {
+	for i, l := range w.Letters() {
 		if l.Name == "B" {
 			li = i
 		}
@@ -262,11 +262,11 @@ func TestCatchmentShiftDirection(t *testing.T) {
 	if li < 0 {
 		t.Fatalf("no letter B")
 	}
-	mut := res.World.Letters[li]
+	mut := res.World.Letters()[li]
 	if got := len(mut.Sites); got != 1 {
 		t.Fatalf("B has %d sites after withdrawal, want 1", got)
 	}
-	for _, src := range w.Graph.Eyeballs() {
+	for _, src := range w.Graph().Eyeballs() {
 		if rt, ok := mut.Route(src); ok && rt.SiteID != 0 {
 			t.Fatalf("AS%d routed to site %d of a 1-site deployment", src, rt.SiteID)
 		}

@@ -196,6 +196,12 @@ type Graph struct {
 	peerSalt uint64
 	nextASN  ASN
 	rng      *rand.Rand
+
+	// ridx caches region-center unit vectors for AddHostAS's home-region
+	// scan. Regions never change after construction, so the index is built
+	// once, lazily (racing builders store identical values); Clone starts
+	// with a fresh zero field and rebuilds on first use.
+	ridx atomic.Pointer[presenceIndex]
 }
 
 // New generates the hierarchy: tier-1 clique, regional transits (each a
@@ -466,10 +472,37 @@ func (g *Graph) All() []ASN { return g.order }
 // Len returns the number of ASes.
 func (g *Graph) Len() int { return len(g.order) }
 
+// nearestRegion is geo.NearestRegion over g.Regions, sharing the
+// dot-product scan NearestPresence uses: region-center unit vectors are
+// cached for the graph's lifetime, so each lookup costs one UnitVec plus
+// n multiply-adds instead of n haversines. Same first-wins ordering.
+func (g *Graph) nearestRegion(c geo.Coord) int {
+	if len(g.Regions) == 0 {
+		return -1
+	}
+	idx := g.ridx.Load()
+	if idx == nil {
+		n := len(g.Regions)
+		idx = &presenceIndex{x: make([]float64, n), y: make([]float64, n), z: make([]float64, n)}
+		for i, r := range g.Regions {
+			idx.x[i], idx.y[i], idx.z[i] = geo.UnitVec(r.Center)
+		}
+		g.ridx.Store(idx)
+	}
+	cx, cy, cz := geo.UnitVec(c)
+	best, bestDot := 0, idx.x[0]*cx+idx.y[0]*cy+idx.z[0]*cz
+	for i := 1; i < len(g.Regions); i++ {
+		if dot := idx.x[i]*cx + idx.y[i]*cy + idx.z[i]*cz; dot > bestDot {
+			best, bestDot = i, dot
+		}
+	}
+	return best
+}
+
 // AddHostAS creates a host AS at loc (home region inferred) with the given
 // upstream providers and peering richness, registering it in the graph.
 func (g *Graph) AddHostAS(name string, loc geo.Coord, providers []ASN, richness float64) *AS {
-	ri := geo.NearestRegion(g.Regions, loc)
+	ri := g.nearestRegion(loc)
 	as := &AS{
 		ASN:             g.allocASN(),
 		Class:           ClassHost,

@@ -1,18 +1,28 @@
-// Package world is the composition root: it builds the entire simulated
+// Package world is the composition root: it builds the simulated
 // measurement environment — regions, AS topology, user population, root
 // zone, query rates, root letter deployments, the CDN, user-count
 // datasets, and the Atlas platform — from one seeded configuration, with
 // presets matching the paper's 2018 and 2020 DITL scenarios.
+//
+// The build is a declarative stage graph (internal/stage): experiments
+// demand the stages they need and nothing else is computed, and stages
+// with a binary codec persist their output in a content-addressed
+// artifact store (internal/artifact) so a warm run loads instead of
+// recomputing. The hard contract is that a warm run is byte-identical to
+// a cold one at every scale and worker count; the store can only ever
+// make a run faster, never different.
 package world
 
 import (
 	"context"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"sync"
 
 	"anycastctx/internal/anycastnet"
+	"anycastctx/internal/artifact"
 	"anycastctx/internal/atlas"
 	"anycastctx/internal/cdn"
 	"anycastctx/internal/ditl"
@@ -21,13 +31,15 @@ import (
 	"anycastctx/internal/geo"
 	"anycastctx/internal/latency"
 	"anycastctx/internal/obs"
-	"anycastctx/internal/rng"
+	"anycastctx/internal/stage"
 	"anycastctx/internal/topology"
 	"anycastctx/internal/users"
 )
 
-// Observability handles. Build phases are spanned under "world.build";
-// the gauges describe the last world built in this process.
+// Observability handles. Stage work is spanned under "world.<stage>"
+// (grouped under "world.build" for a classic full build); the gauges
+// describe the last world materialized in this process. Per-stage
+// hit/miss/compute counters live in stages.go.
 var (
 	obsBuilds     = obs.NewCounter("world.builds")
 	obsRegions    = obs.NewGauge("world.regions")
@@ -66,6 +78,11 @@ type Config struct {
 	// The zero value injects nothing and leaves every output
 	// byte-identical to a fault-free build.
 	Faults faults.Policy
+	// CacheDir, when set, is the artifact store directory: persisted
+	// stages are loaded from it when present and saved to it after
+	// compute. It is deliberately excluded from the configuration hash —
+	// where artifacts live must never change what they contain.
+	CacheDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -90,16 +107,25 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// scaleWarnOnce gates the one-time warning for an unusable
-// ANYCASTCTX_TEST_SCALE value, so a bad CI variable is visible without
-// spamming every world build.
-var scaleWarnOnce sync.Once
+// scaleWarn dedups the warning for an unusable ANYCASTCTX_TEST_SCALE
+// value by the offending string, so a bad CI variable is visible exactly
+// once per distinct value — not suppressed for the rest of the process
+// after the first build warned (a once-guard here used to hide the
+// warning from every later Build, including ones with a different bad
+// value). scaleWarnTo is swapped by the regression test.
+var scaleWarn = struct {
+	mu   sync.Mutex
+	seen map[string]bool
+}{seen: make(map[string]bool)}
+
+var scaleWarnTo io.Writer = os.Stderr
 
 // ScaleFromEnv returns def, overridden by the ANYCASTCTX_TEST_SCALE
 // environment variable when it parses to a value in (0, 1]. It is the one
 // home of that parsing rule (tests, benchmarks, and CI all shrink worlds
 // through it). An unparseable or out-of-range value falls back to def and
-// warns once on stderr instead of being silently ignored.
+// warns on stderr (once per distinct value) instead of being silently
+// ignored.
 func ScaleFromEnv(def float64) float64 {
 	s := os.Getenv("ANYCASTCTX_TEST_SCALE")
 	if s == "" {
@@ -109,10 +135,13 @@ func ScaleFromEnv(def float64) float64 {
 	// for NaN, which would pass an unusable scale through.
 	v, err := strconv.ParseFloat(s, 64)
 	if err != nil || !(v > 0 && v <= 1) {
-		scaleWarnOnce.Do(func() {
-			fmt.Fprintf(os.Stderr,
+		scaleWarn.mu.Lock()
+		if !scaleWarn.seen[s] {
+			scaleWarn.seen[s] = true
+			fmt.Fprintf(scaleWarnTo,
 				"world: ignoring ANYCASTCTX_TEST_SCALE=%q (want a number in (0, 1]); using %g\n", s, def)
-		})
+		}
+		scaleWarn.mu.Unlock()
 		return def
 	}
 	return v
@@ -125,137 +154,306 @@ func TestScale(seed int64) Config {
 	return Config{Seed: seed, Scale: ScaleFromEnv(0.12)}
 }
 
-// World is the fully built environment.
-type World struct {
-	Cfg       Config
-	Regions   []geo.Region
-	Graph     *topology.Graph
-	Model     *latency.Model
-	Pop       *users.Population
-	Zone      *dnssim.Zone
-	Rates     []dnssim.Rates
-	Letters   []*anycastnet.Deployment
-	Campaign  *ditl.Campaign
-	CDN       *cdn.CDN
-	CDNCounts *users.CDNCounts
-	APNIC     *users.APNICCounts
-	Atlas     *atlas.Platform
-	Locations []cdn.Location
-
-	joinOnce sync.Once
-	join     *ditl.Join
+// ClassicStages is the stage set the historical monolithic build
+// materialized eagerly: everything except the CDN telemetry tables and
+// the DITL∩CDN join, which were always computed on first use.
+func ClassicStages() []stage.ID {
+	return []stage.ID{
+		stage.Regions, stage.Topology, stage.Population, stage.Zone,
+		stage.Rates, stage.Letters, stage.Routes, stage.Campaign,
+		stage.CDN, stage.UserCounts, stage.Atlas, stage.Locations,
+	}
 }
 
-// Build constructs the world deterministically from cfg. The span context
-// parents the "world.build" phase tree; pass context.Background() when not
-// tracing.
-func Build(ctx context.Context, cfg Config) (*World, error) {
+// cell guards one stage's materialization: the once makes demand safe
+// under concurrent experiments, and err latches a failed compute so every
+// demander sees the same outcome.
+type cell struct {
+	once sync.Once
+	err  error
+}
+
+// World is the simulated environment, materialized stage by stage. Zero
+// or more stages are live at any time; accessors demand what they return,
+// so a caller holding a *World can always read any field — the demand
+// machinery decides whether that is a cache load or a compute.
+type World struct {
+	// Cfg is the (defaulted) configuration the world was created from.
+	Cfg Config
+
+	keys    map[stage.ID]string
+	store   *artifact.Store
+	overlay bool
+
+	cells map[stage.ID]*cell
+
+	statusMu sync.Mutex
+	status   map[stage.ID]*StageStatus
+
+	model *latency.Model
+
+	regions    []geo.Region
+	graph      *topology.Graph
+	pop        *users.Population
+	zone       *dnssim.Zone
+	rates      []dnssim.Rates
+	letters    []*anycastnet.Deployment
+	campaign   *ditl.Campaign
+	cdnNet     *cdn.CDN
+	cdnCounts  *users.CDNCounts
+	apnic      *users.APNICCounts
+	atlasPlat  *atlas.Platform
+	locations  []cdn.Location
+	serverLogs []cdn.ServerLogRow
+	clientRows []cdn.ClientMeasurementRow
+	join       *ditl.Join
+}
+
+// New validates cfg and returns an empty world: no stage is materialized
+// until demanded. When cfg.CacheDir is set the artifact store is opened
+// (and created) immediately, so a doomed cache directory fails here
+// rather than mid-experiment.
+func New(cfg Config) (*World, error) {
 	cfg = cfg.withDefaults()
 	// NaN makes `cfg.Scale <= 0 || cfg.Scale > 1` false, so the valid
 	// range is asserted directly instead.
 	if !(cfg.Scale > 0 && cfg.Scale <= 1) {
 		return nil, fmt.Errorf("world: scale %v out of (0, 1]", cfg.Scale)
 	}
-	ctx, build := obs.StartSpanCtx(ctx, "world.build")
-	defer build.End()
-	obsBuilds.Inc()
-
-	_, sp := obs.StartSpanCtx(ctx, "world.regions")
-	regions := geo.GenerateRegions(geo.PaperRegionCounts, rng.NewRand(cfg.Seed, rng.PhaseRegions, 0))
-	sp.End()
-
-	_, sp = obs.StartSpanCtx(ctx, "world.topology")
-	topoCfg := topology.DefaultConfig()
-	topoCfg.Seed = cfg.Seed + 1
-	topoCfg.NumTransit = scaleInt(topoCfg.NumTransit, cfg.Scale, 20)
-	topoCfg.NumEyeball = scaleInt(topoCfg.NumEyeball, cfg.Scale, 200)
-	g, err := topology.New(topoCfg, regions)
-	sp.End()
-	if err != nil {
-		return nil, fmt.Errorf("world: topology: %w", err)
-	}
-
-	_, sp = obs.StartSpanCtx(ctx, "world.population")
-	model := latency.DefaultModel()
-	pop, err := users.Build(g, users.Config{TotalUsers: cfg.TotalUsers}, cfg.Seed)
-	sp.End()
-	if err != nil {
-		return nil, fmt.Errorf("world: population: %w", err)
-	}
-
-	_, sp = obs.StartSpanCtx(ctx, "world.zone_rates")
-	zone := dnssim.NewZone(cfg.NumTLDs, cfg.Seed)
-	rates := dnssim.ComputeRates(pop, zone, dnssim.RateConfig{}, cfg.Seed)
-	sp.End()
-
-	var specs []anycastnet.LetterSpec
 	switch cfg.Year {
-	case DITL2018:
-		specs = anycastnet.Letters2018()
-	case DITL2020:
-		specs = anycastnet.Letters2020()
+	case DITL2018, DITL2020:
 	default:
 		return nil, fmt.Errorf("world: unsupported DITL year %d", cfg.Year)
 	}
-	_, sp = obs.StartSpanCtx(ctx, "world.letters")
-	letters, err := anycastnet.BuildLetters(g, specs, rng.NewRand(cfg.Seed, rng.PhaseLetters, 0))
-	sp.End()
-	if err != nil {
-		return nil, fmt.Errorf("world: letters: %w", err)
+	w := &World{
+		Cfg:    cfg,
+		keys:   stage.Keys(configHash(cfg)),
+		cells:  make(map[stage.ID]*cell, len(stage.All())),
+		status: make(map[stage.ID]*StageStatus, len(stage.All())),
+		model:  latency.DefaultModel(),
 	}
-
-	campCtx, sp := obs.StartSpanCtx(ctx, "world.campaign")
-	camp, err := ditl.Build(campCtx, g, letters, pop, zone, rates, model, ditl.Config{}, cfg.Seed)
-	sp.End()
-	if err != nil {
-		return nil, fmt.Errorf("world: campaign: %w", err)
+	for _, id := range stage.All() {
+		w.cells[id] = &cell{}
 	}
-	camp.Faults = cfg.Faults
-
-	cdnCtx, sp := obs.StartSpanCtx(ctx, "world.cdn")
-	cdnNet, err := cdn.Build(cdnCtx, g, model, cdn.Config{}, cfg.Seed)
-	sp.End()
-	if err != nil {
-		return nil, fmt.Errorf("world: cdn: %w", err)
+	if cfg.CacheDir != "" {
+		st, err := artifact.Open(cfg.CacheDir)
+		if err != nil {
+			return nil, fmt.Errorf("world: %w", err)
+		}
+		w.store = st
 	}
-	cdnNet.Faults = cfg.Faults
-
-	_, sp = obs.StartSpanCtx(ctx, "world.user_counts")
-	cdnCounts := users.BuildCDNCounts(pop, users.CDNConfig{}, cfg.Seed)
-	apnic := users.BuildAPNICCounts(g, pop, cfg.Seed)
-	sp.End()
-
-	_, sp = obs.StartSpanCtx(ctx, "world.atlas")
-	probes := scaleInt(cfg.NumProbes, cfg.Scale, 100)
-	plat, err := atlas.Deploy(g, model, atlas.Config{NumProbes: probes}, cfg.Seed)
-	sp.End()
-	if err != nil {
-		return nil, fmt.Errorf("world: atlas: %w", err)
-	}
-
-	obsRegions.Set(float64(len(regions)))
-	obsEyeballs.Set(float64(len(g.Eyeballs())))
-	obsRecursives.Set(float64(len(pop.Recursives)))
-	obsLetters.Set(float64(len(letters)))
-	obsProbes.Set(float64(probes))
-
-	return &World{
-		Cfg:       cfg,
-		Regions:   regions,
-		Graph:     g,
-		Model:     model,
-		Pop:       pop,
-		Zone:      zone,
-		Rates:     rates,
-		Letters:   letters,
-		Campaign:  camp,
-		CDN:       cdnNet,
-		CDNCounts: cdnCounts,
-		APNIC:     apnic,
-		Atlas:     plat,
-		Locations: cdn.Locations(g, cfg.TotalUsers),
-	}, nil
+	return w, nil
 }
+
+// Build constructs the classic eager world: every stage the monolithic
+// build used to compute, in one call. The span context parents the
+// "world.build" phase tree; pass context.Background() when not tracing.
+// Demand-driven callers use New + Demand instead.
+func Build(ctx context.Context, cfg Config) (*World, error) {
+	w, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ctx, build := obs.StartSpanCtx(ctx, "world.build")
+	defer build.End()
+	obsBuilds.Inc()
+	if err := w.Demand(ctx, ClassicStages()...); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// Demand materializes ids (and, transitively, what they need). A
+// persisted stage found in the artifact store is loaded — materializing
+// only its load-deps — and anything else is computed, cached in memory,
+// and saved to the store when persistable. Demanding an already-live
+// stage is free. Safe for concurrent use.
+func (w *World) Demand(ctx context.Context, ids ...stage.ID) error {
+	for _, id := range ids {
+		if !stage.Valid(id) {
+			return fmt.Errorf("world: unknown stage %q", id)
+		}
+		if err := w.materialize(ctx, id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Key returns the stage's content-addressed artifact key for this
+// world's configuration.
+func (w *World) Key(id stage.ID) string { return w.keys[id] }
+
+// Store returns the artifact store backing this world (nil without a
+// cache directory, and always nil for overlays).
+func (w *World) Store() *artifact.Store { return w.store }
+
+func (w *World) materialize(ctx context.Context, id stage.ID) error {
+	c := w.cells[id]
+	c.once.Do(func() { c.err = w.runStage(ctx, id) })
+	if c.err != nil {
+		return c.err
+	}
+	return nil
+}
+
+// must backs the accessors: every error-capable stage is demanded through
+// Build or Demand first, whose errors callers handle, so an accessor
+// reaching a failed or unreachable stage is a programming error.
+func (w *World) must(id stage.ID) {
+	if err := w.materialize(context.Background(), id); err != nil {
+		panic(fmt.Sprintf("world: stage %s: %v", id, err))
+	}
+}
+
+// Accessors. Each demands the stage it returns (a no-op when live).
+
+// Regions returns the geographic regions.
+func (w *World) Regions() []geo.Region { w.must(stage.Regions); return w.regions }
+
+// Graph returns the AS topology. Note that the letters and cdn stages
+// mutate the graph (host ASes, the CDN AS and its peering); demanding
+// them later grows the graph in place, exactly like the monolithic build.
+func (w *World) Graph() *topology.Graph { w.must(stage.Topology); return w.graph }
+
+// Model returns the latency model (not a stage: it is a pure value
+// derived from no inputs).
+func (w *World) Model() *latency.Model { return w.model }
+
+// Pop returns the user population.
+func (w *World) Pop() *users.Population { w.must(stage.Population); return w.pop }
+
+// Zone returns the root zone.
+func (w *World) Zone() *dnssim.Zone { w.must(stage.Zone); return w.zone }
+
+// Rates returns the per-recursive daily query-rate profiles.
+func (w *World) Rates() []dnssim.Rates { w.must(stage.Rates); return w.rates }
+
+// Letters returns the root letter deployments.
+func (w *World) Letters() []*anycastnet.Deployment { w.must(stage.Letters); return w.letters }
+
+// Campaign returns the DITL measurement campaign.
+func (w *World) Campaign() *ditl.Campaign { w.must(stage.Campaign); return w.campaign }
+
+// CDN returns the CDN network.
+func (w *World) CDN() *cdn.CDN { w.must(stage.CDN); return w.cdnNet }
+
+// CDNCounts returns the CDN-observed user counts.
+func (w *World) CDNCounts() *users.CDNCounts { w.must(stage.UserCounts); return w.cdnCounts }
+
+// APNIC returns the APNIC-style per-AS user counts.
+func (w *World) APNIC() *users.APNICCounts { w.must(stage.UserCounts); return w.apnic }
+
+// Atlas returns the probe platform.
+func (w *World) Atlas() *atlas.Platform { w.must(stage.Atlas); return w.atlasPlat }
+
+// Locations returns the ⟨region, AS⟩ user locations.
+func (w *World) Locations() []cdn.Location { w.must(stage.Locations); return w.locations }
+
+// ServerLogsCtx returns the server-side CDN telemetry table (the
+// server_logs stage), computed or loaded on first use.
+func (w *World) ServerLogsCtx(ctx context.Context) ([]cdn.ServerLogRow, error) {
+	if err := w.Demand(ctx, stage.ServerLogs); err != nil {
+		return nil, err
+	}
+	return w.serverLogs, nil
+}
+
+// ClientRowsCtx returns the client-side CDN telemetry table (the
+// client_rows stage), computed or loaded on first use.
+func (w *World) ClientRowsCtx(ctx context.Context) ([]cdn.ClientMeasurementRow, error) {
+	if err := w.Demand(ctx, stage.ClientRows); err != nil {
+		return nil, err
+	}
+	return w.clientRows, nil
+}
+
+// Join returns the /24-level DITL∩CDN join, computed lazily and cached.
+// The stage cell makes the lazy fill safe when experiments run
+// concurrently (RunAllParallel); the join itself is deterministic, so
+// which caller computes it never affects results.
+func (w *World) Join() *ditl.Join {
+	return w.JoinCtx(context.Background())
+}
+
+// JoinCtx is Join with the caller's span context carried into the join
+// computation when this caller is the one that fills the cell.
+func (w *World) JoinCtx(ctx context.Context) *ditl.Join {
+	if err := w.materialize(ctx, stage.Join); err != nil {
+		panic(fmt.Sprintf("world: stage %s: %v", stage.Join, err))
+	}
+	return w.join
+}
+
+// SeedJoin pre-fills the join stage with j (a join already computed for
+// an identical campaign). A no-op if the stage is already live.
+func (w *World) SeedJoin(j *ditl.Join) {
+	w.cells[stage.Join].once.Do(func() { w.join = j })
+}
+
+// Overlay returns a copy of w for scenario evaluation: the classic
+// stages are forced live on the base first, then shared with the copy,
+// whose join and telemetry stages start fresh so they never alias the
+// base's. The copy has no artifact store — a mutated world must never
+// write into the base's cache — and its setters are unlocked.
+func (w *World) Overlay() *World {
+	if err := w.Demand(context.Background(), ClassicStages()...); err != nil {
+		panic(fmt.Sprintf("world: overlay of unbuildable world: %v", err))
+	}
+	ov := &World{
+		Cfg:     w.Cfg,
+		keys:    w.keys,
+		overlay: true,
+		cells:   make(map[stage.ID]*cell, len(stage.All())),
+		status:  make(map[stage.ID]*StageStatus, 4),
+		model:   w.model,
+
+		regions:   w.regions,
+		graph:     w.graph,
+		pop:       w.pop,
+		zone:      w.zone,
+		rates:     w.rates,
+		letters:   w.letters,
+		campaign:  w.campaign,
+		cdnNet:    w.cdnNet,
+		cdnCounts: w.cdnCounts,
+		apnic:     w.apnic,
+		atlasPlat: w.atlasPlat,
+		locations: w.locations,
+	}
+	for _, id := range stage.All() {
+		ov.cells[id] = &cell{}
+	}
+	for _, id := range ClassicStages() {
+		ov.cells[id].once.Do(func() {})
+	}
+	return ov
+}
+
+// Setters, legal only on overlays: scenario evaluation swaps mutated
+// stage outputs into the copy while everything untouched stays shared
+// with the base. Calling one on a base world is a hard error — it would
+// desynchronize the in-memory value from its artifact key.
+func (w *World) mustOverlay(what string) {
+	if !w.overlay {
+		panic("world: " + what + " on a non-overlay world")
+	}
+}
+
+// SetGraph replaces the overlay's AS topology.
+func (w *World) SetGraph(g *topology.Graph) { w.mustOverlay("SetGraph"); w.graph = g }
+
+// SetLetters replaces the overlay's letter deployments.
+func (w *World) SetLetters(ls []*anycastnet.Deployment) { w.mustOverlay("SetLetters"); w.letters = ls }
+
+// SetCDN replaces the overlay's CDN.
+func (w *World) SetCDN(c *cdn.CDN) { w.mustOverlay("SetCDN"); w.cdnNet = c }
+
+// SetRates replaces the overlay's rate table.
+func (w *World) SetRates(rs []dnssim.Rates) { w.mustOverlay("SetRates"); w.rates = rs }
+
+// SetCampaign replaces the overlay's campaign.
+func (w *World) SetCampaign(c *ditl.Campaign) { w.mustOverlay("SetCampaign"); w.campaign = c }
 
 func scaleInt(v int, scale float64, floor int) int {
 	s := int(float64(v) * scale)
@@ -266,51 +464,4 @@ func scaleInt(v int, scale float64, floor int) int {
 		s = v
 	}
 	return s
-}
-
-// Overlay returns a shallow copy of w with its own empty join cache.
-// Scenario evaluation mutates the copy's fields (Graph, Letters, CDN,
-// Campaign, Rates) while sharing everything untouched with the base
-// world; the fresh once-guard keeps the overlay's join from aliasing the
-// base campaign's.
-func (w *World) Overlay() *World {
-	return &World{
-		Cfg:       w.Cfg,
-		Regions:   w.Regions,
-		Graph:     w.Graph,
-		Model:     w.Model,
-		Pop:       w.Pop,
-		Zone:      w.Zone,
-		Rates:     w.Rates,
-		Letters:   w.Letters,
-		Campaign:  w.Campaign,
-		CDN:       w.CDN,
-		CDNCounts: w.CDNCounts,
-		APNIC:     w.APNIC,
-		Atlas:     w.Atlas,
-		Locations: w.Locations,
-	}
-}
-
-// SeedJoin pre-fills the lazy join cache with j (a join already computed
-// for an identical campaign). A no-op if the cache is already filled.
-func (w *World) SeedJoin(j *ditl.Join) {
-	w.joinOnce.Do(func() { w.join = j })
-}
-
-// Join returns the /24-level DITL∩CDN join, computed lazily and cached.
-// The once-guard makes the lazy fill safe when experiments run
-// concurrently (RunAllParallel); the join itself is deterministic, so
-// which caller computes it never affects results.
-func (w *World) Join() *ditl.Join {
-	return w.JoinCtx(context.Background())
-}
-
-// JoinCtx is Join with the caller's span context carried into the join
-// computation when this caller is the one that fills the cache.
-func (w *World) JoinCtx(ctx context.Context) *ditl.Join {
-	w.joinOnce.Do(func() {
-		w.join = w.Campaign.JoinCDNCtx(ctx, w.CDNCounts, false)
-	})
-	return w.join
 }

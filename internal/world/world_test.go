@@ -10,23 +10,23 @@ func TestBuildTestScale(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(w.Regions) != 508 {
-		t.Errorf("regions = %d", len(w.Regions))
+	if len(w.Regions()) != 508 {
+		t.Errorf("regions = %d", len(w.Regions()))
 	}
-	if w.Graph == nil || w.Pop == nil || w.Zone == nil || w.CDN == nil ||
-		w.Atlas == nil || w.Campaign == nil || w.APNIC == nil || w.CDNCounts == nil {
+	if w.Graph() == nil || w.Pop() == nil || w.Zone() == nil || w.CDN() == nil ||
+		w.Atlas() == nil || w.Campaign() == nil || w.APNIC() == nil || w.CDNCounts() == nil {
 		t.Fatal("incomplete world")
 	}
-	if len(w.Letters) != 10 {
-		t.Errorf("letters = %d", len(w.Letters))
+	if len(w.Letters()) != 10 {
+		t.Errorf("letters = %d", len(w.Letters()))
 	}
-	if len(w.Rates) != len(w.Pop.Recursives) {
+	if len(w.Rates()) != len(w.Pop().Recursives) {
 		t.Error("rates not parallel to recursives")
 	}
-	if len(w.Locations) == 0 {
+	if len(w.Locations()) == 0 {
 		t.Error("no user locations")
 	}
-	if w.Model == nil || w.Model.Validate() != nil {
+	if w.Model() == nil || w.Model().Validate() != nil {
 		t.Error("bad latency model")
 	}
 }
@@ -50,8 +50,8 @@ func TestBuild2020(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(w.Letters) != 7 {
-		t.Errorf("2020 letters = %d", len(w.Letters))
+	if len(w.Letters()) != 7 {
+		t.Errorf("2020 letters = %d", len(w.Letters()))
 	}
 }
 
@@ -91,17 +91,17 @@ func TestDeterministicBuild(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(w1.Pop.Recursives) != len(w2.Pop.Recursives) {
+	if len(w1.Pop().Recursives) != len(w2.Pop().Recursives) {
 		t.Fatal("population differs")
 	}
-	for i := range w1.Pop.Recursives {
-		if w1.Pop.Recursives[i].Key != w2.Pop.Recursives[i].Key {
+	for i := range w1.Pop().Recursives {
+		if w1.Pop().Recursives[i].Key != w2.Pop().Recursives[i].Key {
 			t.Fatal("recursive keys differ")
 		}
 	}
-	for li := range w1.Campaign.Letters {
-		for ri := 0; ri < w1.Campaign.NumRecursives(); ri++ {
-			a, b := w1.Campaign.At(li, ri), w2.Campaign.At(li, ri)
+	for li := range w1.Campaign().Letters {
+		for ri := 0; ri < w1.Campaign().NumRecursives(); ri++ {
+			a, b := w1.Campaign().At(li, ri), w2.Campaign().At(li, ri)
 			if a.Reachable != b.Reachable || a.BaseRTTMs != b.BaseRTTMs || a.LetterWeight != b.LetterWeight {
 				t.Fatalf("assignment differs at letter %d rec %d", li, ri)
 			}

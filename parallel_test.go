@@ -27,8 +27,8 @@ func TestRunAllParallelMatchesSerial(t *testing.T) {
 	}
 	// Warm every letter's route cache up front: parallel experiments must
 	// agree with serial ones whether they compute routes or read them back.
-	srcs := w2.Graph.Eyeballs()
-	for _, d := range w2.Letters {
+	srcs := w2.Graph().Eyeballs()
+	for _, d := range w2.Letters() {
 		d.WarmRoutes(srcs)
 	}
 	par, err := RunAllParallel(w2, 4)
@@ -118,12 +118,12 @@ func TestParallelLoopsMatchSerialOracle(t *testing.T) {
 		}
 		li, site := busiestLetterSite(w)
 		var buf bytes.Buffer
-		if _, err := w.Campaign.EmitSiteCapture(&buf, li, site, 2000, 9); err != nil {
+		if _, err := w.Campaign().EmitSiteCapture(&buf, li, site, 2000, 9); err != nil {
 			t.Fatal(err)
 		}
 		p.capture = buf.Bytes()
-		p.pings = fmt.Sprintf("%+v", w.Atlas.Ping(w.Letters[0], 3, 11))
-		aff, err := w.Campaign.Affinity(li, 0.005, 48, 13)
+		p.pings = fmt.Sprintf("%+v", w.Atlas().Ping(w.Letters()[0], 3, 11))
+		aff, err := w.Campaign().Affinity(li, 0.005, 48, 13)
 		if err != nil {
 			t.Fatal(err)
 		}

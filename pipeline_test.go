@@ -18,18 +18,18 @@ func TestCapturePipelineEndToEnd(t *testing.T) {
 	w := testWorld(t)
 
 	// Pick the letter with the most sites and its busiest site.
-	li := w.Campaign.LetterIndex("L")
+	li := w.Campaign().LetterIndex("L")
 	if li < 0 {
 		t.Fatal("letter L missing")
 	}
 	load := map[int]float64{}
-	for ri := range w.Pop.Recursives {
-		a := w.Campaign.At(li, ri)
+	for ri := range w.Pop().Recursives {
+		a := w.Campaign().At(li, ri)
 		if !a.Reachable {
 			continue
 		}
 		for _, s := range a.Sites() {
-			load[s.SiteID] += w.Rates[ri].RootTotalPerDay() * a.LetterWeight * s.Frac
+			load[s.SiteID] += w.Rates()[ri].RootTotalPerDay() * a.LetterWeight * s.Frac
 		}
 	}
 	busiest, best := 0, 0.0
@@ -40,7 +40,7 @@ func TestCapturePipelineEndToEnd(t *testing.T) {
 	}
 
 	var buf bytes.Buffer
-	n, err := w.Campaign.EmitSiteCapture(&buf, li, busiest, 5000, 77)
+	n, err := w.Campaign().EmitSiteCapture(&buf, li, busiest, 5000, 77)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,25 +62,25 @@ func TestCapturePipelineEndToEnd(t *testing.T) {
 	// Every non-junk source /24 must be a recursive whose catchment for
 	// this letter includes the busiest site.
 	junk24 := map[ipaddr.Slash24Key]bool{}
-	for _, ip := range w.Campaign.JunkSources {
+	for _, ip := range w.Campaign().JunkSources {
 		junk24[ipaddr.Key24(ip)] = true
 	}
 	for key := range sum.Sources {
 		if junk24[key] {
 			continue
 		}
-		rec, ok := w.Pop.ByKey(key)
+		rec, ok := w.Pop().ByKey(key)
 		if !ok {
 			t.Fatalf("capture source %s is not a recursive or junk /24", key)
 		}
 		var ri int
-		for i := range w.Pop.Recursives {
-			if w.Pop.Recursives[i].Key == rec.Key {
+		for i := range w.Pop().Recursives {
+			if w.Pop().Recursives[i].Key == rec.Key {
 				ri = i
 				break
 			}
 		}
-		a := w.Campaign.At(li, ri)
+		a := w.Campaign().At(li, ri)
 		found := false
 		for _, s := range a.Sites() {
 			if s.SiteID == busiest {
@@ -103,8 +103,8 @@ func TestCaptureReferralsCarryGlue(t *testing.T) {
 	// referrals that contain NS authority records and A glue.
 	w := testWorld(t)
 	var buf bytes.Buffer
-	li := w.Campaign.LetterIndex("C")
-	if _, err := w.Campaign.EmitSiteCapture(&buf, li, 0, 4000, 78); err != nil {
+	li := w.Campaign().LetterIndex("C")
+	if _, err := w.Campaign().EmitSiteCapture(&buf, li, 0, 4000, 78); err != nil {
 		t.Fatal(err)
 	}
 	pr, err := pcapio.NewReader(bytes.NewReader(buf.Bytes()))
